@@ -1,0 +1,149 @@
+package dcpibench
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline exercises the tool chain the way a user would: collect
+// profiles with dcpid, then read them back with every offline tool.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is slow")
+	}
+	bin := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	run := func(prog string, args ...string) string {
+		cmd := exec.Command(prog, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(prog), args, err, out)
+		}
+		return string(out)
+	}
+
+	dcpid := build("dcpid")
+	dcpiprof := build("dcpiprof")
+	dcpicalc := build("dcpicalc")
+	dcpistats := build("dcpistats")
+	dcpisum := build("dcpisum")
+	dcpidiff := build("dcpidiff")
+	dcpiepoch := build("dcpiepoch")
+	dcpicfg := build("dcpicfg")
+	dcpitopixie := build("dcpitopixie")
+	dcpiannotate := build("dcpiannotate")
+	dcpilayout := build("dcpilayout")
+
+	db1 := filepath.Join(bin, "db1")
+	db2 := filepath.Join(bin, "db2")
+
+	out := run(dcpid, "-workload", "wave5", "-mode", "default", "-db", db1,
+		"-scale", "0.15", "-seed", "1", "-period", "2048")
+	if !strings.Contains(out, "finished") {
+		t.Fatalf("dcpid output: %s", out)
+	}
+	run(dcpid, "-workload", "wave5", "-mode", "default", "-db", db2,
+		"-scale", "0.15", "-seed", "9", "-period", "2048")
+
+	out = run(dcpiprof, "-db", db1)
+	for _, want := range []string{"parmvr_", "smooth_", "cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dcpiprof missing %q:\n%s", want, out)
+		}
+	}
+	out = run(dcpiprof, "-db", db1, "-images")
+	if !strings.Contains(out, "/usr/bin/wave5") {
+		t.Errorf("dcpiprof -images:\n%s", out)
+	}
+
+	out = run(dcpicalc, "-db", db1, "-image", "/usr/bin/wave5", "-proc", "smooth_")
+	if !strings.Contains(out, "Best-case") || !strings.Contains(out, "ldt") {
+		t.Errorf("dcpicalc:\n%s", out)
+	}
+	out = run(dcpicalc, "-db", db1, "-image", "/usr/bin/wave5", "-proc", "smooth_", "-summary")
+	if !strings.Contains(out, "Subtotal dynamic") {
+		t.Errorf("dcpicalc -summary:\n%s", out)
+	}
+
+	out = run(dcpistats, db1, db2)
+	if !strings.Contains(out, "range%") {
+		t.Errorf("dcpistats:\n%s", out)
+	}
+
+	out = run(dcpisum, "-db", db1)
+	if !strings.Contains(out, "Whole-program summary") {
+		t.Errorf("dcpisum:\n%s", out)
+	}
+
+	out = run(dcpidiff, db1, db2)
+	if !strings.Contains(out, "delta") {
+		t.Errorf("dcpidiff:\n%s", out)
+	}
+
+	out = run(dcpiepoch, "-db", db1)
+	if !strings.Contains(out, "epoch 1") || !strings.Contains(out, "workload=wave5") {
+		t.Errorf("dcpiepoch:\n%s", out)
+	}
+	out = run(dcpiepoch, "-db", db1, "-new")
+	if !strings.Contains(out, "epoch 2") {
+		t.Errorf("dcpiepoch -new:\n%s", out)
+	}
+
+	out = run(dcpicfg, "-db", db2, "-image", "/usr/bin/wave5", "-proc", "smooth_")
+	if !strings.Contains(out, "digraph") {
+		t.Errorf("dcpicfg:\n%s", out)
+	}
+
+	out = run(dcpitopixie, "-db", db2)
+	if !strings.Contains(out, "parmvr_") {
+		t.Errorf("dcpitopixie:\n%s", out)
+	}
+
+	out = run(dcpiannotate, "-db", db2, "-image", "/usr/bin/wave5")
+	if !strings.Contains(out, "smooth_:") {
+		t.Errorf("dcpiannotate:\n%s", out)
+	}
+
+	out = run(dcpilayout, "-db", db2, "-image", "/usr/bin/wave5", "-proc", "smooth_", "-q")
+	if !strings.Contains(out, "re-laid") {
+		t.Errorf("dcpilayout:\n%s", out)
+	}
+}
+
+// TestExamplesRun executes every example program end to end.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+// Command dcpiannotate prints a whole image's assembly annotated with
+// per-instruction samples and estimated CPIs — the paper's §3 "annotate
+// source and assembly code with samples" tool, over every procedure of an
+// image at once.
+//
+// Usage:
+//
+//	dcpiannotate -db ./dcpidb -image /bin/mccalpin [-event cycles]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"dcpi/internal/alpha"
+	"dcpi/internal/dcpi"
+	"dcpi/internal/sim"
+)
+
+func main() {
+	var (
+		dbDir = flag.String("db", "dcpidb", "profile database directory")
+		wl    = flag.String("workload", "", "workload name (defaults to database metadata)")
+		img   = flag.String("image", "", "image path")
+		evStr = flag.String("event", "cycles", "event to annotate with")
+	)
+	flag.Parse()
+	if *img == "" {
+		fmt.Fprintln(os.Stderr, "dcpiannotate: -image is required")
+		os.Exit(2)
+	}
+	ev, err := sim.ParseEvent(*evStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpiannotate: %v\n", err)
+		os.Exit(2)
+	}
+
+	view, err := dcpi.OpenView(*dbDir, *wl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpiannotate: %v\n", err)
+		os.Exit(1)
+	}
+	im, ok := view.Loader.ImageByPath(*img)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dcpiannotate: image %q not known\n", *img)
+		os.Exit(1)
+	}
+	r := view.Result()
+	prof := r.Profile(*img, ev)
+	counts := map[uint64]uint64{}
+	if prof != nil {
+		counts = prof.Counts
+	}
+
+	fmt.Printf("image %s, event %s, %d samples\n\n", *img, ev, total(counts))
+	for _, sym := range im.Symbols {
+		var procTotal uint64
+		for off, n := range counts {
+			if off >= sym.Offset && off < sym.Offset+sym.Size {
+				procTotal += n
+			}
+		}
+		fmt.Printf("%s:  (%d samples)\n", sym.Name, procTotal)
+		if procTotal == 0 {
+			fmt.Printf("    ... %d instructions, never sampled\n\n", sym.Size/alpha.InstBytes)
+			continue
+		}
+		pa, err := view.AnalyzeOffline(*img, sym.Name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpiannotate: %s: %v\n", sym.Name, err)
+			os.Exit(1)
+		}
+		for i := range pa.Insts {
+			ia := &pa.Insts[i]
+			cpi := ""
+			switch {
+			case ia.Paired:
+				cpi = "(dual issue)"
+			case math.IsInf(ia.CPI, 1):
+				cpi = "?"
+			case ia.CPI > 0:
+				cpi = fmt.Sprintf("%.1fcy", ia.CPI)
+			}
+			fmt.Printf("  %06x %8d %12s  %s\n", ia.Offset, ia.Samples, cpi, ia.Inst.DisasmAt(ia.Offset))
+		}
+		fmt.Println()
+	}
+}
+
+func total(m map[uint64]uint64) uint64 {
+	var t uint64
+	for _, n := range m {
+		t += n
+	}
+	return t
+}

@@ -1,0 +1,95 @@
+// Command dcpid runs a workload on the simulated machine under continuous
+// profiling and stores the collected profiles in an on-disk database — the
+// role of the DCPI driver+daemon pair on a production system.
+//
+// Usage:
+//
+//	dcpid -workload x11perf -mode default -db ./dcpidb [-seed 1] [-scale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dcpi/internal/dcpi"
+	"dcpi/internal/sim"
+	"dcpi/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "", "workload to run ("+strings.Join(workload.Names(), ", ")+")")
+		mode    = flag.String("mode", "default", "profiling mode: cycles, default, mux")
+		dbDir   = flag.String("db", "dcpidb", "profile database directory")
+		seed    = flag.Uint64("seed", 1, "run seed (page placement + sampling)")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		period  = flag.Int64("period", 0, "cycles sampling period base (0 = paper default 60K-64K)")
+		verbose = flag.Bool("v", false, "print per-CPU driver statistics")
+		perPID  = flag.String("perpid", "", "comma-separated PIDs to keep separate per-process profiles for (paper §4.3; workload PIDs start at 100)")
+	)
+	flag.Parse()
+	if *wl == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var m sim.Mode
+	switch *mode {
+	case "cycles":
+		m = sim.ModeCycles
+	case "default":
+		m = sim.ModeDefault
+	case "mux":
+		m = sim.ModeMux
+	default:
+		fmt.Fprintf(os.Stderr, "dcpid: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	cfg := dcpi.Config{
+		Workload: *wl,
+		Mode:     m,
+		DBDir:    *dbDir,
+		Seed:     *seed,
+		Scale:    *scale,
+	}
+	if *perPID != "" {
+		for _, f := range strings.Split(*perPID, ",") {
+			var pid uint32
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &pid); err != nil {
+				fmt.Fprintf(os.Stderr, "dcpid: bad -perpid entry %q\n", f)
+				os.Exit(2)
+			}
+			cfg.PerProcessPIDs = append(cfg.PerProcessPIDs, pid)
+		}
+	}
+	if *period > 0 {
+		cfg.CyclesPeriod = sim.PeriodSpec{Base: *period, Spread: *period / 16}
+	}
+
+	r, err := dcpi.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpid: %v\n", err)
+		os.Exit(1)
+	}
+
+	st := r.Machine.Stats()
+	ds := r.Driver.TotalStats()
+	dm := r.Daemon.Stats()
+	fmt.Printf("dcpid: %s finished in %d cycles (%d instructions)\n", *wl, r.Wall, st.Instructions)
+	fmt.Printf("  samples       %d (%s)\n", ds.Samples, *mode)
+	fmt.Printf("  hash table    %.1f%% miss, %d evictions, avg handler %.0f cycles\n",
+		100*ds.MissRate(), ds.Evictions, ds.AvgCost())
+	fmt.Printf("  daemon        %d entries, %.2f%% unknown, %.1f cycles/sample\n",
+		dm.Entries, 100*dm.UnknownRate(), dm.CostPerSample())
+	if disk, err := r.DB.DiskUsage(); err == nil {
+		fmt.Printf("  database      %s (epoch %d, %d bytes)\n", *dbDir, r.DB.Epoch(), disk)
+	}
+	if *verbose {
+		for cpu := 0; cpu < r.Driver.NumCPUs(); cpu++ {
+			fmt.Printf("  cpu%d: %s\n", cpu, r.Driver.Stats(cpu))
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command dcpiepoch manages a profile database's epochs: non-overlapping
+// time intervals of samples, each in its own subdirectory (paper §4.3.3:
+// "A new epoch can be initiated by a user-level command").
+//
+// Usage:
+//
+//	dcpiepoch -db ./dcpidb          # list epochs and their contents
+//	dcpiepoch -db ./dcpidb -new     # start a fresh epoch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcpi/internal/profiledb"
+)
+
+func main() {
+	var (
+		dbDir = flag.String("db", "dcpidb", "profile database directory")
+		start = flag.Bool("new", false, "start a new epoch")
+	)
+	flag.Parse()
+
+	db, err := profiledb.Open(*dbDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpiepoch: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *start {
+		if err := db.NewEpoch(); err != nil {
+			fmt.Fprintf(os.Stderr, "dcpiepoch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("started epoch %d\n", db.Epoch())
+		return
+	}
+
+	fmt.Printf("database %s, current epoch %d\n", *dbDir, db.Epoch())
+	if meta, ok, err := db.Meta(); err == nil && ok {
+		fmt.Printf("  workload=%s mode=%s period=%.0f wall=%d cycles seed=%d\n",
+			meta.Workload, meta.Mode, meta.CyclesPeriod, meta.WallCycles, meta.Seed)
+	}
+	profiles, err := db.Profiles()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpiepoch: %v\n", err)
+		os.Exit(1)
+	}
+	for _, p := range profiles {
+		fmt.Printf("  %-10s %10d samples  %s\n", p.Event, p.Total(), p.ImagePath)
+	}
+	if disk, err := db.DiskUsage(); err == nil {
+		fmt.Printf("  total disk: %d bytes (all epochs)\n", disk)
+	}
+}

@@ -1,0 +1,215 @@
+// Command dcpieval regenerates the paper's tables and figures on the
+// simulated machine (see DESIGN.md's per-experiment index).
+//
+// Usage:
+//
+//	dcpieval -table 3            # Tables: 2, 3, 4, 5
+//	dcpieval -fig 2              # Figures: 1, 2, 3, 4, 6, 8, 9, 10
+//	dcpieval -ablation ht        # §5.4 hash-table design sweep
+//	dcpieval -all                # everything
+//
+// Flags -runs and -scale trade time for confidence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dcpi/internal/eval"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate a table (2-5)")
+		fig      = flag.Int("fig", 0, "regenerate a figure (1-4, 6-10)")
+		ablation = flag.String("ablation", "", "run an ablation: ht")
+		all      = flag.Bool("all", false, "regenerate everything")
+		runs     = flag.Int("runs", 0, "runs per configuration (default 5)")
+		scale    = flag.Float64("scale", 0, "workload scale (default 0.25)")
+	)
+	flag.Parse()
+
+	o := eval.Options{Runs: *runs, Scale: *scale}
+	w := os.Stdout
+
+	run := func(name string, f func() error) {
+		fmt.Fprintf(w, "==== %s ====\n\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "dcpieval: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+
+	any := false
+	want := func(t, f int, abl string) bool {
+		if *all {
+			return true
+		}
+		if t != 0 && t == *table {
+			return true
+		}
+		if f != 0 && f == *fig {
+			return true
+		}
+		return abl != "" && abl == *ablation
+	}
+
+	if want(2, 0, "") {
+		any = true
+		run("Table 2: workloads and base runtimes", func() error {
+			rows, err := eval.Table2(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatTable2(w, rows)
+			return nil
+		})
+	}
+	if want(3, 0, "") {
+		any = true
+		run("Table 3: overall slowdown", func() error {
+			rows, err := eval.Table3(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatTable3(w, rows)
+			return nil
+		})
+	}
+	if want(4, 0, "") {
+		any = true
+		run("Table 4: time overhead components", func() error {
+			rows, err := eval.Table4(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatTable4(w, rows)
+			return nil
+		})
+	}
+	if want(5, 0, "") {
+		any = true
+		run("Table 5: space overhead", func() error {
+			rows, err := eval.Table5(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatTable5(w, rows)
+			return nil
+		})
+	}
+	if want(0, 1, "") {
+		any = true
+		run("Figure 1: dcpiprof on x11perf", func() error { return eval.Fig1(o, w) })
+	}
+	if want(0, 2, "") {
+		any = true
+		run("Figure 2: dcpicalc on the copy loop", func() error { return eval.Fig2(o, w) })
+	}
+	if want(0, 3, "") || want(0, 4, "") {
+		any = true
+		run("Figures 3 & 4: dcpistats and the smooth_ summary", func() error {
+			results, err := eval.Fig3(o, figWriter(w, 3, *fig, *all))
+			if err != nil {
+				return err
+			}
+			return eval.Fig4(o, figWriter(w, 4, *fig, *all), results)
+		})
+	}
+	if want(0, 7, "") {
+		any = true
+		run("Figure 7: frequency estimation for the copy loop", func() error {
+			return eval.Fig7(o, w)
+		})
+	}
+	if want(0, 6, "") {
+		any = true
+		run("Figure 6: running-time distributions", func() error {
+			series, err := eval.Fig6(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatFig6(w, series)
+			return nil
+		})
+	}
+	if want(0, 8, "") {
+		any = true
+		run("Figure 8: instruction-frequency accuracy", func() error {
+			res, err := eval.Fig8(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatAccuracy(w, "Figure 8: distribution of errors in instruction frequencies", res)
+			mr, err := eval.Fig8MultiRun(o, 4)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			eval.FormatMultiRun(w, mr)
+			return nil
+		})
+	}
+	if want(0, 9, "") {
+		any = true
+		run("Figure 9: edge-frequency accuracy", func() error {
+			res, err := eval.Fig9(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatAccuracy(w, "Figure 9: distribution of errors in edge frequencies", res)
+			ds, err := eval.Fig9DoubleSampling(o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\nwith par.7 double sampling:       within 5%% %.1f%%, within 10%% %.1f%%\n",
+				100*ds.Within5, 100*ds.Within10)
+			interp, err := eval.Fig9Interpretation(o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "with par.7 branch interpretation: within 5%% %.1f%%, within 10%% %.1f%%\n",
+				100*interp.Within5, 100*interp.Within10)
+			return nil
+		})
+	}
+	if want(0, 10, "") {
+		any = true
+		run("Figure 10: I-cache stalls vs IMISS events", func() error {
+			res, err := eval.Fig10(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatFig10(w, res)
+			return nil
+		})
+	}
+	if want(0, 0, "ht") {
+		any = true
+		run("Ablation: hash-table design space (§5.4)", func() error {
+			res, err := eval.AblationHT(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatAblation(w, res)
+			return nil
+		})
+	}
+
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// figWriter suppresses one of the two combined figures when only the other
+// was requested.
+func figWriter(w io.Writer, figNo, requested int, all bool) io.Writer {
+	if all || requested == figNo {
+		return w
+	}
+	return io.Discard
+}

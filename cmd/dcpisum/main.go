@@ -1,0 +1,36 @@
+// Command dcpisum summarizes where time is spent across an entire run — the
+// percentage of cycles lost to D-cache misses, branch mispredicts, static
+// slotting, and so on (the paper's §3 whole-program summary tool).
+//
+// Usage:
+//
+//	dcpisum -db ./dcpidb [-workload x11perf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcpi/internal/dcpi"
+)
+
+func main() {
+	var (
+		dbDir = flag.String("db", "dcpidb", "profile database directory")
+		wl    = flag.String("workload", "", "workload name (defaults to database metadata)")
+	)
+	flag.Parse()
+
+	view, err := dcpi.OpenView(*dbDir, *wl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpisum: %v\n", err)
+		os.Exit(1)
+	}
+	ps, err := view.Result().Summarize()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpisum: %v\n", err)
+		os.Exit(1)
+	}
+	dcpi.FormatProgramSummary(os.Stdout, ps)
+}

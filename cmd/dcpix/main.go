@@ -1,0 +1,85 @@
+// Command dcpix gathers exact per-instruction execution counts and branch
+// directions by instrumented execution — the pixie/dcpix ground-truth role
+// used to validate the analysis tools (paper §6.2).
+//
+// Usage:
+//
+//	dcpix -workload compress [-scale 1] [-image /usr/bin/compress] [-insts]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dcpi/internal/alpha"
+	"dcpi/internal/dcpi"
+	"dcpi/internal/sim"
+	"dcpi/internal/workload"
+)
+
+func main() {
+	var (
+		wl    = flag.String("workload", "", "workload to run ("+strings.Join(workload.Names(), ", ")+")")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		seed  = flag.Uint64("seed", 1, "run seed")
+		img   = flag.String("image", "", "restrict output to one image path")
+		insts = flag.Bool("insts", false, "print per-instruction counts (default: per procedure)")
+	)
+	flag.Parse()
+	if *wl == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r, err := dcpi.Run(dcpi.Config{
+		Workload:     *wl,
+		Scale:        *scale,
+		Seed:         *seed,
+		Mode:         sim.ModeOff,
+		CollectExact: true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpix: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dcpix: %s ran %d cycles\n\n", *wl, r.Wall)
+	images := r.Loader.Images()
+	sort.Slice(images, func(i, j int) bool { return images[i].Path < images[j].Path })
+	for _, im := range images {
+		if *img != "" && im.Path != *img {
+			continue
+		}
+		exec := r.Exact.Exec[im.ID]
+		taken := r.Exact.Taken[im.ID]
+		if exec == nil {
+			continue
+		}
+		fmt.Printf("image %s\n", im.Path)
+		for _, sym := range im.Symbols {
+			lo := sym.Offset / alpha.InstBytes
+			hi := (sym.Offset + sym.Size) / alpha.InstBytes
+			var total uint64
+			for i := lo; i < hi; i++ {
+				total += exec[i]
+			}
+			if total == 0 {
+				continue
+			}
+			fmt.Printf("  %-28s %12d instruction executions\n", sym.Name, total)
+			if *insts {
+				for i := lo; i < hi; i++ {
+					in := im.Code[i]
+					line := fmt.Sprintf("    %06x %-26s %12d", i*alpha.InstBytes, in.DisasmAt(i*alpha.InstBytes), exec[i])
+					if in.Op.IsCondBranch() {
+						line += fmt.Sprintf("  taken %d", taken[i])
+					}
+					fmt.Println(line)
+				}
+			}
+		}
+	}
+}

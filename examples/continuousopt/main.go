@@ -1,0 +1,163 @@
+// Continuousopt demonstrates the paper's §7 vision — "a 'continuous
+// optimization' system that runs in the background improving the
+// performance of key programs" — end to end on the simulated machine:
+//
+//  1. run a program under continuous profiling,
+//
+//  2. feed the profile into the analysis (frequencies, edge estimates),
+//
+//  3. rewrite the hot procedure with the profile-driven block-layout
+//     optimizer (hot-path straightening + branch-sense inversion, the
+//     Spike/OM role),
+//
+//  4. run the optimized binary and measure the improvement.
+//
+//     go run ./examples/continuousopt
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dcpi/internal/alpha"
+	"dcpi/internal/analysis"
+	"dcpi/internal/daemon"
+	"dcpi/internal/driver"
+	"dcpi/internal/image"
+	"dcpi/internal/loader"
+	"dcpi/internal/optimize"
+	"dcpi/internal/sim"
+	"dcpi/internal/workload"
+)
+
+// A token classifier whose layout pessimizes the common case: the frequent
+// class is reached through a taken branch plus an extra jump every
+// iteration, and a rare slow path sits in the middle of the hot loop.
+const program = `
+classify:
+	lda  t0, 60000(zero)
+	bis  a0, zero, t1
+	lda  t5, 0(zero)
+	lda  t9, 4095(zero)
+.loop:
+	ldq  t2, 0(t1)
+	and  t2, 0xf, t3
+	beq  t3, .rare         ; 1 in 16: rare token
+	br   .common           ; common case pays an extra jump
+.rare:
+	sll  t2, 3, t4
+	xor  t4, t5, t5
+	addq t5, 7, t5
+	br   .next
+.common:
+	addq t5, t2, t5
+.next:
+	lda  t1, 8(t1)
+	and  t1, t9, t6
+	bne  t6, .nowrap
+	bis  a0, zero, t1
+.nowrap:
+	subq t0, 1, t0
+	bne  t0, .loop
+	halt
+`
+
+func buildAndRun(name string, code []alpha.Inst, profile bool) (int64, map[uint64]uint64) {
+	kernel, abi := workload.Kernel()
+	l := loader.New(kernel)
+	var (
+		drv  *driver.Driver
+		dmn  *daemon.Daemon
+		sink sim.Sink
+	)
+	cfg := sim.ProfileConfig{}
+	if profile {
+		drv = driver.New(driver.Config{NumCPUs: 1, ZeroCost: true})
+		dmn = daemon.New(daemon.Config{CostPerEntry: -1}, drv)
+		l.Notify = dmn.HandleNotification
+		sink = optSink{drv, dmn}
+		cfg = sim.ProfileConfig{
+			Mode:         sim.ModeCycles,
+			Sink:         sink,
+			CyclesPeriod: sim.PeriodSpec{Base: 1024, Spread: 256},
+		}
+	}
+	m := sim.NewMachine(sim.Options{Loader: l, ABI: abi, Seed: 4, Profile: cfg})
+	asm := &alpha.Assembly{Code: code, Symbols: []alpha.Symbol{{Name: "classify", Offset: 0, Size: uint64(len(code)) * alpha.InstBytes}}}
+	exec := image.New(name, "/bin/"+name, image.KindExecutable, asm)
+	p, err := l.NewProcess(name, exec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.Regs.WriteI(alpha.RegA0, loader.HeapBase)
+	x := uint64(99)
+	for i := 0; i < 512; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p.Mem.Store(loader.HeapBase+uint64(i)*8, 8, x)
+	}
+	m.Spawn(p)
+	wall := m.Run(1 << 40)
+
+	var samples map[uint64]uint64
+	if profile {
+		if err := dmn.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		for _, prof := range dmn.Profiles() {
+			if prof.ImagePath == exec.Path && prof.Event == sim.EvCycles {
+				samples = prof.Counts
+			}
+		}
+	}
+	return wall, samples
+}
+
+type optSink struct {
+	drv *driver.Driver
+	dmn *daemon.Daemon
+}
+
+func (s optSink) Sample(sm sim.Sample) int64 {
+	return s.drv.Record(sm.CPU, sm.PID, sm.PC, sm.Event)
+}
+func (s optSink) Poll(cpu int, clock int64) int64 { return s.dmn.Poll(cpu, clock) }
+
+func main() {
+	original := alpha.MustAssemble(program).Code
+
+	fmt.Println("1. Profiling the original binary...")
+	baseWall, samples := buildAndRun("classify", original, true)
+	fmt.Printf("   %d cycles\n\n", baseWall)
+
+	fmt.Println("2. Analyzing (frequencies, CPIs, edge estimates)...")
+	pa := analysis.AnalyzeProc("classify", original, 0, samples, nil,
+		sim.NewMachine(sim.Options{Loader: loader.New(func() *image.Image { k, _ := workload.Kernel(); return k }())}).Model,
+		1152)
+	fmt.Printf("   best-case %.2f CPI, actual %.2f CPI\n\n", pa.BestCaseCPI, pa.ActualCPI)
+
+	fmt.Println("3. Rewriting with the profile-driven layout optimizer...")
+	res, err := optimize.ReorderProcedure(pa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   block order %v\n", res.Order)
+	fmt.Printf("   %d branch(es) inverted, %d br removed, %d br added\n\n",
+		res.Inverted, res.RemovedBranches, res.AddedBranches)
+
+	fmt.Println("4. Running the optimized binary (unprofiled)...")
+	optWall, _ := buildAndRun("classify-opt", res.Code, false)
+	origWall, _ := buildAndRun("classify", original, false)
+	fmt.Printf("   original  %d cycles\n", origWall)
+	fmt.Printf("   optimized %d cycles\n", optWall)
+	fmt.Printf("   speedup   %.1f%%\n", 100*(float64(origWall)/float64(optWall)-1))
+
+	if optWall >= origWall {
+		fmt.Fprintln(os.Stderr, "unexpected: no improvement")
+		os.Exit(1)
+	}
+	fmt.Println("\n(the paper's §3 mgrid anecdote found 15% the same way: profile,")
+	fmt.Println(" pinpoint, transform, verify — continuously, in the background)")
+}

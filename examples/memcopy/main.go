@@ -1,0 +1,53 @@
+// Memcopy reproduces the paper's §3.2 walkthrough (Figure 2): profile the
+// McCalpin-like copy benchmark and show dcpicalc's instruction-level view
+// of the unrolled copy loop — the best-case vs actual CPI gap, the long
+// store stalls, and the culprits (D-cache miss from the feeding load,
+// write-buffer overflow, DTB miss, and the store/store slotting hazard).
+//
+//	go run ./examples/memcopy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dcpi/internal/dcpi"
+	"dcpi/internal/sim"
+)
+
+func main() {
+	fmt.Println("Profiling the copy loop (c[i] = a[i], unrolled 4x)...")
+	r, err := dcpi.Run(dcpi.Config{
+		Workload:     "mccalpin-assign",
+		Mode:         sim.ModeCycles,
+		Scale:        0.5,
+		Seed:         7,
+		CyclesPeriod: sim.PeriodSpec{Base: 2048, Spread: 512},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := r.Machine.Stats()
+	fmt.Printf("ran %d cycles; %d samples; %d write-buffer overflows\n\n",
+		r.Wall, st.Samples, st.WBOverflows)
+
+	pa, err := r.AnalyzeProc("/bin/mccalpin", "copyloop")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dcpi.FormatCalc(os.Stdout, pa)
+
+	fmt.Println()
+	fmt.Println("Summary (the Figure 4 view of the same procedure):")
+	fmt.Println()
+	dcpi.FormatSummary(os.Stdout, pa)
+
+	fmt.Println()
+	fmt.Println("Reading the listing, as §3.2 does: the actual CPI is many times the")
+	fmt.Println("best case, the stq instructions carry the stalls, and the culprits")
+	fmt.Println("are the D-cache miss incurred by the ldq that produced the stored")
+	fmt.Println("value (its address appears in the Culprit column), write-buffer")
+	fmt.Println("overflow — the six-entry buffer cannot retire the writes fast")
+	fmt.Println("enough — and possibly DTB misses at page crossings.")
+}

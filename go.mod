@@ -1,0 +1,3 @@
+module dcpi
+
+go 1.22

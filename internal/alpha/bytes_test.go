@@ -1,0 +1,124 @@
+package alpha
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByteManipulation(t *testing.T) {
+	regs, _ := run(t, `
+p:
+	ldq  t0, 0(zero)       ; 0x8877665544332211
+	extbl t0, 2, t1        ; byte 2 = 0x33
+	extwl t0, 1, t2        ; word starting at byte 1 = 0x3322
+	extll t0, 4, t3        ; long at byte 4 = 0x88776655
+	extql t0, 0, t4        ; whole quad
+	insbl t0, 3, t5        ; low byte << 24
+	inswl t0, 2, t6        ; low word << 16
+	mskbl t0, 0, t7        ; clear byte 0
+	mskwl t0, 6, t8        ; clear bytes 6-7
+	sextb t0, t9           ; 0x11 -> 0x11
+	sextw t0, t10          ; 0x2211 -> 0x2211
+	cmpbge t0, t0, t11     ; all bytes >= themselves
+	halt
+`, func(r *Regs, m flatMem) {
+		m.Store(0, 8, 0x8877665544332211)
+	}, 30)
+	want := map[uint8]uint64{
+		RegT1:  0x33,
+		RegT2:  0x3322,
+		RegT3:  0x88776655,
+		RegT4:  0x8877665544332211,
+		RegT5:  0x11 << 24,
+		RegT6:  0x2211 << 16,
+		RegT7:  0x8877665544332200,
+		RegT8:  0x0000665544332211,
+		RegT9:  0x11,
+		RegT10: 0x2211,
+		RegT11: 0xff,
+	}
+	for reg, w := range want {
+		if got := regs.I[reg]; got != w {
+			t.Errorf("%s = %#x, want %#x", RegName(reg), got, w)
+		}
+	}
+}
+
+func TestSextNegative(t *testing.T) {
+	regs, _ := run(t, `
+p:
+	lda t0, 0x80(zero)
+	sextb t0, t1
+	lda t2, 0x7fff(zero)
+	addq t2, 1, t2         ; 0x8000
+	sextw t2, t3
+	halt
+`, nil, 10)
+	if got := int64(regs.I[RegT1]); got != -128 {
+		t.Errorf("sextb(0x80) = %d, want -128", got)
+	}
+	if got := int64(regs.I[RegT3]); got != -32768 {
+		t.Errorf("sextw(0x8000) = %d, want -32768", got)
+	}
+}
+
+func TestCmpbgeZeroByteScan(t *testing.T) {
+	// The classic strlen trick: cmpbge zero, x finds zero bytes.
+	regs, _ := run(t, `
+p:
+	ldq t0, 0(zero)
+	cmpbge zero, t0, t1
+	halt
+`, func(r *Regs, m flatMem) {
+		m.Store(0, 8, 0x41414100414141) // zero bytes at positions 3 and 7
+	}, 10)
+	if got := regs.I[RegT1]; got != 0x88 {
+		t.Errorf("cmpbge zero = %#x, want 0x88", got)
+	}
+}
+
+// Property: extract then insert at the same offset, masked back into the
+// original, is identity for the affected byte.
+func TestExtractInsertProperty(t *testing.T) {
+	f := func(v uint64, off uint8) bool {
+		off &= 7
+		b := extract(v, uint64(off), 1)
+		reinserted := insert(b, uint64(off), 1)
+		masked := mask(v, uint64(off), 1)
+		return masked|reinserted == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mask clears exactly the bytes insert would populate.
+func TestMaskInsertDisjointProperty(t *testing.T) {
+	f := func(v, w uint64, off uint8) bool {
+		off &= 7
+		return mask(v, uint64(off), 2)&insert(w, uint64(off), 2)&insert(^uint64(0), uint64(off), 2) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteOpsRoundTripAssembly(t *testing.T) {
+	for _, line := range []string{
+		"cmpbge t0, t1, t2", "extbl t0, 2, t1", "extwl t0, t1, t2",
+		"extll t0, 4, t1", "extql t0, 0, t1", "insbl t0, 3, t1",
+		"inswl t0, 2, t1", "mskbl t0, 0, t1", "mskwl t0, 6, t1",
+		"sextb t0, 1, t1", "sextw t0, 1, t1",
+	} {
+		a, err := Assemble("x:\n " + line)
+		if err != nil {
+			t.Errorf("assemble %q: %v", line, err)
+			continue
+		}
+		in := a.Code[0]
+		b, err := Assemble("x:\n " + in.String())
+		if err != nil || b.Code[0] != in {
+			t.Errorf("round trip %q -> %q failed: %v", line, in.String(), err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package alpha
+
+// InstBytes is the size of every instruction in bytes.
+const InstBytes = 4
+
+// Inst is one decoded instruction. The operand meaning depends on the format:
+//
+//   - memory:  Ra, Disp(Rb)     — loads/lda write Ra, stores read Ra
+//   - operate: Ra, Rb|#Lit, Rc  — writes Rc
+//   - branch:  Ra, Disp         — Disp counts instructions from PC+4
+//   - jump:    Ra, (Rb)         — writes return address to Ra, target in Rb
+type Inst struct {
+	Op     Op
+	Ra     uint8
+	Rb     uint8
+	Rc     uint8
+	Disp   int32 // memory byte displacement, or branch instruction displacement
+	Lit    uint8 // literal operand, when UseLit
+	UseLit bool
+	Pal    uint16 // CALL_PAL function code
+}
+
+// Operand describes a register operand as integer or floating-point. For
+// source operands, Slot records which encoding slot ('a', 'b', or 'c') the
+// register occupies; the analysis tools report "Ra/Rb/Rc dependency" static
+// stalls from it, as dcpicalc does in the paper's Figure 4.
+type Operand struct {
+	Reg  uint8
+	FP   bool
+	Slot byte
+}
+
+// valid reports whether o names a real architectural destination. Register 31
+// reads as zero and discards writes in both register files.
+func valid(o Operand) bool { return o.Reg != RegZero }
+
+// Dest returns the register written by the instruction, if any. The zero
+// integer register is never reported as a destination.
+func (in Inst) Dest() (Operand, bool) {
+	fi := opInfo[in.Op]
+	switch fi.format {
+	case fmtMemory:
+		if in.Op.IsLoad() || in.Op == OpLDA || in.Op == OpLDAH {
+			o := Operand{Reg: in.Ra, FP: fi.fp}
+			return o, valid(o)
+		}
+	case fmtOperate:
+		o := Operand{Reg: in.Rc}
+		return o, valid(o)
+	case fmtFPOp:
+		o := Operand{Reg: in.Rc, FP: true}
+		return o, valid(o)
+	case fmtBranch:
+		if in.Op == OpBR || in.Op == OpBSR {
+			o := Operand{Reg: in.Ra}
+			return o, valid(o)
+		}
+	case fmtJump:
+		o := Operand{Reg: in.Ra}
+		return o, valid(o)
+	case fmtRPCC:
+		o := Operand{Reg: in.Ra}
+		return o, valid(o)
+	}
+	return Operand{}, false
+}
+
+// Sources returns the registers read by the instruction. The zero integer
+// register is omitted (reading it never creates a dependency).
+func (in Inst) Sources() []Operand {
+	fi := opInfo[in.Op]
+	var out []Operand
+	add := func(r uint8, fp bool, slot byte) {
+		if r == RegZero {
+			return
+		}
+		out = append(out, Operand{r, fp, slot})
+	}
+	switch fi.format {
+	case fmtMemory:
+		add(in.Rb, false, 'b') // base address
+		if in.Op.IsStore() {
+			add(in.Ra, fi.fp, 'a') // stored value
+		}
+	case fmtOperate:
+		add(in.Ra, false, 'a')
+		if !in.UseLit {
+			add(in.Rb, false, 'b')
+		}
+		// Conditional moves also read the current destination.
+		switch in.Op {
+		case OpCMOVEQ, OpCMOVNE, OpCMOVLT, OpCMOVGE:
+			add(in.Rc, false, 'c')
+		}
+	case fmtFPOp:
+		add(in.Ra, true, 'a')
+		add(in.Rb, true, 'b')
+	case fmtBranch:
+		if in.Op.IsCondBranch() {
+			add(in.Ra, fi.fp, 'a')
+		}
+	case fmtJump:
+		add(in.Rb, false, 'b')
+	}
+	return out
+}
+
+// BranchTarget returns the byte offset of the branch target relative to this
+// instruction's own address. Only meaningful for branch-format instructions.
+func (in Inst) BranchTarget() int64 {
+	return int64(InstBytes) + int64(in.Disp)*InstBytes
+}

@@ -1,0 +1,91 @@
+package alpha
+
+import "fmt"
+
+// Integer register numbers follow the standard Alpha calling convention.
+const (
+	RegV0   = 0 // function value
+	RegT0   = 1 // temporaries t0..t7 = 1..8
+	RegT1   = 2
+	RegT2   = 3
+	RegT3   = 4
+	RegT4   = 5
+	RegT5   = 6
+	RegT6   = 7
+	RegT7   = 8
+	RegS0   = 9 // saved s0..s5 = 9..14
+	RegS1   = 10
+	RegS2   = 11
+	RegS3   = 12
+	RegS4   = 13
+	RegS5   = 14
+	RegFP   = 15 // frame pointer (s6)
+	RegA0   = 16 // arguments a0..a5 = 16..21
+	RegA1   = 17
+	RegA2   = 18
+	RegA3   = 19
+	RegA4   = 20
+	RegA5   = 21
+	RegT8   = 22
+	RegT9   = 23
+	RegT10  = 24
+	RegT11  = 25
+	RegRA   = 26 // return address
+	RegPV   = 27 // procedure value (t12)
+	RegAT   = 28 // assembler temporary
+	RegGP   = 29 // global pointer
+	RegSP   = 30 // stack pointer
+	RegZero = 31 // always zero
+)
+
+var intRegNames = [32]string{
+	"v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "fp",
+	"a0", "a1", "a2", "a3", "a4", "a5",
+	"t8", "t9", "t10", "t11",
+	"ra", "pv", "at", "gp", "sp", "zero",
+}
+
+// RegName returns the conventional name for integer register r.
+func RegName(r uint8) string {
+	if r < 32 {
+		return intRegNames[r]
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// FPRegName returns the name for floating-point register r ("f0".."f31").
+func FPRegName(r uint8) string {
+	return fmt.Sprintf("f%d", r)
+}
+
+// regByName maps every accepted spelling to a register number.
+var regByName = func() map[string]uint8 {
+	m := make(map[string]uint8, 80)
+	for i, n := range intRegNames {
+		m[n] = uint8(i)
+	}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("r%d", i)] = uint8(i)
+		m[fmt.Sprintf("$%d", i)] = uint8(i)
+	}
+	m["t12"] = RegPV
+	m["s6"] = RegFP
+	return m
+}()
+
+// LookupReg resolves an integer register name. It accepts conventional names
+// (t0, a1, sp, zero), "rN", and "$N".
+func LookupReg(name string) (uint8, bool) {
+	r, ok := regByName[name]
+	return r, ok
+}
+
+// LookupFPReg resolves a floating-point register name of the form "fN".
+func LookupFPReg(name string) (uint8, bool) {
+	var n int
+	if _, err := fmt.Sscanf(name, "f%d", &n); err != nil || n < 0 || n > 31 {
+		return 0, false
+	}
+	return uint8(n), true
+}

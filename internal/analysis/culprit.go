@@ -1,0 +1,313 @@
+package analysis
+
+import (
+	"dcpi/internal/alpha"
+	"dcpi/internal/cfg"
+)
+
+// Cache geometry the culprit rules reason about; matches the simulated
+// machine (DESIGN.md §3).
+const (
+	icacheLineBytes = 32
+	pageBytes       = 8192
+	// dcacheLookback bounds how far back (in instructions) a load can be
+	// and still be blamed for a consumer's D-cache stall.
+	dcacheLookback = 12
+	// minPredFreqFrac: predecessors executed much less often than the
+	// stalled instruction are ignored when applying the same-line rule
+	// (paper §6.3: "we can ignore basic blocks and control flow edges
+	// executed much less frequently than the stalled instruction itself").
+	minPredFreqFrac = 0.1
+)
+
+// identifyCulprits annotates every instruction that shows a dynamic stall
+// with its possible causes, ruling out the impossible ones ("guilty until
+// proven innocent"). imissEvents, when non-nil, holds estimated I-cache
+// miss *event counts* per image offset (IMISS samples scaled by their
+// sampling period) and is used both to rule I-cache out and to bound it.
+func (pa *ProcAnalysis) identifyCulprits(imissEvents, dtbEvents map[uint64]uint64) {
+	// DTBMISS deliveries are skewed, so rule DTB out at procedure
+	// granularity: if the event was collected and none landed in this
+	// procedure, no instruction here stalled on a DTB fill.
+	dtbPossible := true
+	if dtbEvents != nil {
+		var total uint64
+		lo := pa.BaseOffset
+		hi := pa.BaseOffset + uint64(len(pa.Insts))*alpha.InstBytes
+		for off, n := range dtbEvents {
+			if off >= lo && off < hi {
+				total += n
+			}
+		}
+		dtbPossible = total > 0
+	}
+	for i := range pa.Insts {
+		ia := &pa.Insts[i]
+		if ia.DynStall <= 0.01 || ia.Freq <= 0 {
+			continue
+		}
+		ia.Culprits = pa.culpritsFor(i, imissEvents, dtbPossible)
+	}
+}
+
+func (pa *ProcAnalysis) culpritsFor(i int, imissEvents map[uint64]uint64, dtbPossible bool) []Culprit {
+	ia := &pa.Insts[i]
+	var out []Culprit
+	add := func(c Cause, culprit int, bound float64) {
+		out = append(out, Culprit{Cause: c, CulpritIndex: culprit, BoundCycles: bound})
+	}
+
+	// --- I-cache and ITB ---
+	if possible, bound := pa.icachePossible(i, imissEvents); possible {
+		add(CauseICache, -1, bound)
+		if pa.pageCrossingPossible(i) {
+			add(CauseITB, -1, -1)
+		}
+	}
+
+	// --- D-cache: a preceding load feeding one of our operands ---
+	if load := pa.feedingLoad(i); load >= 0 {
+		add(CauseDCache, load, -1)
+	} else if pa.atBlockHead(i) && pa.readsLiveInRegister(i) {
+		// Operand produced in an unknown predecessor: pessimistically a
+		// load could feed it.
+		add(CauseDCache, -1, -1)
+	}
+
+	// --- DTB: loads and stores only; ruled out when DTBMISS samples were
+	// collected and the procedure has none (§3.2) ---
+	if dtbPossible && (ia.Inst.Op.IsLoad() || ia.Inst.Op.IsStore()) {
+		add(CauseDTB, -1, -1)
+	}
+
+	// --- Write buffer: stores only ---
+	if ia.Inst.Op.IsStore() {
+		add(CauseWB, -1, -1)
+	}
+
+	// --- Branch mispredict: block heads reached via conditional control
+	// flow (or procedure entry, reached through calls/returns) ---
+	if pa.mispredictPossible(i) {
+		add(CauseBranchMP, pa.branchCulprit(i), -1)
+	}
+
+	// --- Synchronization: memory barriers ---
+	if ia.Inst.Op == alpha.OpMB || ia.Inst.Op == alpha.OpWMB {
+		add(CauseSync, -1, -1)
+	}
+
+	// --- Functional units: a busy multiplier/divider from a recent issue ---
+	if j := pa.recentFU(i, alpha.ClassIntMul, pa.Model.MulBusy); j >= 0 {
+		add(CauseFUMul, j, -1)
+	}
+	if j := pa.recentFU(i, alpha.ClassFPDiv, pa.Model.DivBusy); j >= 0 {
+		add(CauseFUDiv, j, -1)
+	}
+
+	return out
+}
+
+func (pa *ProcAnalysis) atBlockHead(i int) bool {
+	b := pa.Graph.BlockOfInst(i)
+	return pa.Graph.Blocks[b].Start == i
+}
+
+// icachePossible implements the same-cache-line rule of §6.3 plus the IMISS
+// upper bound. It returns whether an I-cache miss stall is possible and a
+// per-execution bound in cycles (-1 if unbounded).
+func (pa *ProcAnalysis) icachePossible(i int, imissEvents map[uint64]uint64) (bool, float64) {
+	ia := &pa.Insts[i]
+	possible := false
+	if !pa.atBlockHead(i) {
+		// Mid-block: only possible at the start of a cache line.
+		possible = ia.Offset%icacheLineBytes == 0
+	} else {
+		b := pa.Graph.BlockOfInst(i)
+		myLine := ia.Offset / icacheLineBytes
+		for _, ei := range pa.Graph.Blocks[b].Preds {
+			e := pa.Graph.Edges[ei]
+			if e.From == cfg.Entry {
+				possible = true // callers are unknown
+				break
+			}
+			if e.From < 0 {
+				continue
+			}
+			if pa.EdgeFreq[ei] < minPredFreqFrac*pa.instWeight(ia) {
+				continue
+			}
+			lastIdx := pa.Graph.Blocks[e.From].End - 1
+			if pa.Insts[lastIdx].Offset/icacheLineBytes != myLine {
+				possible = true
+				break
+			}
+		}
+		if pa.Graph.Blocks[b].Index == 0 {
+			possible = true // procedure entry: reached by calls
+		}
+	}
+	if !possible {
+		return false, 0
+	}
+	if imissEvents == nil {
+		return true, -1
+	}
+	events := imissEvents[ia.Offset]
+	if events == 0 {
+		// IMISS samples were collected and none landed here: ruled out.
+		return false, 0
+	}
+	// Pessimistic bound: every miss filled all the way from memory.
+	bound := float64(events) * float64(pa.Model.MemLat) / ia.Freq
+	return true, bound
+}
+
+// instWeight converts an instruction's execution-count estimate back to the
+// samples-per-cycle scale edge frequencies use.
+func (pa *ProcAnalysis) instWeight(ia *InstAnalysis) float64 {
+	if ia.Freq <= 0 || pa.Period <= 0 {
+		return 0
+	}
+	return ia.Freq / pa.Period
+}
+
+// pageCrossingPossible: an ITB miss needs a page transition.
+func (pa *ProcAnalysis) pageCrossingPossible(i int) bool {
+	ia := &pa.Insts[i]
+	if ia.Offset%pageBytes == 0 {
+		return true
+	}
+	if !pa.atBlockHead(i) {
+		return false
+	}
+	b := pa.Graph.BlockOfInst(i)
+	myPage := ia.Offset / pageBytes
+	for _, ei := range pa.Graph.Blocks[b].Preds {
+		e := pa.Graph.Edges[ei]
+		if e.From == cfg.Entry {
+			return true
+		}
+		if e.From < 0 {
+			continue
+		}
+		lastIdx := pa.Graph.Blocks[e.From].End - 1
+		if pa.Insts[lastIdx].Offset/pageBytes != myPage {
+			return true
+		}
+	}
+	return b == 0
+}
+
+// feedingLoad finds the most recent load within the same block (and a
+// bounded window) that produces a register instruction i reads.
+func (pa *ProcAnalysis) feedingLoad(i int) int {
+	b := pa.Graph.BlockOfInst(i)
+	start := pa.Graph.Blocks[b].Start
+	if w := i - dcacheLookback; w > start {
+		start = w
+	}
+	srcs := pa.Insts[i].Inst.Sources()
+	for j := i - 1; j >= start; j-- {
+		inst := pa.Insts[j].Inst
+		d, ok := inst.Dest()
+		if !ok {
+			continue
+		}
+		for _, s := range srcs {
+			if s.Reg == d.Reg && s.FP == d.FP {
+				if inst.Op.IsLoad() {
+					return j
+				}
+				// The operand is produced by a non-load: that source
+				// cannot carry a D-cache miss, but keep checking other
+				// operands.
+			}
+		}
+	}
+	return -1
+}
+
+// readsLiveInRegister reports whether i reads a register not produced
+// earlier in its own block (so the producer — possibly a load — is in a
+// predecessor).
+func (pa *ProcAnalysis) readsLiveInRegister(i int) bool {
+	b := pa.Graph.BlockOfInst(i)
+	start := pa.Graph.Blocks[b].Start
+	for _, s := range pa.Insts[i].Inst.Sources() {
+		produced := false
+		for j := start; j < i; j++ {
+			if d, ok := pa.Insts[j].Inst.Dest(); ok && d.Reg == s.Reg && d.FP == s.FP {
+				produced = true
+				break
+			}
+		}
+		if !produced {
+			return true
+		}
+	}
+	return false
+}
+
+// mispredictPossible: the redirect penalty lands on the first instruction
+// fetched after the branch, i.e. a block head reached via conditional
+// control flow, a computed jump, or procedure entry/return.
+func (pa *ProcAnalysis) mispredictPossible(i int) bool {
+	if !pa.atBlockHead(i) {
+		return false
+	}
+	b := pa.Graph.BlockOfInst(i)
+	if b == 0 {
+		return true
+	}
+	for _, ei := range pa.Graph.Blocks[b].Preds {
+		e := pa.Graph.Edges[ei]
+		if e.From == cfg.Entry {
+			return true
+		}
+		if e.From < 0 {
+			continue
+		}
+		if pa.EdgeFreq[ei] < minPredFreqFrac*pa.instWeight(&pa.Insts[i]) {
+			continue
+		}
+		last := pa.Insts[pa.Graph.Blocks[e.From].End-1].Inst
+		if last.Op.IsCondBranch() || last.Op.IsJump() {
+			return true
+		}
+	}
+	return false
+}
+
+// branchCulprit points at a conditional branch in some predecessor block.
+func (pa *ProcAnalysis) branchCulprit(i int) int {
+	b := pa.Graph.BlockOfInst(i)
+	for _, ei := range pa.Graph.Blocks[b].Preds {
+		e := pa.Graph.Edges[ei]
+		if e.From >= 0 {
+			last := pa.Graph.Blocks[e.From].End - 1
+			if pa.Insts[last].Inst.Op.IsCondBranch() {
+				return last
+			}
+		}
+	}
+	return -1
+}
+
+// recentFU finds an instruction of class cl issued within the unit's busy
+// window before i in the same block, when i itself needs that unit.
+func (pa *ProcAnalysis) recentFU(i int, cl alpha.Class, busy int64) int {
+	if pa.Insts[i].Inst.Op.Class() != cl {
+		return -1
+	}
+	b := pa.Graph.BlockOfInst(i)
+	start := pa.Graph.Blocks[b].Start
+	if w := i - int(busy); w > start {
+		start = w
+	}
+	for j := i - 1; j >= start; j-- {
+		if pa.Insts[j].Inst.Op.Class() == cl {
+			return j
+		}
+	}
+	return -1
+}

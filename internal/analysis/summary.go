@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"math"
+
+	"dcpi/internal/pipeline"
+)
+
+// summarize aggregates instruction-level results into the Figure 4
+// procedure summary: execution, static stalls by kind, dynamic-stall ranges
+// by cause, and unexplained stall/gain, all as fractions of total samples.
+//
+// Accounting (sample units, S ≈ f·C): each head instruction contributes
+// f·1 issue cycle to execution — except pure slot-hazard heads, whose issue
+// cycle would have been free under better slotting and is charged to
+// Slotting; f·(M-1) goes to static stalls, split proportionally among the
+// recorded reasons; S - f·M is dynamic stall (or gain when negative),
+// bounded per cause by the culprit analysis.
+func (pa *ProcAnalysis) summarize() {
+	s := &pa.Summary
+	s.Static = make(map[pipeline.StallKind]float64)
+
+	var total float64
+	for i := range pa.Insts {
+		total += float64(pa.Insts[i].Samples)
+	}
+	s.TotalSamples = uint64(total)
+	if total == 0 {
+		return
+	}
+
+	for i := range pa.Insts {
+		ia := &pa.Insts[i]
+		f := ia.Freq / pa.Period // samples-per-cycle weight
+		if f <= 0 {
+			if ia.Samples > 0 {
+				// Sampled but estimated never-executed: fully unexplained.
+				s.UnexplainedStall += float64(ia.Samples)
+				s.DynTotal += float64(ia.Samples)
+			}
+			continue
+		}
+
+		if ia.M >= 1 {
+			slotOnly := ia.SlotHazard && ia.M == 1
+			if slotOnly {
+				s.Static[pipeline.StallSlotting] += f
+			} else {
+				s.Execution += f
+			}
+		}
+		if staticStall := float64(ia.M - 1); staticStall > 0 {
+			var recorded float64
+			for _, st := range ia.StaticStalls {
+				if st.Kind != pipeline.StallSlotting {
+					recorded += float64(st.Cycles)
+				}
+			}
+			if recorded > 0 {
+				for _, st := range ia.StaticStalls {
+					if st.Kind != pipeline.StallSlotting {
+						s.Static[st.Kind] += f * staticStall * float64(st.Cycles) / recorded
+					}
+				}
+			} else {
+				s.Static[pipeline.StallSlotting] += f * staticStall
+			}
+		}
+
+		dyn := float64(ia.Samples) - f*float64(ia.M)
+		switch {
+		case dyn > 0:
+			s.DynTotal += dyn
+			if len(ia.Culprits) == 0 {
+				s.UnexplainedStall += dyn
+				break
+			}
+			for _, c := range ia.Culprits {
+				share := dyn
+				if c.BoundCycles >= 0 {
+					share = math.Min(dyn, c.BoundCycles*f)
+				}
+				s.DynMax[c.Cause] += share
+			}
+			if len(ia.Culprits) == 1 {
+				s.DynMin[ia.Culprits[0].Cause] += dyn
+			}
+		case dyn < 0:
+			s.UnexplainedGain += -dyn
+			s.DynTotal += dyn
+		}
+	}
+
+	// Normalize to fractions of total samples.
+	inv := 1 / total
+	s.Execution *= inv
+	s.UnexplainedStall *= inv
+	s.UnexplainedGain *= inv
+	s.DynTotal *= inv
+	for k := range s.Static {
+		s.Static[k] *= inv
+	}
+	for c := Cause(0); c < NumCauses; c++ {
+		s.DynMin[c] *= inv
+		s.DynMax[c] *= inv
+	}
+}

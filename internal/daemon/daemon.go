@@ -1,0 +1,360 @@
+// Package daemon implements the DCPI user-mode daemon of paper §4.3: it
+// drains aggregated samples from the device driver, associates each with its
+// executable image using loadmap notifications, maintains in-memory
+// per-(image, event) profiles, and periodically merges them into the on-disk
+// profile database. It also accounts for its own memory (Table 5) and
+// processing cost (Table 4's "daemon cost" column).
+package daemon
+
+import (
+	"fmt"
+	"sort"
+
+	"dcpi/internal/driver"
+	"dcpi/internal/image"
+	"dcpi/internal/loader"
+	"dcpi/internal/profiledb"
+	"dcpi/internal/sim"
+)
+
+// UnknownImage is the pseudo-image that collects samples the daemon cannot
+// classify (paper: "aggregated into a special profile"; typically < 1%).
+const UnknownImage = "unknown"
+
+// Config tunes the daemon.
+type Config struct {
+	// DB is the on-disk database; nil keeps profiles in memory only.
+	DB *profiledb.DB
+	// DrainInterval is the cycle interval between driver hash-table flushes
+	// (the paper's default is 5 minutes of wall time).
+	DrainInterval int64
+	// MergeInterval is the cycle interval between disk merges (paper: 10
+	// minutes).
+	MergeInterval int64
+	// CostPerEntry models the daemon cycles spent processing one aggregated
+	// entry (three hash lookups per the paper's §5.4 discussion). The
+	// daemon's per-sample cost is CostPerEntry divided by the aggregation
+	// factor, reproducing Table 4's inverse relation.
+	CostPerEntry int64
+	// PerProcessPIDs lists processes whose samples should additionally be
+	// recorded in separate per-process profiles (paper §4.3: "Users may
+	// also request separate, per-process profiles").
+	PerProcessPIDs []uint32
+}
+
+func (c Config) withDefaults() Config {
+	if c.DrainInterval == 0 {
+		c.DrainInterval = 2_000_000
+	}
+	if c.MergeInterval == 0 {
+		c.MergeInterval = 4_000_000
+	}
+	if c.CostPerEntry == 0 {
+		c.CostPerEntry = 800
+	}
+	if c.CostPerEntry < 0 {
+		c.CostPerEntry = 0 // explicit zero-cost collection
+	}
+	return c
+}
+
+// Stats describes daemon activity.
+type Stats struct {
+	Entries       uint64 // aggregated entries processed
+	Samples       uint64 // raw samples those entries represent
+	Unknown       uint64 // samples that could not be classified
+	Drains        uint64 // driver flushes initiated
+	Merges        uint64 // disk merges
+	BuffersFull   uint64 // full overflow buffers delivered by the driver
+	CostCycles    int64  // total processing cycles charged
+	Notifications uint64 // loadmap events received
+}
+
+// UnknownRate returns Unknown/Samples.
+func (s Stats) UnknownRate() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return float64(s.Unknown) / float64(s.Samples)
+}
+
+// CostPerSample returns mean daemon cycles per raw sample (Table 4).
+func (s Stats) CostPerSample() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return float64(s.CostCycles) / float64(s.Samples)
+}
+
+type mapping struct {
+	base, end uint64
+	path      string
+}
+
+type profKey struct {
+	path string
+	ev   sim.Event
+	pid  uint32 // 0 for aggregate profiles
+}
+
+// Daemon is the profiling daemon.
+type Daemon struct {
+	cfg Config
+	drv *driver.Driver
+
+	loadmaps   map[uint32][]mapping // PID -> sorted mappings
+	kernelPath string
+	perProcess map[uint32]bool
+
+	profiles map[profKey]*profiledb.Profile
+
+	pendingCost int64
+	nextDrain   map[int]int64
+	nextMerge   int64
+	exited      []uint32
+
+	stats     Stats
+	peakBytes int
+}
+
+// New builds a daemon attached to drv and subscribes to its full-buffer
+// notifications.
+func New(cfg Config, drv *driver.Driver) *Daemon {
+	d := &Daemon{
+		cfg:        cfg.withDefaults(),
+		drv:        drv,
+		loadmaps:   make(map[uint32][]mapping),
+		profiles:   make(map[profKey]*profiledb.Profile),
+		perProcess: make(map[uint32]bool),
+		nextDrain:  make(map[int]int64),
+	}
+	for _, pid := range d.cfg.PerProcessPIDs {
+		d.perProcess[pid] = true
+	}
+	if drv != nil {
+		drv.OnBufferFull = d.onBufferFull
+	}
+	return d
+}
+
+// HandleNotification records a loadmap event (wire this to loader.Notify).
+func (d *Daemon) HandleNotification(n loader.Notification) {
+	d.stats.Notifications++
+	if n.Kind == image.KindKernel {
+		d.kernelPath = n.Path
+	}
+	maps := d.loadmaps[n.PID]
+	for _, m := range maps {
+		if m.base == n.Base && m.path == n.Path {
+			return // duplicate (e.g. startup scan after live notification)
+		}
+	}
+	maps = append(maps, mapping{base: n.Base, end: n.Base + n.Size, path: n.Path})
+	sort.Slice(maps, func(i, j int) bool { return maps[i].base < maps[j].base })
+	d.loadmaps[n.PID] = maps
+	d.trackPeak()
+}
+
+// classify maps (pid, pc) to (image path, offset).
+func (d *Daemon) classify(pid uint32, pc uint64) (string, uint64, bool) {
+	maps := d.loadmaps[pid]
+	i := sort.Search(len(maps), func(i int) bool { return maps[i].base > pc })
+	if i > 0 {
+		m := maps[i-1]
+		if pc < m.end {
+			return m.path, pc - m.base, true
+		}
+	}
+	// The kernel is mapped in every context, including PID 0 (idle), which
+	// has no loadmap of its own.
+	if pc >= loader.KernelBase && d.kernelPath != "" {
+		return d.kernelPath, pc - loader.KernelBase, true
+	}
+	return "", 0, false
+}
+
+// onBufferFull is the driver's full-overflow-buffer notification.
+func (d *Daemon) onBufferFull(cpu int, entries []driver.Entry) {
+	d.stats.BuffersFull++
+	d.process(entries)
+}
+
+// process merges driver entries into the in-memory profiles.
+func (d *Daemon) process(entries []driver.Entry) {
+	for _, e := range entries {
+		d.stats.Entries++
+		d.stats.Samples += uint64(e.Count)
+		d.pendingCost += d.cfg.CostPerEntry
+
+		path, off, ok := d.classify(e.PID, e.PC)
+		if !ok {
+			d.stats.Unknown += uint64(e.Count)
+			d.profile(profKey{UnknownImage, e.Event, 0}).Add(e.PC, uint64(e.Count))
+			continue
+		}
+		if e.Event == sim.EvEdge {
+			// Double-sampling pair: keep only intra-image edges (the
+			// analysis does not follow interprocedural flow), keyed by the
+			// packed (from, to) offsets.
+			path2, off2, ok2 := d.classify(e.PID, e.PC2)
+			if !ok2 || path2 != path || off >= 1<<32 || off2 >= 1<<32 {
+				d.stats.Unknown += uint64(e.Count)
+				continue
+			}
+			d.profile(profKey{path, e.Event, 0}).Add(PackEdge(off, off2), uint64(e.Count))
+			continue
+		}
+		d.profile(profKey{path, e.Event, 0}).Add(off, uint64(e.Count))
+		if d.perProcess[e.PID] {
+			d.profile(profKey{path, e.Event, e.PID}).Add(off, uint64(e.Count))
+		}
+	}
+	d.trackPeak()
+}
+
+// PackEdge packs an intra-image (from, to) offset pair into one profile
+// key; UnpackEdge reverses it.
+func PackEdge(from, to uint64) uint64 { return from<<32 | to }
+
+// UnpackEdge splits a packed edge key.
+func UnpackEdge(key uint64) (from, to uint64) { return key >> 32, key & 0xffffffff }
+
+func (d *Daemon) profile(k profKey) *profiledb.Profile {
+	p, ok := d.profiles[k]
+	if !ok {
+		name := k.path
+		if k.pid != 0 {
+			name = fmt.Sprintf("%s#%d", k.path, k.pid)
+		}
+		p = profiledb.NewProfile(name, k.ev)
+		d.profiles[k] = p
+	}
+	return p
+}
+
+// Poll performs the daemon's periodic work for one CPU: draining the
+// driver's hash table on the drain interval and merging to disk on the
+// merge interval. It returns the cycles to charge the polling CPU.
+func (d *Daemon) Poll(cpu int, clock int64) int64 {
+	if next, ok := d.nextDrain[cpu]; !ok || clock >= next {
+		if ok {
+			d.stats.Drains++
+			d.process(d.drv.FlushCPU(cpu))
+		}
+		d.nextDrain[cpu] = clock + d.cfg.DrainInterval
+	}
+	if cpu == 0 && d.cfg.DB != nil && clock >= d.nextMerge {
+		if d.nextMerge != 0 {
+			if err := d.MergeToDisk(); err == nil {
+				d.stats.Merges++
+			}
+		}
+		d.nextMerge = clock + d.cfg.MergeInterval
+	}
+	cost := d.pendingCost
+	d.pendingCost = 0
+	d.stats.CostCycles += cost
+	return cost
+}
+
+// Flush drains every CPU's driver state and merges everything to disk. Call
+// it at the end of a run (the paper's "complete flush ... initiated by a
+// user-level command").
+func (d *Daemon) Flush() error {
+	if d.drv != nil {
+		for cpu := 0; cpu < d.drv.NumCPUs(); cpu++ {
+			d.stats.Drains++
+			d.process(d.drv.FlushCPU(cpu))
+		}
+	}
+	d.stats.CostCycles += d.pendingCost
+	d.pendingCost = 0
+	d.reapExited()
+	if d.cfg.DB == nil {
+		return nil
+	}
+	d.stats.Merges++
+	return d.MergeToDisk()
+}
+
+// MergeToDisk writes every in-memory profile into the database and drops
+// the in-memory copies (the daemon's periodic disk merge).
+func (d *Daemon) MergeToDisk() error {
+	if d.cfg.DB == nil {
+		return fmt.Errorf("daemon: no database configured")
+	}
+	for k, p := range d.profiles {
+		if err := d.cfg.DB.Update(p); err != nil {
+			return err
+		}
+		delete(d.profiles, k)
+	}
+	return nil
+}
+
+// Profiles returns the in-memory profiles, sorted by image then event.
+func (d *Daemon) Profiles() []*profiledb.Profile {
+	out := make([]*profiledb.Profile, 0, len(d.profiles))
+	for _, p := range d.profiles {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ImagePath != out[j].ImagePath {
+			return out[i].ImagePath < out[j].ImagePath
+		}
+		return out[i].Event < out[j].Event
+	})
+	return out
+}
+
+// Stats returns a copy of the daemon statistics.
+func (d *Daemon) Stats() Stats { return d.stats }
+
+// Memory accounting for Table 5: approximate resident bytes of the daemon's
+// data structures.
+const (
+	bytesPerMapping      = 48
+	bytesPerProfileEntry = 40
+	bytesPerProfile      = 160
+)
+
+// MemoryBytes estimates current resident data bytes.
+func (d *Daemon) MemoryBytes() int {
+	total := 0
+	for _, maps := range d.loadmaps {
+		total += len(maps) * bytesPerMapping
+	}
+	for _, p := range d.profiles {
+		total += bytesPerProfile + len(p.Counts)*bytesPerProfileEntry
+	}
+	return total
+}
+
+// PeakMemoryBytes returns the high-water mark of MemoryBytes.
+func (d *Daemon) PeakMemoryBytes() int { return d.peakBytes }
+
+func (d *Daemon) trackPeak() {
+	if b := d.MemoryBytes(); b > d.peakBytes {
+		d.peakBytes = b
+	}
+}
+
+// ReapProcess discards loadmap state for a terminated process (the paper's
+// periodic reaping of terminated processes' data structures).
+func (d *Daemon) ReapProcess(pid uint32) {
+	delete(d.loadmaps, pid)
+}
+
+// NoteExit marks a process as terminated; its loadmap is reaped at the next
+// full flush (after any samples still in driver buffers are classified).
+func (d *Daemon) NoteExit(pid uint32) {
+	d.exited = append(d.exited, pid)
+}
+
+// reapExited drops loadmaps of processes that exited.
+func (d *Daemon) reapExited() {
+	for _, pid := range d.exited {
+		d.ReapProcess(pid)
+	}
+	d.exited = nil
+}

@@ -1,0 +1,102 @@
+package dcpi
+
+import (
+	"fmt"
+
+	"dcpi/internal/analysis"
+	"dcpi/internal/loader"
+	"dcpi/internal/profiledb"
+	"dcpi/internal/sim"
+	"dcpi/internal/workload"
+)
+
+// SetupImages builds a workload's loader (kernel, executables, shared
+// libraries, processes) without running anything — offline tools use it to
+// symbolize profiles read from a database.
+func SetupImages(workloadName string) (*loader.Loader, error) {
+	spec, ok := workload.Get(workloadName)
+	if !ok {
+		return nil, fmt.Errorf("dcpi: unknown workload %q (have %v)", workloadName, workload.Names())
+	}
+	kernel, abi := workload.Kernel()
+	l := loader.New(kernel)
+	m := sim.NewMachine(sim.Options{NumCPUs: spec.NumCPUs, ABI: abi, Loader: l})
+	if err := spec.Setup(&workload.Ctx{Loader: l, Machine: m, Scale: 0.01}); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// OfflineView resolves profiles from an on-disk database against a
+// workload's images, offering the same tool surface as a live Result.
+type OfflineView struct {
+	Loader   *loader.Loader
+	DB       *profiledb.DB
+	Meta     profiledb.Meta
+	profiles []*profiledb.Profile
+}
+
+// OpenView loads a database and the images of the workload recorded in its
+// metadata (or workloadName if the database has none).
+func OpenView(dbDir, workloadName string) (*OfflineView, error) {
+	db, err := profiledb.Open(dbDir)
+	if err != nil {
+		return nil, err
+	}
+	meta, ok, err := db.Meta()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		if workloadName == "" {
+			return nil, fmt.Errorf("dcpi: database %s has no metadata; pass a workload name", dbDir)
+		}
+		meta = profiledb.Meta{Workload: workloadName, CyclesPeriod: 62464, EventPeriod: 15360}
+	}
+	if workloadName != "" {
+		meta.Workload = workloadName
+	}
+	l, err := SetupImages(meta.Workload)
+	if err != nil {
+		return nil, err
+	}
+	profiles, err := db.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	return &OfflineView{Loader: l, DB: db, Meta: meta, profiles: profiles}, nil
+}
+
+// Result adapts the view to the live-run tool surface.
+func (v *OfflineView) Result() *Result {
+	mode := sim.ModeCycles
+	for m := sim.ModeOff; m <= sim.ModeMux; m++ {
+		if m.String() == v.Meta.Mode {
+			mode = m
+		}
+	}
+	return &Result{
+		Config: Config{
+			Workload:     v.Meta.Workload,
+			Mode:         mode,
+			CyclesPeriod: sim.PeriodSpec{Base: int64(v.Meta.CyclesPeriod), Spread: 1},
+			EventPeriod:  sim.PeriodSpec{Base: int64(v.Meta.EventPeriod), Spread: 1},
+		},
+		Wall:     v.Meta.WallCycles,
+		Loader:   v.Loader,
+		DB:       v.DB,
+		profiles: v.profiles,
+		Machine:  offlineMachine(v.Loader),
+	}
+}
+
+// offlineMachine builds a non-running machine so Result.Model() works.
+func offlineMachine(l *loader.Loader) *sim.Machine {
+	return sim.NewMachine(sim.Options{Loader: l})
+}
+
+// AnalyzeOffline runs the §6 analysis for one procedure using database
+// profiles.
+func (v *OfflineView) AnalyzeOffline(imagePath, procName string) (*analysis.ProcAnalysis, error) {
+	return v.Result().AnalyzeProc(imagePath, procName)
+}

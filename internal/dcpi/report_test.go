@@ -1,0 +1,128 @@
+package dcpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dcpi/internal/sim"
+)
+
+func TestFormatProcList(t *testing.T) {
+	r, err := Run(Config{
+		Workload:     "x11perf",
+		Mode:         sim.ModeDefault,
+		Seed:         6,
+		Scale:        0.1,
+		CyclesPeriod: fastPeriods,
+		EventPeriod:  sim.PeriodSpec{Base: 64, Spread: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	FormatProcList(&buf, r, 5)
+	out := buf.String()
+	for _, want := range []string{"Total samples for event type cycles", "imiss", "procedure", "image", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines > 12 {
+		t.Errorf("maxRows not honored: %d lines", lines)
+	}
+}
+
+func TestFormatCalcAndSummary(t *testing.T) {
+	r := runWL(t, "mccalpin-assign", sim.ModeCycles, 6, 0.2)
+	pa, err := r.AnalyzeProc("/bin/mccalpin", "copyloop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	FormatCalc(&buf, pa)
+	out := buf.String()
+	for _, want := range []string{"Best-case", "Actual", "(dual issue)", "stq", "ldq"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("calc output missing %q", want)
+		}
+	}
+	// Write-buffer culprit letter should appear in bubbles.
+	if !strings.Contains(out, "w") {
+		t.Error("no write-buffer bubble in copy loop listing")
+	}
+
+	buf.Reset()
+	FormatSummary(&buf, pa)
+	out = buf.String()
+	for _, want := range []string{"Write buffer", "Subtotal dynamic", "Subtotal static",
+		"Execution", "Total tallied", "Net sampling error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeProgram(t *testing.T) {
+	r := runWL(t, "wave5", sim.ModeCycles, 6, 0.2)
+	ps, err := r.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Procedures < 5 {
+		t.Fatalf("procedures = %d", ps.Procedures)
+	}
+	if ps.TotalSamples == 0 {
+		t.Fatal("no samples aggregated")
+	}
+	covered := ps.Execution + ps.DynTotal + ps.SubtotalStatic()
+	if covered < 0.85 || covered > 1.15 {
+		t.Errorf("aggregate accounting = %.2f", covered)
+	}
+	// wave5 is memory-bound: the D-cache share should be substantial.
+	if ps.DynMax[2] < 0.1 { // CauseDCache
+		t.Errorf("D-cache max share = %v, want substantial", ps.DynMax[2])
+	}
+	var buf bytes.Buffer
+	FormatProgramSummary(&buf, ps)
+	if !strings.Contains(buf.String(), "Whole-program summary") {
+		t.Error("program summary formatting")
+	}
+}
+
+func TestFormatDOT(t *testing.T) {
+	r := runWL(t, "wave5", sim.ModeCycles, 6, 0.2)
+	pa, err := r.AnalyzeProc("/usr/bin/wave5", "smooth_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	FormatDOT(&buf, pa)
+	out := buf.String()
+	for _, want := range []string{"digraph", "entry ->", "-> exit", "label=", "b0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// The hot loop block should be emphasized and its back edge labeled
+	// with a nonzero frequency.
+	if !strings.Contains(out, "fillcolor=lightgray") {
+		t.Error("hot block not emphasized")
+	}
+}
+
+func TestFormatStatsOutput(t *testing.T) {
+	runs := []map[string]uint64{
+		{"a": 10, "b": 100},
+		{"a": 30, "b": 105},
+	}
+	rows := StatsAcrossRuns(runs)
+	var buf bytes.Buffer
+	FormatStats(&buf, rows, []uint64{110, 135}, 0)
+	out := buf.String()
+	for _, want := range []string{"TOTAL 245", "range%", "std-dev", "procedure"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package dcpi is the public face of the continuous-profiling
+// infrastructure: it wires a simulated Alpha-like machine to the DCPI
+// collection stack (device driver, daemon, profile database), runs
+// workloads under a chosen profiling configuration, and exposes the
+// analysis tools (dcpiprof/dcpicalc/dcpistats equivalents) over the
+// collected profiles.
+package dcpi
+
+import (
+	"fmt"
+
+	"dcpi/internal/daemon"
+	"dcpi/internal/driver"
+	"dcpi/internal/loader"
+	"dcpi/internal/pipeline"
+	"dcpi/internal/profiledb"
+	"dcpi/internal/sim"
+	"dcpi/internal/workload"
+)
+
+// Config describes one profiled run.
+type Config struct {
+	// Workload names a registered workload (see workload.Names()).
+	Workload string
+	// Scale multiplies workload repeat counts (1.0 = default size).
+	Scale float64
+	// Mode is the profiling configuration: base (off), cycles, default,
+	// or mux (paper §5).
+	Mode sim.Mode
+	// Seed controls page placement and sampling randomization; vary it to
+	// model separate runs.
+	Seed uint64
+	// CyclesPeriod/EventPeriod override the sampling periods (zero values
+	// use the paper defaults: 60K-64K for cycles).
+	CyclesPeriod sim.PeriodSpec
+	EventPeriod  sim.PeriodSpec
+	// MuxInterval overrides the multiplexing rotation interval in cycles.
+	MuxInterval int64
+	// DBDir, when non-empty, stores profiles on disk there.
+	DBDir string
+	// CollectExact additionally gathers exact execution counts (dcpix).
+	CollectExact bool
+	// MaxCycles bounds the run; 0 uses the workload's own bound.
+	MaxCycles int64
+	// NumCPUs overrides the workload's machine size when nonzero.
+	NumCPUs int
+	// PerProcessPIDs requests separate per-process profiles.
+	PerProcessPIDs []uint32
+	// TraceSamples records the raw sample stream in Result.Trace (used by
+	// the §5.4 hash-table design-space ablation).
+	TraceSamples bool
+	// ZeroCostCollection makes the collection stack charge no cycles to
+	// the simulated machine: pure sampling for the analysis-accuracy
+	// experiments (Figures 8-10), where dense experimental sampling
+	// periods would otherwise perturb what is being measured.
+	ZeroCostCollection bool
+	// DoubleSample enables the paper's §7 double-sampling prototype:
+	// paired interrupts that capture two PCs along an execution path,
+	// yielding direct edge samples.
+	DoubleSample bool
+	// InterpretBranches enables the paper's §7 instruction-interpretation
+	// prototype: sampled conditional branches are decoded and their
+	// direction recorded as edge samples (no second interrupt needed).
+	InterpretBranches bool
+	// MetaSamples enables the footnote-2 "meta" method: samples landing
+	// inside the interrupt handler are attributed to the handler's own
+	// kernel symbol (perfcount_intr) instead of being a blind spot.
+	MetaSamples bool
+}
+
+// Result is a completed run.
+type Result struct {
+	Config   Config
+	Wall     int64 // wall-clock cycles (max over CPUs)
+	Machine  *sim.Machine
+	Loader   *loader.Loader
+	Driver   *driver.Driver
+	Daemon   *daemon.Daemon
+	DB       *profiledb.DB
+	Exact    *sim.Counts
+	Trace    []sim.Sample // raw samples, when Config.TraceSamples
+	profiles []*profiledb.Profile
+}
+
+// collector adapts the driver+daemon pair to the machine's sample sink.
+type collector struct {
+	drv   *driver.Driver
+	dmn   *daemon.Daemon
+	trace *[]sim.Sample
+}
+
+func (c *collector) Sample(s sim.Sample) int64 {
+	if c.trace != nil {
+		*c.trace = append(*c.trace, s)
+	}
+	if s.Event == sim.EvEdge {
+		return c.drv.RecordEdge(s.CPU, s.PID, s.PC, s.PC2)
+	}
+	return c.drv.Record(s.CPU, s.PID, s.PC, s.Event)
+}
+
+func (c *collector) Poll(cpu int, clock int64) int64 {
+	return c.dmn.Poll(cpu, clock)
+}
+
+// Run executes one profiled workload run.
+func Run(cfg Config) (*Result, error) {
+	spec, ok := workload.Get(cfg.Workload)
+	if !ok {
+		return nil, fmt.Errorf("dcpi: unknown workload %q (have %v)", cfg.Workload, workload.Names())
+	}
+	ncpu := spec.NumCPUs
+	if cfg.NumCPUs > 0 {
+		ncpu = cfg.NumCPUs
+	}
+
+	kernel, abi := workload.Kernel()
+	l := loader.New(kernel)
+
+	var (
+		drv            *driver.Driver
+		dmn            *daemon.Daemon
+		db             *profiledb.DB
+		sink           sim.Sink
+		collectorTrace *collector
+		err            error
+	)
+	if cfg.Mode != sim.ModeOff {
+		if cfg.DBDir != "" {
+			db, err = profiledb.Open(cfg.DBDir)
+			if err != nil {
+				return nil, err
+			}
+		}
+		drv = driver.New(driver.Config{NumCPUs: ncpu, ZeroCost: cfg.ZeroCostCollection})
+		dcfg := daemon.Config{DB: db, PerProcessPIDs: cfg.PerProcessPIDs}
+		if cfg.ZeroCostCollection {
+			dcfg.CostPerEntry = -1
+		}
+		dmn = daemon.New(dcfg, drv)
+		l.Notify = dmn.HandleNotification
+		l.NotifyExit = dmn.NoteExit
+		col := &collector{drv: drv, dmn: dmn}
+		sink = col
+		collectorTrace = col
+	}
+
+	m := sim.NewMachine(sim.Options{
+		NumCPUs: ncpu,
+		ABI:     abi,
+		Loader:  l,
+		Seed:    cfg.Seed,
+		Profile: sim.ProfileConfig{
+			Mode:              cfg.Mode,
+			Sink:              sink,
+			CyclesPeriod:      cfg.CyclesPeriod,
+			EventPeriod:       cfg.EventPeriod,
+			MuxInterval:       cfg.MuxInterval,
+			Seed:              uint32(cfg.Seed),
+			DoubleSample:      cfg.DoubleSample,
+			InterpretBranches: cfg.InterpretBranches,
+			MetaSamples:       cfg.MetaSamples,
+		},
+		CollectExact: cfg.CollectExact,
+	})
+
+	var trace []sim.Sample
+	if cfg.TraceSamples && collectorTrace != nil {
+		collectorTrace.trace = &trace
+	}
+
+	ctx := &workload.Ctx{Loader: l, Machine: m, Scale: cfg.Scale}
+	if err := spec.Setup(ctx); err != nil {
+		return nil, err
+	}
+
+	maxCycles := spec.MaxCycles
+	if cfg.MaxCycles > 0 {
+		maxCycles = cfg.MaxCycles
+	}
+	wall := m.Run(maxCycles)
+
+	res := &Result{
+		Config:  cfg,
+		Wall:    wall,
+		Machine: m,
+		Loader:  l,
+		Driver:  drv,
+		Daemon:  dmn,
+		DB:      db,
+		Exact:   m.Exact,
+		Trace:   trace,
+	}
+	if dmn != nil {
+		if db != nil {
+			// Keep an in-memory view for the tools, then merge to disk.
+			if err := dmn.Flush(); err != nil {
+				return nil, err
+			}
+			if err := db.WriteMeta(profiledb.Meta{
+				Workload:     cfg.Workload,
+				Mode:         cfg.Mode.String(),
+				CyclesPeriod: res.AvgCyclesPeriod(),
+				EventPeriod:  res.AvgEventPeriod(),
+				WallCycles:   wall,
+				Seed:         cfg.Seed,
+				Scale:        cfg.Scale,
+			}); err != nil {
+				return nil, err
+			}
+			res.profiles, err = db.Profiles()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			if err := dmn.Flush(); err != nil {
+				return nil, err
+			}
+			res.profiles = dmn.Profiles()
+		}
+	}
+	return res, nil
+}
+
+// Profiles returns every collected profile (per image and event).
+func (r *Result) Profiles() []*profiledb.Profile { return r.profiles }
+
+// Profile returns the profile for one image path and event (nil if the
+// image was never sampled for that event).
+func (r *Result) Profile(imagePath string, ev sim.Event) *profiledb.Profile {
+	for _, p := range r.profiles {
+		if p.ImagePath == imagePath && p.Event == ev {
+			return p
+		}
+	}
+	return nil
+}
+
+// Model returns the machine model the run used (shared with the analysis).
+func (r *Result) Model() pipeline.Model { return r.Machine.Model }
+
+// AvgCyclesPeriod returns the mean sampling period of the run.
+func (r *Result) AvgCyclesPeriod() float64 {
+	p := r.Config.CyclesPeriod
+	if p.Base == 0 {
+		p = sim.DefaultCyclesPeriod
+	}
+	return float64(p.Base) + float64(p.Spread)/2
+}
+
+// AvgEventPeriod returns the mean event-counter period of the run.
+func (r *Result) AvgEventPeriod() float64 {
+	p := r.Config.EventPeriod
+	if p.Base == 0 {
+		p = sim.DefaultEventPeriod
+	}
+	return float64(p.Base) + float64(p.Spread)/2
+}

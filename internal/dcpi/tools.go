@@ -1,0 +1,217 @@
+package dcpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dcpi/internal/analysis"
+	"dcpi/internal/sim"
+)
+
+// ProcRow is one dcpiprof output row: samples aggregated by procedure.
+type ProcRow struct {
+	Procedure string
+	ImagePath string
+	Counts    [sim.NumEvents]uint64
+}
+
+// ProcRows aggregates every profile by procedure, sorted by decreasing
+// CYCLES samples (the dcpiprof view, Figure 1).
+func (r *Result) ProcRows() []ProcRow {
+	type key struct{ img, proc string }
+	agg := make(map[key]*ProcRow)
+	for _, p := range r.profiles {
+		if p.Event == sim.EvEdge {
+			continue // packed (from, to) keys; not per-instruction offsets
+		}
+		im, ok := r.Loader.ImageByPath(p.ImagePath)
+		for off, n := range p.Counts {
+			proc := "<unknown>"
+			if ok {
+				if s, found := im.SymbolAt(off); found {
+					proc = s.Name
+				}
+			}
+			k := key{p.ImagePath, proc}
+			row, exists := agg[k]
+			if !exists {
+				row = &ProcRow{Procedure: proc, ImagePath: p.ImagePath}
+				agg[k] = row
+			}
+			row.Counts[p.Event] += n
+		}
+	}
+	out := make([]ProcRow, 0, len(agg))
+	for _, row := range agg {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Counts[sim.EvCycles] != out[j].Counts[sim.EvCycles] {
+			return out[i].Counts[sim.EvCycles] > out[j].Counts[sim.EvCycles]
+		}
+		if out[i].Procedure != out[j].Procedure {
+			return out[i].Procedure < out[j].Procedure
+		}
+		return out[i].ImagePath < out[j].ImagePath
+	})
+	return out
+}
+
+// TotalSamples sums samples of one event across all profiles.
+func (r *Result) TotalSamples(ev sim.Event) uint64 {
+	var t uint64
+	for _, p := range r.profiles {
+		if p.Event == ev {
+			t += p.Total()
+		}
+	}
+	return t
+}
+
+// AnalyzeProc runs the full §6 analysis (frequency, CPI, culprits) for one
+// procedure of one image, using the run's own profiles and machine model.
+func (r *Result) AnalyzeProc(imagePath, procName string) (*analysis.ProcAnalysis, error) {
+	im, ok := r.Loader.ImageByPath(imagePath)
+	if !ok {
+		return nil, fmt.Errorf("dcpi: image %q not registered", imagePath)
+	}
+	code, base, err := im.ProcCode(procName)
+	if err != nil {
+		return nil, err
+	}
+	in := analysis.Inputs{Samples: map[uint64]uint64{}}
+	if p := r.Profile(imagePath, sim.EvCycles); p != nil {
+		in.Samples = p.Counts
+	}
+	in.IMissEvents = r.imissEvents(imagePath)
+	in.DTBEvents = r.dtbEvents(imagePath)
+	if p := r.Profile(imagePath, sim.EvEdge); p != nil {
+		in.EdgeSamples = p.Counts
+	}
+	pa := analysis.AnalyzeProcInputs(procName, code, base, in, r.Model(), r.AvgCyclesPeriod())
+	if im.Lines != nil {
+		lo := int(base / 4)
+		if lo+len(code) <= len(im.Lines) {
+			pa.SourceLines = im.Lines[lo : lo+len(code)]
+		}
+	}
+	return pa, nil
+}
+
+// imissEvents converts IMISS samples into estimated event counts per
+// offset; nil when the run did not monitor IMISS.
+func (r *Result) imissEvents(imagePath string) map[uint64]uint64 {
+	if r.Config.Mode != sim.ModeDefault && r.Config.Mode != sim.ModeMux {
+		return nil
+	}
+	out := make(map[uint64]uint64)
+	if p := r.Profile(imagePath, sim.EvIMiss); p != nil {
+		period := r.AvgEventPeriod()
+		for off, n := range p.Counts {
+			out[off] = uint64(float64(n) * period)
+		}
+	}
+	return out
+}
+
+// dtbEvents converts DTBMISS samples into estimated event counts; nil when
+// the event was not monitored (it rotates into the mux configuration).
+func (r *Result) dtbEvents(imagePath string) map[uint64]uint64 {
+	if r.Config.Mode != sim.ModeMux {
+		return nil
+	}
+	out := make(map[uint64]uint64)
+	if p := r.Profile(imagePath, sim.EvDTBMiss); p != nil {
+		period := r.AvgEventPeriod()
+		for off, n := range p.Counts {
+			out[off] = uint64(float64(n) * period)
+		}
+	}
+	return out
+}
+
+// ProcSampleMap returns procedure -> CYCLES samples for dcpistats.
+func (r *Result) ProcSampleMap() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, row := range r.ProcRows() {
+		if row.Counts[sim.EvCycles] > 0 {
+			out[row.Procedure] += row.Counts[sim.EvCycles]
+		}
+	}
+	return out
+}
+
+// StatRow is one dcpistats output row (Figure 3): per-procedure variation
+// across sample sets.
+type StatRow struct {
+	Procedure string
+	Sum       uint64
+	N         int
+	Mean      float64
+	StdDev    float64
+	Min       uint64
+	Max       uint64
+}
+
+// RangePct is (max-min)/sum, the paper's "range%" sort key.
+func (s StatRow) RangePct() float64 {
+	if s.Sum == 0 {
+		return 0
+	}
+	return float64(s.Max-s.Min) / float64(s.Sum)
+}
+
+// SumPct returns this procedure's share of all samples in all sets.
+func (s StatRow) SumPct(total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(total)
+}
+
+// StatsAcrossRuns computes dcpistats rows from per-run procedure sample
+// maps, sorted by decreasing range%.
+func StatsAcrossRuns(runs []map[string]uint64) []StatRow {
+	procs := map[string]bool{}
+	for _, run := range runs {
+		for p := range run {
+			procs[p] = true
+		}
+	}
+	var out []StatRow
+	for proc := range procs {
+		row := StatRow{Procedure: proc, N: len(runs), Min: ^uint64(0)}
+		var sum float64
+		for _, run := range runs {
+			v := run[proc]
+			row.Sum += v
+			sum += float64(v)
+			if v < row.Min {
+				row.Min = v
+			}
+			if v > row.Max {
+				row.Max = v
+			}
+		}
+		row.Mean = sum / float64(len(runs))
+		var ss float64
+		for _, run := range runs {
+			d := float64(run[proc]) - row.Mean
+			ss += d * d
+		}
+		if len(runs) > 1 {
+			ss /= float64(len(runs) - 1)
+		}
+		row.StdDev = math.Sqrt(ss)
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].RangePct(), out[j].RangePct()
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i].Procedure < out[j].Procedure
+	})
+	return out
+}

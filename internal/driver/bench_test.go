@@ -1,0 +1,61 @@
+package driver
+
+import (
+	"testing"
+
+	"dcpi/internal/sim"
+)
+
+// BenchmarkRecordHit measures the handler fast path: the common case of a
+// hash-table hit (the paper engineered this path to stay under ~450 Alpha
+// cycles; here we measure the Go implementation's wall time).
+func BenchmarkRecordHit(b *testing.B) {
+	d := New(Config{NumCPUs: 1})
+	d.Record(0, 7, 0x1000, sim.EvCycles)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Record(0, 7, 0x1000, sim.EvCycles)
+	}
+}
+
+// BenchmarkRecordWorkload measures a realistic mixed stream with evictions.
+func BenchmarkRecordWorkload(b *testing.B) {
+	d := New(Config{NumCPUs: 1})
+	trace := syntheticTrace(1<<16, 2000, 8, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := trace[i&(1<<16-1)]
+		d.Record(0, k.PID, k.PC, k.Event)
+	}
+	b.StopTimer()
+	st := d.Stats(0)
+	b.ReportMetric(100*st.MissRate(), "miss-%")
+}
+
+// BenchmarkFlush measures the daemon-side hash-table drain.
+func BenchmarkFlush(b *testing.B) {
+	d := New(Config{NumCPUs: 1})
+	for i := 0; i < 16384; i++ {
+		d.Record(0, 1, uint64(i)*4, sim.EvCycles)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.FlushCPU(0)
+		b.StopTimer()
+		for j := 0; j < 16384; j++ {
+			d.Record(0, 1, uint64(j)*4, sim.EvCycles)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkHTSim measures the §5.4 trace-replay simulator.
+func BenchmarkHTSim(b *testing.B) {
+	trace := syntheticTrace(1<<16, 3000, 8, 0.3)
+	cfg := HTConfig{Buckets: 4096, Ways: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulateTrace(trace, cfg)
+	}
+	b.ReportMetric(float64(len(trace)), "keys/op")
+}

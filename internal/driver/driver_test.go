@@ -1,0 +1,327 @@
+package driver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcpi/internal/sim"
+)
+
+func TestRecordAggregates(t *testing.T) {
+	d := New(Config{NumCPUs: 1})
+	for i := 0; i < 100; i++ {
+		d.Record(0, 42, 0x1000, sim.EvCycles)
+	}
+	st := d.Stats(0)
+	if st.Samples != 100 {
+		t.Errorf("samples = %d", st.Samples)
+	}
+	if st.Hits != 99 || st.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 99/1", st.Hits, st.Misses)
+	}
+	entries := d.FlushCPU(0)
+	if len(entries) != 1 || entries[0].Count != 100 {
+		t.Fatalf("flush = %+v", entries)
+	}
+	if entries[0].PID != 42 || entries[0].PC != 0x1000 || entries[0].Event != sim.EvCycles {
+		t.Errorf("entry = %+v", entries[0])
+	}
+}
+
+func TestDistinctEventsDistinctEntries(t *testing.T) {
+	d := New(Config{NumCPUs: 1})
+	d.Record(0, 1, 0x1000, sim.EvCycles)
+	d.Record(0, 1, 0x1000, sim.EvIMiss)
+	d.Record(0, 2, 0x1000, sim.EvCycles)
+	entries := d.FlushCPU(0)
+	if len(entries) != 3 {
+		t.Errorf("entries = %d, want 3 (distinct pid/event)", len(entries))
+	}
+}
+
+func TestHitCostLessThanMissCost(t *testing.T) {
+	d := New(Config{NumCPUs: 1})
+	missCost := d.Record(0, 1, 0x1000, sim.EvCycles) // insert (miss, no evict)
+	hitCost := d.Record(0, 1, 0x1000, sim.EvCycles)
+	if hitCost >= missCost {
+		t.Errorf("hit cost %d >= miss cost %d", hitCost, missCost)
+	}
+	// Force an eviction: fill one bucket's 4 ways with colliding keys.
+	d2 := New(Config{NumCPUs: 1, Buckets: 1})
+	var evictCost int64
+	for pc := uint64(0); pc < 5; pc++ {
+		evictCost = d2.Record(0, 1, pc*4, sim.EvCycles)
+	}
+	if d2.Stats(0).Evictions == 0 {
+		t.Fatal("no eviction with 5 keys in a 4-way single bucket")
+	}
+	if evictCost <= hitCost {
+		t.Errorf("evict cost %d <= hit cost %d", evictCost, hitCost)
+	}
+}
+
+func TestEvictionRoundRobin(t *testing.T) {
+	d := New(Config{NumCPUs: 1, Buckets: 1})
+	// Fill 4 ways, then keep inserting; every insert evicts exactly one.
+	for pc := uint64(0); pc < 12; pc++ {
+		d.Record(0, 1, pc*8, sim.EvCycles)
+	}
+	st := d.Stats(0)
+	if st.Evictions != 8 {
+		t.Errorf("evictions = %d, want 8", st.Evictions)
+	}
+	if st.Inserts != 4 {
+		t.Errorf("inserts = %d, want 4", st.Inserts)
+	}
+}
+
+func TestOverflowBufferSwapNotifies(t *testing.T) {
+	var got [][]Entry
+	d := New(Config{NumCPUs: 1, Buckets: 1, OverflowEntries: 4})
+	d.OnBufferFull = func(cpu int, full []Entry) { got = append(got, full) }
+	// Evictions: each new key beyond 4 evicts one entry to the buffer.
+	for pc := uint64(0); pc < 16; pc++ {
+		d.Record(0, 1, pc*8, sim.EvCycles)
+	}
+	// 12 evictions -> buffer (cap 4) filled 3 times.
+	if len(got) != 3 {
+		t.Fatalf("notifications = %d, want 3", len(got))
+	}
+	for _, buf := range got {
+		if len(buf) != 4 {
+			t.Errorf("buffer len = %d", len(buf))
+		}
+		for _, e := range buf {
+			if e.Count == 0 {
+				t.Error("invalid entry in overflow buffer")
+			}
+		}
+	}
+	st := d.Stats(0)
+	if st.BufSwaps != 3 {
+		t.Errorf("swaps = %d", st.BufSwaps)
+	}
+}
+
+func TestFlushDuringFlushWritesDirect(t *testing.T) {
+	d := New(Config{NumCPUs: 1})
+	d.cpus[0].flushing = true
+	d.Record(0, 1, 0x1000, sim.EvCycles)
+	st := d.Stats(0)
+	if st.Direct != 1 {
+		t.Errorf("direct = %d, want 1", st.Direct)
+	}
+	if len(d.cpus[0].active) != 1 {
+		t.Error("direct sample not in overflow buffer")
+	}
+	d.cpus[0].flushing = false
+}
+
+func TestPerCPUIsolation(t *testing.T) {
+	d := New(Config{NumCPUs: 2})
+	d.Record(0, 1, 0x1000, sim.EvCycles)
+	d.Record(1, 1, 0x1000, sim.EvCycles)
+	if d.Stats(0).Samples != 1 || d.Stats(1).Samples != 1 {
+		t.Error("per-CPU stats mixed")
+	}
+	e0 := d.FlushCPU(0)
+	e1 := d.FlushCPU(1)
+	if len(e0) != 1 || len(e1) != 1 {
+		t.Errorf("flush = %d, %d entries", len(e0), len(e1))
+	}
+	ts := d.TotalStats()
+	if ts.Samples != 2 || ts.FlushIPIs != 2 {
+		t.Errorf("total = %+v", ts)
+	}
+}
+
+func TestFlushAllAndConservation(t *testing.T) {
+	d := New(Config{NumCPUs: 2, Buckets: 4, OverflowEntries: 1 << 20})
+	var fed uint64
+	for cpu := 0; cpu < 2; cpu++ {
+		for i := 0; i < 1000; i++ {
+			d.Record(cpu, uint32(i%7), uint64(i%50)*4, sim.EvCycles)
+			fed++
+		}
+	}
+	entries := d.FlushAll()
+	var total uint64
+	for _, e := range entries {
+		total += uint64(e.Count)
+	}
+	if total != fed {
+		t.Errorf("flushed counts sum to %d, want %d (no samples lost)", total, fed)
+	}
+	// Second flush is empty.
+	if extra := d.FlushAll(); len(extra) != 0 {
+		t.Errorf("second flush returned %d entries", len(extra))
+	}
+}
+
+// Property: counts are conserved for arbitrary access patterns, including
+// buffer swaps (the notification plus final flush account for everything).
+func TestConservationProperty(t *testing.T) {
+	f := func(pcs []uint16, pids []uint8) bool {
+		d := New(Config{NumCPUs: 1, Buckets: 2, OverflowEntries: 8})
+		var kept uint64
+		d.OnBufferFull = func(_ int, full []Entry) {
+			for _, e := range full {
+				kept += uint64(e.Count)
+			}
+		}
+		var fed uint64
+		for i, pc := range pcs {
+			pid := uint32(1)
+			if len(pids) > 0 {
+				pid = uint32(pids[i%len(pids)])
+			}
+			d.Record(0, pid, uint64(pc)*4, sim.EvCycles)
+			fed++
+		}
+		for _, e := range d.FlushCPU(0) {
+			kept += uint64(e.Count)
+		}
+		return kept == fed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregationReducesDataRate(t *testing.T) {
+	// Paper: "This typically reduces the data rate by a factor of 20 or
+	// more." A loopy workload (few distinct PCs) must aggregate heavily.
+	d := New(Config{NumCPUs: 1})
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		d.Record(0, 7, uint64(i%40)*4, sim.EvCycles) // 40 hot PCs
+	}
+	entries := d.FlushCPU(0)
+	if len(entries) == 0 {
+		t.Fatal("no entries")
+	}
+	factor := float64(samples) / float64(len(entries))
+	if factor < 20 {
+		t.Errorf("aggregation factor = %.1f, want >= 20", factor)
+	}
+}
+
+func TestKernelMemoryBudget(t *testing.T) {
+	// Default geometry should match the paper's 512KB per processor:
+	// 16K-entry table + two 8K-entry buffers at 16 bytes each.
+	d := New(Config{NumCPUs: 1})
+	want := (16384 + 2*8192) * EntryBytes
+	if got := d.KernelMemoryBytes(); got != want {
+		t.Errorf("kernel memory = %d, want %d", got, want)
+	}
+	if want != 512*1024 {
+		t.Errorf("default geometry = %d bytes, paper says 512KB", want)
+	}
+	d4 := New(Config{NumCPUs: 4})
+	if d4.KernelMemoryBytes() != 4*want {
+		t.Error("per-CPU memory not scaled")
+	}
+	if d4.NumCPUs() != 4 {
+		t.Error("NumCPUs wrong")
+	}
+}
+
+// --- §5.4 hash-table design-space simulator ---
+
+// syntheticTrace builds a trace with workload-like locality: a hot set
+// revisited frequently plus a cold stream (like gcc's many short-lived
+// contexts), using a deterministic generator.
+func syntheticTrace(n int, hotPCs, pids int, coldFrac float64) []Key {
+	trace := make([]Key, 0, n)
+	state := uint64(0x2545f4914f6cdd1d)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < n; i++ {
+		k := Key{Event: sim.EvCycles}
+		if float64(next()%1000)/1000 < coldFrac {
+			k.PC = (next() % 1_000_000) * 4 // cold: effectively unique
+			k.PID = uint32(next() % uint64(pids))
+		} else {
+			// Skewed hot-set popularity (min of two uniforms): a few PCs
+			// dominate, as real sample streams do.
+			a, b := next()%uint64(hotPCs), next()%uint64(hotPCs)
+			if b < a {
+				a = b
+			}
+			k.PC = a * 4
+			k.PID = uint32(next() % uint64(pids))
+		}
+		trace = append(trace, k)
+	}
+	return trace
+}
+
+func TestHTSimHitRateTracksLocality(t *testing.T) {
+	cfg := HTConfig{Buckets: 512, Ways: 4}
+	hot := SimulateTrace(syntheticTrace(20000, 100, 2, 0.01), cfg)
+	cold := SimulateTrace(syntheticTrace(20000, 100, 2, 0.8), cfg)
+	if hot.MissRate() >= cold.MissRate() {
+		t.Errorf("hot miss %.3f >= cold miss %.3f", hot.MissRate(), cold.MissRate())
+	}
+	if hot.MissRate() > 0.1 {
+		t.Errorf("hot trace miss rate %.3f too high", hot.MissRate())
+	}
+}
+
+func TestHTSimAssociativityHelps(t *testing.T) {
+	// Same total entries, more ways: fewer evictions under collisions.
+	trace := syntheticTrace(50000, 3000, 8, 0.2)
+	w4 := SimulateTrace(trace, HTConfig{Buckets: 1024, Ways: 4})
+	w6 := SimulateTrace(trace, HTConfig{Buckets: 1024, Ways: 6})
+	if w6.Evictions >= w4.Evictions {
+		t.Errorf("6-way evictions %d >= 4-way %d", w6.Evictions, w4.Evictions)
+	}
+}
+
+func TestHTSimSwapToFrontReducesProbes(t *testing.T) {
+	trace := syntheticTrace(50000, 600, 1, 0.02)
+	plain := SimulateTrace(trace, HTConfig{Buckets: 64, Ways: 4})
+	stf := SimulateTrace(trace, HTConfig{Buckets: 64, Ways: 4, SwapToFront: true})
+	if stf.AvgProbes() >= plain.AvgProbes() {
+		t.Errorf("swap-to-front probes %.2f >= plain %.2f", stf.AvgProbes(), plain.AvgProbes())
+	}
+	cm := DefaultCostModel()
+	if stf.Cost(cm) >= plain.Cost(cm) {
+		t.Errorf("swap-to-front cost %d >= plain %d", stf.Cost(cm), plain.Cost(cm))
+	}
+}
+
+func TestHTSimLRUPolicy(t *testing.T) {
+	trace := syntheticTrace(30000, 2000, 4, 0.3)
+	rr := SimulateTrace(trace, HTConfig{Buckets: 256, Ways: 4, Policy: PolicyRoundRobin})
+	lru := SimulateTrace(trace, HTConfig{Buckets: 256, Ways: 4, Policy: PolicyLRU})
+	// LRU should not be dramatically worse than round-robin on a local
+	// trace; typically it is a bit better.
+	if lru.MissRate() > rr.MissRate()*1.1 {
+		t.Errorf("lru miss %.3f much worse than rr %.3f", lru.MissRate(), rr.MissRate())
+	}
+	if PolicyLRU.String() != "lru" || PolicyRoundRobin.String() != "round-robin" {
+		t.Error("policy strings")
+	}
+}
+
+func TestHTSimStatsConsistency(t *testing.T) {
+	trace := syntheticTrace(10000, 500, 3, 0.25)
+	st := SimulateTrace(trace, HTConfig{Buckets: 128, Ways: 4})
+	if st.Samples != 10000 {
+		t.Errorf("samples = %d", st.Samples)
+	}
+	if st.Hits+st.Misses != st.Samples {
+		t.Error("hits + misses != samples")
+	}
+	if st.Evictions > st.Misses {
+		t.Error("evictions > misses")
+	}
+	if st.AvgProbes() < 1 || st.AvgProbes() > 4 {
+		t.Errorf("avg probes = %.2f out of range", st.AvgProbes())
+	}
+}

@@ -1,0 +1,246 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"dcpi/internal/alpha"
+	"dcpi/internal/analysis"
+	"dcpi/internal/cfg"
+	"dcpi/internal/dcpi"
+	"dcpi/internal/image"
+	"dcpi/internal/sim"
+	"dcpi/internal/stats"
+)
+
+// Figures 8 and 9: accuracy of the frequency estimates against dcpix-style
+// exact execution counts, as weighted error histograms split by predicted
+// confidence.
+
+// AccuracyResult holds one histogram per confidence level plus the paper's
+// headline within-X% fractions.
+type AccuracyResult struct {
+	Hist map[analysis.Confidence]*stats.Histogram
+	// Within are the overall weighted fractions with |error| <= 5/10/15%.
+	Within5, Within10, Within15 float64
+	TotalWeight                 float64
+	Procedures                  int
+}
+
+func newAccuracyResult() *AccuracyResult {
+	mk := func() *stats.Histogram { return stats.NewHistogram(-0.475, 0.475, 0.05) }
+	return &AccuracyResult{Hist: map[analysis.Confidence]*stats.Histogram{
+		analysis.ConfLow:    mk(),
+		analysis.ConfMedium: mk(),
+		analysis.ConfHigh:   mk(),
+	}}
+}
+
+func (a *AccuracyResult) add(conf analysis.Confidence, err, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	a.Hist[conf].Add(err, weight)
+	a.TotalWeight += weight
+	abs := err
+	if abs < 0 {
+		abs = -abs
+	}
+	if abs <= 0.05 {
+		a.Within5 += weight
+	}
+	if abs <= 0.10 {
+		a.Within10 += weight
+	}
+	if abs <= 0.15 {
+		a.Within15 += weight
+	}
+}
+
+func (a *AccuracyResult) finish() {
+	if a.TotalWeight > 0 {
+		a.Within5 /= a.TotalWeight
+		a.Within10 /= a.TotalWeight
+		a.Within15 /= a.TotalWeight
+	}
+}
+
+// forEachProcAnalysis runs a workload suite with dense zero-cost CYCLES
+// sampling and exact counting, invoking fn for every sampled procedure.
+func forEachProcAnalysis(o Options, suite []string, mode sim.Mode,
+	fn func(r *dcpi.Result, im *image.Image, sym alpha.Symbol, pa *analysis.ProcAnalysis)) error {
+	o = o.withDefaults()
+	for i, wl := range suite {
+		r, err := dcpi.Run(dcpi.Config{
+			Workload:           wl,
+			Scale:              o.Scale,
+			Mode:               mode,
+			Seed:               o.SeedBase + uint64(i),
+			CyclesPeriod:       o.DensePeriod,
+			EventPeriod:        o.DenseEventPeriod,
+			CollectExact:       true,
+			ZeroCostCollection: true,
+			DoubleSample:       o.DoubleSample,
+			InterpretBranches:  o.InterpretBranches,
+		})
+		if err != nil {
+			return fmt.Errorf("accuracy %s: %w", wl, err)
+		}
+		for _, prof := range r.Profiles() {
+			if prof.Event != sim.EvCycles {
+				continue
+			}
+			im, ok := r.Loader.ImageByPath(prof.ImagePath)
+			if !ok {
+				continue
+			}
+			for _, sym := range im.Symbols {
+				var procSamples uint64
+				for off, n := range prof.Counts {
+					if off >= sym.Offset && off < sym.Offset+sym.Size {
+						procSamples += n
+					}
+				}
+				if procSamples == 0 {
+					continue
+				}
+				pa, err := r.AnalyzeProc(prof.ImagePath, sym.Name)
+				if err != nil {
+					return err
+				}
+				fn(r, im, sym, pa)
+			}
+		}
+	}
+	return nil
+}
+
+// Fig8 measures instruction-frequency estimate errors, weighted by CYCLES
+// samples (paper Figure 8).
+func Fig8(o Options) (*AccuracyResult, error) {
+	res := newAccuracyResult()
+	err := forEachProcAnalysis(o, AccuracyWorkloads, sim.ModeCycles,
+		func(r *dcpi.Result, im *image.Image, sym alpha.Symbol, pa *analysis.ProcAnalysis) {
+			exact := r.Exact.Exec[im.ID]
+			res.Procedures++
+			for i := range pa.Insts {
+				ia := &pa.Insts[i]
+				gi := int(sym.Offset/alpha.InstBytes) + i
+				truth := float64(exact[gi])
+				weight := float64(ia.Samples)
+				if weight == 0 {
+					continue
+				}
+				var errFrac float64
+				switch {
+				case truth == 0 && ia.Freq <= 0:
+					errFrac = 0
+				case truth == 0:
+					errFrac = 10 // clamps into the top bucket
+				default:
+					errFrac = ia.Freq/truth - 1
+				}
+				res.add(ia.Confidence, errFrac, weight)
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.finish()
+	return res, nil
+}
+
+// Fig9 measures CFG edge-frequency estimate errors, weighted by true edge
+// executions (paper Figure 9; edges never receive samples directly).
+func Fig9(o Options) (*AccuracyResult, error) {
+	res := newAccuracyResult()
+	err := forEachProcAnalysis(o, AccuracyWorkloads, sim.ModeCycles,
+		func(r *dcpi.Result, im *image.Image, sym alpha.Symbol, pa *analysis.ProcAnalysis) {
+			exact := r.Exact.Exec[im.ID]
+			taken := r.Exact.Taken[im.ID]
+			g := pa.Graph
+			res.Procedures++
+			base := int(sym.Offset / alpha.InstBytes)
+			for ei, e := range g.Edges {
+				if e.From < 0 || e.To < 0 || e.Kind == cfg.EdgeVirtual {
+					continue
+				}
+				lastLocal := g.Blocks[e.From].End - 1
+				last := pa.Insts[lastLocal].Inst
+				gi := base + lastLocal
+				var truth float64
+				switch {
+				case last.Op.IsCondBranch() && e.Kind == cfg.EdgeTaken:
+					truth = float64(taken[gi])
+				case last.Op.IsCondBranch() && e.Kind == cfg.EdgeFallthrough:
+					truth = float64(exact[gi]) - float64(taken[gi])
+				default:
+					// Unconditional flow: the edge runs whenever the block's
+					// last instruction does.
+					truth = float64(exact[gi])
+				}
+				est := pa.EdgeFreq[ei] * pa.Period
+				conf := pa.ClassConf[g.EdgeClass[ei]]
+				weight := truth
+				if truth == 0 {
+					// Never-executed edge: correct if estimated (near) zero.
+					if est > 0.5*pa.Period {
+						res.add(conf, 10, est/pa.Period)
+					}
+					continue
+				}
+				res.add(conf, est/truth-1, weight)
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.finish()
+	return res, nil
+}
+
+// Fig9DoubleSampling repeats the edge-frequency experiment with the §7
+// double-sampling prototype enabled: measured edge samples let the analysis
+// split block frequencies across conditional successors directly, which is
+// exactly the improvement the paper anticipates from edge samples.
+func Fig9DoubleSampling(o Options) (*AccuracyResult, error) {
+	o = o.withDefaults()
+	o.DoubleSample = true
+	return Fig9(o)
+}
+
+// Fig9Interpretation repeats the edge-frequency experiment with the §7
+// instruction-interpretation prototype: sampled conditional branches are
+// decoded and their direction recorded, yielding edge samples without the
+// second interrupt double sampling needs.
+func Fig9Interpretation(o Options) (*AccuracyResult, error) {
+	o = o.withDefaults()
+	o.InterpretBranches = true
+	return Fig9(o)
+}
+
+// FormatAccuracy renders a Figure 8/9-style histogram table.
+func FormatAccuracy(w io.Writer, title string, res *AccuracyResult) {
+	fprintf(w, "%s\n\n", title)
+	fprintf(w, "%12s %10s %10s %10s\n", "error bucket", "low", "medium", "high")
+	n := len(res.Hist[analysis.ConfHigh].Buckets)
+	for i := 0; i < n; i++ {
+		lo, hi := res.Hist[analysis.ConfHigh].BucketLabel(i)
+		fprintf(w, "%5.0f..%3.0f%% ", 100*lo, 100*hi)
+		for _, conf := range []analysis.Confidence{analysis.ConfLow, analysis.ConfMedium, analysis.ConfHigh} {
+			h := res.Hist[conf]
+			fprintf(w, " %9.2f%%", 100*h.Buckets[i]/maxf(res.TotalWeight, 1))
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "\nwithin  5%%: %5.1f%%\nwithin 10%%: %5.1f%%\nwithin 15%%: %5.1f%%\n",
+		100*res.Within5, 100*res.Within10, 100*res.Within15)
+	fprintf(w, "(%d procedures, total weight %.0f)\n", res.Procedures, res.TotalWeight)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

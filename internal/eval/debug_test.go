@@ -1,0 +1,50 @@
+package eval
+
+import (
+	"testing"
+
+	"dcpi/internal/alpha"
+	"dcpi/internal/dcpi"
+	"dcpi/internal/sim"
+)
+
+// TestDebugFreqDump is a diagnostic: dump per-instruction estimates vs
+// truth for the compress main loop. Run with -run TestDebugFreqDump -v.
+func TestDebugFreqDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug only")
+	}
+	r, err := dcpi.Run(dcpi.Config{
+		Workload:     "compress",
+		Scale:        0.12,
+		Mode:         sim.ModeCycles,
+		Seed:         1000,
+		CyclesPeriod: sim.PeriodSpec{Base: 2048, Spread: 512},
+		CollectExact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := r.AnalyzeProc("/usr/bin/compress", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, _ := r.Loader.ImageByPath("/usr/bin/compress")
+	exact := r.Exact.Exec[im.ID]
+	t.Logf("period=%v wall=%d classes=%d", pa.Period, r.Wall, pa.Graph.NumClasses)
+	for i := range pa.Insts {
+		ia := &pa.Insts[i]
+		truth := exact[int(ia.Offset/alpha.InstBytes)]
+		t.Logf("%2d %-26s S=%6d M=%d paired=%-5v class=%d conf=%-6s F=%10.0f truth=%8d err=%+6.1f%%",
+			i, ia.Inst.String(), ia.Samples, ia.M, ia.Paired,
+			pa.Graph.BlockClass[pa.Graph.BlockOfInst(i)], ia.Confidence, ia.Freq, truth,
+			errPct(ia.Freq, float64(truth)))
+	}
+}
+
+func errPct(est, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	return 100 * (est/truth - 1)
+}

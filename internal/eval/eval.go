@@ -1,0 +1,117 @@
+// Package eval regenerates every table and figure of the paper's evaluation
+// (§3 examples, §5 performance, §6.2-6.3 accuracy) on the simulated
+// machine. Each experiment returns a structured result plus a text
+// rendering whose rows mirror the paper's.
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"dcpi/internal/dcpi"
+	"dcpi/internal/sim"
+	"dcpi/internal/workload"
+)
+
+// specFor returns a workload's registered description.
+func specFor(name string) (string, bool) {
+	s, ok := workload.Get(name)
+	return s.Description, ok
+}
+
+// Options sizes the experiments. The defaults keep a full sweep in the
+// minutes range; raise Runs/Scale for tighter confidence intervals.
+type Options struct {
+	// Runs per configuration (Table 2/3, Figure 6). Default 5.
+	Runs int
+	// Scale multiplies workload sizes. Default 0.25.
+	Scale float64
+	// SeedBase offsets the per-run seeds.
+	SeedBase uint64
+	// DensePeriod is the sampling period for analysis-accuracy experiments
+	// (Figures 8-10); the default (~768 cycles) is the simulated
+	// equivalent of the 21064's 4K fast mode scaled to our short runs, so
+	// procedures accumulate paper-scale sample counts.
+	DensePeriod sim.PeriodSpec
+	// DenseEventPeriod is the miss-counter period for Figure 10.
+	DenseEventPeriod sim.PeriodSpec
+	// Workloads restricts the uniprocessor overhead sweeps; nil = default
+	// set.
+	Workloads []string
+	// DoubleSample enables the §7 edge-sampling prototype in the accuracy
+	// experiments (see Fig9DoubleSampling).
+	DoubleSample bool
+	// InterpretBranches enables the §7 instruction-interpretation
+	// prototype (see Fig9Interpretation).
+	InterpretBranches bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs == 0 {
+		o.Runs = 5
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.25
+	}
+	if o.SeedBase == 0 {
+		o.SeedBase = 1000
+	}
+	if o.DensePeriod.Base == 0 {
+		o.DensePeriod = sim.PeriodSpec{Base: 768, Spread: 192}
+	}
+	if o.DenseEventPeriod.Base == 0 {
+		o.DenseEventPeriod = sim.PeriodSpec{Base: 384, Spread: 128}
+	}
+	if o.Workloads == nil {
+		o.Workloads = OverheadWorkloads
+	}
+	return o
+}
+
+// OverheadWorkloads is the default Table 2/3 workload list.
+var OverheadWorkloads = []string{
+	"compress", "li", "go", "gcc",
+	"wave5", "mgrid", "swim",
+	"x11perf",
+	"mccalpin-assign", "mccalpin-scale", "mccalpin-sum", "mccalpin-saxpy",
+	"altavista", "dss",
+}
+
+// AccuracyWorkloads is the suite for the frequency-accuracy experiments
+// (Figures 8-9): single-purpose programs with clean ground truth.
+var AccuracyWorkloads = []string{
+	"compress", "li", "go", "wave5", "mgrid", "swim", "x11perf",
+}
+
+// Fig10Workloads adds the programs with instruction-cache pressure (gcc's
+// large code footprint and the vortex-like call web) so I-cache stalls and
+// IMISS events actually vary across procedures.
+var Fig10Workloads = []string{
+	"compress", "go", "x11perf", "gcc", "vortex",
+}
+
+// runBase runs a workload without profiling.
+func runBase(o Options, wl string, seed uint64) (*dcpi.Result, error) {
+	return dcpi.Run(dcpi.Config{
+		Workload: wl,
+		Scale:    o.Scale,
+		Mode:     sim.ModeOff,
+		Seed:     seed,
+	})
+}
+
+// runMode runs a workload under one profiling configuration with the
+// paper's default sampling periods.
+func runMode(o Options, wl string, mode sim.Mode, seed uint64) (*dcpi.Result, error) {
+	return dcpi.Run(dcpi.Config{
+		Workload: wl,
+		Scale:    o.Scale,
+		Mode:     mode,
+		Seed:     seed,
+	})
+}
+
+// fprintf is a helper that ignores write errors (text reports to buffers).
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"dcpi/internal/sim"
+	"dcpi/internal/stats"
+)
+
+// Table2Row is one workload's base characterization (paper Table 2).
+type Table2Row struct {
+	Workload    string
+	Description string
+	NumCPUs     int
+	MeanCycles  float64
+	CI95        float64
+	Runs        int
+}
+
+// Table2 measures base (unprofiled) run times with confidence intervals.
+func Table2(o Options) ([]Table2Row, error) {
+	o = o.withDefaults()
+	var rows []Table2Row
+	for _, wl := range o.Workloads {
+		var times []float64
+		var desc string
+		var ncpu int
+		for run := 0; run < o.Runs; run++ {
+			r, err := runBase(o, wl, o.SeedBase+uint64(run))
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s: %w", wl, err)
+			}
+			times = append(times, float64(r.Wall))
+			ncpu = len(r.Machine.CPUs)
+		}
+		if spec, ok := specFor(wl); ok {
+			desc = spec
+		}
+		rows = append(rows, Table2Row{
+			Workload: wl, Description: desc, NumCPUs: ncpu,
+			MeanCycles: stats.Mean(times), CI95: stats.CI95(times), Runs: o.Runs,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(w io.Writer, rows []Table2Row) {
+	fprintf(w, "Table 2: workloads and base runtimes (simulated cycles, 95%% CI)\n\n")
+	fprintf(w, "%-18s %5s %16s %14s  %s\n", "workload", "CPUs", "mean cycles", "95% CI", "description")
+	for _, r := range rows {
+		fprintf(w, "%-18s %5d %16.0f %10.0f (±)  %s\n",
+			r.Workload, r.NumCPUs, r.MeanCycles, r.CI95, r.Description)
+	}
+}
+
+// Table3Row is one workload's slowdown under each profiling configuration
+// (paper Table 3).
+type Table3Row struct {
+	Workload string
+	// Overhead[mode] is the mean slowdown fraction with its CI half-width.
+	Overhead map[sim.Mode]Measurement
+}
+
+// Measurement is a mean with a 95% confidence half-width.
+type Measurement struct {
+	Mean float64
+	CI   float64
+	N    int
+}
+
+// Table3Modes are the profiled configurations measured against base.
+var Table3Modes = []sim.Mode{sim.ModeCycles, sim.ModeDefault, sim.ModeMux}
+
+// Table3 measures the overall time overhead of the three configurations.
+func Table3(o Options) ([]Table3Row, error) {
+	o = o.withDefaults()
+	var rows []Table3Row
+	for _, wl := range o.Workloads {
+		row := Table3Row{Workload: wl, Overhead: map[sim.Mode]Measurement{}}
+		// Per-seed base times, reused across modes (paired comparison).
+		base := make([]float64, o.Runs)
+		for run := 0; run < o.Runs; run++ {
+			r, err := runBase(o, wl, o.SeedBase+uint64(run))
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s base: %w", wl, err)
+			}
+			base[run] = float64(r.Wall)
+		}
+		for _, mode := range Table3Modes {
+			var ovh []float64
+			for run := 0; run < o.Runs; run++ {
+				r, err := runMode(o, wl, mode, o.SeedBase+uint64(run))
+				if err != nil {
+					return nil, fmt.Errorf("table3 %s %v: %w", wl, mode, err)
+				}
+				ovh = append(ovh, float64(r.Wall)/base[run]-1)
+			}
+			row.Overhead[mode] = Measurement{Mean: stats.Mean(ovh), CI: stats.CI95(ovh), N: o.Runs}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders Table 3 (percent slowdown per configuration).
+func FormatTable3(w io.Writer, rows []Table3Row) {
+	fprintf(w, "Table 3: overall slowdown (percent, mean ± 95%% CI)\n\n")
+	fprintf(w, "%-18s %16s %16s %16s\n", "workload", "cycles", "default", "mux")
+	for _, r := range rows {
+		fprintf(w, "%-18s", r.Workload)
+		for _, mode := range Table3Modes {
+			m := r.Overhead[mode]
+			fprintf(w, "  %6.2f ±%5.2f%%", 100*m.Mean, 100*m.CI)
+		}
+		fprintf(w, "\n")
+	}
+}
+
+// Fig6Series is the running-time scatter for one workload (paper Figure 6):
+// per-run times under all four configurations.
+type Fig6Series struct {
+	Workload string
+	// Times[mode] holds one wall time per run, in cycles.
+	Times map[sim.Mode][]float64
+}
+
+// Fig6Workloads are the three programs the paper plots.
+var Fig6Workloads = []string{"altavista", "gcc", "wave5"}
+
+// Fig6 collects the running-time distributions.
+func Fig6(o Options) ([]Fig6Series, error) {
+	o = o.withDefaults()
+	modes := []sim.Mode{sim.ModeOff, sim.ModeCycles, sim.ModeDefault, sim.ModeMux}
+	var out []Fig6Series
+	for _, wl := range Fig6Workloads {
+		s := Fig6Series{Workload: wl, Times: map[sim.Mode][]float64{}}
+		for _, mode := range modes {
+			for run := 0; run < o.Runs; run++ {
+				r, err := runMode(o, wl, mode, o.SeedBase+uint64(run))
+				if err != nil {
+					return nil, fmt.Errorf("fig6 %s %v: %w", wl, mode, err)
+				}
+				s.Times[mode] = append(s.Times[mode], float64(r.Wall))
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FormatFig6 renders the distributions as mean-normalized scatter rows.
+func FormatFig6(w io.Writer, series []Fig6Series) {
+	fprintf(w, "Figure 6: distribution of running times (normalized to the base mean)\n\n")
+	for _, s := range series {
+		baseMean := stats.Mean(s.Times[sim.ModeOff])
+		fprintf(w, "%s (base mean = %.0f cycles)\n", s.Workload, baseMean)
+		for _, mode := range []sim.Mode{sim.ModeOff, sim.ModeCycles, sim.ModeDefault, sim.ModeMux} {
+			fprintf(w, "  %-8s", mode)
+			for _, t := range s.Times[mode] {
+				fprintf(w, " %6.2f%%", 100*t/baseMean)
+			}
+			m := stats.Mean(s.Times[mode])
+			ci := stats.CI95(s.Times[mode])
+			fprintf(w, "   mean %.2f%% ± %.2f%%\n", 100*m/baseMean, 100*ci/baseMean)
+		}
+	}
+}

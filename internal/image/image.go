@@ -1,0 +1,147 @@
+// Package image models executable images: the unit the DCPI daemon
+// attributes samples to. An image has a path, code, and a symbol table of
+// procedures. Samples are stored per (image, offset); tools resolve offsets
+// back to procedures and instructions.
+package image
+
+import (
+	"fmt"
+	"sort"
+
+	"dcpi/internal/alpha"
+)
+
+// Kind distinguishes how an image is loaded, mirroring the paper's three
+// loadmap sources (§4.3.2).
+type Kind uint8
+
+const (
+	// KindExecutable is a statically loaded main program (kernel exec path).
+	KindExecutable Kind = iota
+	// KindShared is a dynamically loaded shared library (/sbin/loader).
+	KindShared
+	// KindKernel is the kernel image (vmunix), mapped in every context.
+	KindKernel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindExecutable:
+		return "executable"
+	case KindShared:
+		return "shared"
+	case KindKernel:
+		return "kernel"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Image is one executable image. Offsets are byte offsets from the image
+// start; instruction i lives at offset i*alpha.InstBytes.
+type Image struct {
+	Name string // short name, e.g. "libm.so"
+	Path string // filesystem path, e.g. "/usr/shlib/X11/libm.so"
+	Kind Kind
+	Code []alpha.Inst
+	// Symbols are the image's procedures, sorted by offset and
+	// non-overlapping. Every instruction belongs to at most one procedure.
+	Symbols []alpha.Symbol
+
+	// Lines holds per-instruction source line numbers when the image was
+	// built with them (dcpicalc displays these, like the paper's tools do
+	// for images with line-number information); nil otherwise.
+	Lines []int
+
+	// ID is a unique identifier assigned by the loader when the image is
+	// registered, used in loadmap notifications (paper §4.3.2).
+	ID uint32
+}
+
+// New builds an image from assembled code. Symbols must already be sorted by
+// offset (the assembler guarantees this).
+func New(name, path string, kind Kind, asm *alpha.Assembly) *Image {
+	return &Image{Name: name, Path: path, Kind: kind, Code: asm.Code, Symbols: asm.Symbols, Lines: asm.Lines}
+}
+
+// LineOf returns the source line of the instruction at byte offset off, or
+// 0 when the image has no line information.
+func (im *Image) LineOf(off uint64) int {
+	idx := int(off / alpha.InstBytes)
+	if im.Lines == nil || idx >= len(im.Lines) {
+		return 0
+	}
+	return im.Lines[idx]
+}
+
+// Size returns the image's code size in bytes.
+func (im *Image) Size() uint64 {
+	return uint64(len(im.Code)) * alpha.InstBytes
+}
+
+// InstAt returns the instruction at byte offset off.
+func (im *Image) InstAt(off uint64) (alpha.Inst, bool) {
+	idx := off / alpha.InstBytes
+	if off%alpha.InstBytes != 0 || idx >= uint64(len(im.Code)) {
+		return alpha.Inst{}, false
+	}
+	return im.Code[idx], true
+}
+
+// SymbolAt returns the procedure containing byte offset off.
+func (im *Image) SymbolAt(off uint64) (alpha.Symbol, bool) {
+	i := sort.Search(len(im.Symbols), func(i int) bool {
+		return im.Symbols[i].Offset > off
+	})
+	if i == 0 {
+		return alpha.Symbol{}, false
+	}
+	s := im.Symbols[i-1]
+	if off >= s.Offset+s.Size {
+		return alpha.Symbol{}, false
+	}
+	return s, true
+}
+
+// Symbol looks up a procedure by name.
+func (im *Image) Symbol(name string) (alpha.Symbol, bool) {
+	for _, s := range im.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return alpha.Symbol{}, false
+}
+
+// ProcCode returns the instructions of the named procedure and the byte
+// offset of its first instruction.
+func (im *Image) ProcCode(name string) ([]alpha.Inst, uint64, error) {
+	s, ok := im.Symbol(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("image %s: no procedure %q", im.Name, name)
+	}
+	lo := s.Offset / alpha.InstBytes
+	hi := (s.Offset + s.Size) / alpha.InstBytes
+	return im.Code[lo:hi], s.Offset, nil
+}
+
+// Validate checks structural invariants: sorted, non-overlapping symbols that
+// stay within the code, and instruction-aligned boundaries.
+func (im *Image) Validate() error {
+	var prevEnd uint64
+	for i, s := range im.Symbols {
+		if s.Offset%alpha.InstBytes != 0 || s.Size%alpha.InstBytes != 0 {
+			return fmt.Errorf("image %s: symbol %s not instruction aligned", im.Name, s.Name)
+		}
+		if s.Offset < prevEnd {
+			return fmt.Errorf("image %s: symbol %s overlaps predecessor", im.Name, s.Name)
+		}
+		if s.Offset+s.Size > im.Size() {
+			return fmt.Errorf("image %s: symbol %s extends past code end", im.Name, s.Name)
+		}
+		if i > 0 && s.Offset < im.Symbols[i-1].Offset {
+			return fmt.Errorf("image %s: symbols not sorted at %s", im.Name, s.Name)
+		}
+		prevEnd = s.Offset + s.Size
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package loader
+
+import (
+	"testing"
+
+	"dcpi/internal/alpha"
+	"dcpi/internal/image"
+)
+
+func mkImage(name, path string, kind image.Kind, procs int) *image.Image {
+	src := ""
+	for i := 0; i < procs; i++ {
+		src += string(rune('a'+i)) + name + ":\n nop\n ret (ra)\n"
+	}
+	return image.New(name, path, kind, alpha.MustAssemble(src))
+}
+
+func testLoader() *Loader {
+	kernel := mkImage("vmunix", "/vmunix", image.KindKernel, 3)
+	return New(kernel)
+}
+
+func TestNewProcessMappings(t *testing.T) {
+	l := testLoader()
+	exec := mkImage("app", "/bin/app", image.KindExecutable, 2)
+	lib := mkImage("libc.so", "/usr/shlib/libc.so", image.KindShared, 2)
+	p, err := l.NewProcess("app", exec, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PC != UserTextBase {
+		t.Errorf("PC = %#x", p.PC)
+	}
+	if got := p.Regs.ReadI(alpha.RegSP); got != StackBase {
+		t.Errorf("sp = %#x", got)
+	}
+	if len(p.Mappings()) != 3 {
+		t.Fatalf("mappings = %d, want 3 (exec, lib, kernel)", len(p.Mappings()))
+	}
+
+	im, off, ok := p.Lookup(UserTextBase + 4)
+	if !ok || im.Name != "app" || off != 4 {
+		t.Errorf("Lookup(text+4) = %v, %d, %v", im, off, ok)
+	}
+	im, off, ok = p.Lookup(SharedLibBase)
+	if !ok || im.Name != "libc.so" || off != 0 {
+		t.Errorf("Lookup(lib) = %v, %d, %v", im, off, ok)
+	}
+	im, _, ok = p.Lookup(KernelBase + 8)
+	if !ok || im.Kind != image.KindKernel {
+		t.Errorf("Lookup(kernel) = %v, %v", im, ok)
+	}
+	if _, _, ok := p.Lookup(0xdead); ok {
+		t.Error("bogus address resolved")
+	}
+	if _, _, ok := p.Lookup(UserTextBase + exec.Size()); ok {
+		t.Error("address just past image resolved")
+	}
+}
+
+func TestLookupCacheCorrectness(t *testing.T) {
+	l := testLoader()
+	exec := mkImage("app", "/bin/app", image.KindExecutable, 2)
+	lib := mkImage("libc.so", "/usr/shlib/libc.so", image.KindShared, 2)
+	p, err := l.NewProcess("app", exec, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate lookups across mappings; the cache must never return a
+	// stale mapping.
+	addrs := []uint64{UserTextBase, SharedLibBase + 4, KernelBase, UserTextBase + 8}
+	names := []string{"app", "libc.so", "vmunix", "app"}
+	for round := 0; round < 3; round++ {
+		for i, a := range addrs {
+			im, _, ok := p.Lookup(a)
+			if !ok || im.Name != names[i] {
+				t.Fatalf("round %d: Lookup(%#x) = %v", round, a, im)
+			}
+		}
+	}
+}
+
+func TestNotifications(t *testing.T) {
+	l := testLoader()
+	var notes []Notification
+	l.Notify = func(n Notification) { notes = append(notes, n) }
+
+	exec := mkImage("app", "/bin/app", image.KindExecutable, 1)
+	lib := mkImage("libx.so", "/usr/shlib/libx.so", image.KindShared, 1)
+	p, err := l.NewProcess("app", exec, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 3 {
+		t.Fatalf("notifications = %d, want 3", len(notes))
+	}
+	if notes[0].Source != SourceExec || notes[0].Path != "/bin/app" {
+		t.Errorf("exec note = %+v", notes[0])
+	}
+	if notes[1].Source != SourceLoader || notes[1].Path != "/usr/shlib/libx.so" {
+		t.Errorf("lib note = %+v", notes[1])
+	}
+	if notes[2].Kind != image.KindKernel {
+		t.Errorf("kernel note = %+v", notes[2])
+	}
+	for _, n := range notes {
+		if n.PID != p.PID {
+			t.Errorf("note PID = %d, want %d", n.PID, p.PID)
+		}
+	}
+}
+
+func TestScan(t *testing.T) {
+	l := testLoader() // no Notify subscriber: notifications dropped
+	exec := mkImage("app", "/bin/app", image.KindExecutable, 1)
+	if _, err := l.NewProcess("app", exec); err != nil {
+		t.Fatal(err)
+	}
+	exec2 := mkImage("app2", "/bin/app2", image.KindExecutable, 1)
+	p2, err := l.NewProcess("app2", exec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.State = ProcExited
+
+	var notes []Notification
+	l.Scan(func(n Notification) { notes = append(notes, n) })
+	// Only the live process: exec + kernel.
+	if len(notes) != 2 {
+		t.Fatalf("scan notes = %d, want 2: %+v", len(notes), notes)
+	}
+	for _, n := range notes {
+		if n.Source != SourceScan {
+			t.Errorf("scan note source = %v", n.Source)
+		}
+	}
+}
+
+func TestSharedImageRegistration(t *testing.T) {
+	l := testLoader()
+	libA := mkImage("lib.so", "/usr/shlib/lib.so", image.KindShared, 1)
+	libB := mkImage("lib.so", "/usr/shlib/lib.so", image.KindShared, 1)
+	ra := l.Register(libA)
+	rb := l.Register(libB)
+	if ra != rb {
+		t.Error("same path registered as two images")
+	}
+	if ra.ID == 0 {
+		t.Error("image ID not assigned")
+	}
+	if got, ok := l.Image(ra.ID); !ok || got != ra {
+		t.Error("Image lookup failed")
+	}
+}
+
+func TestDistinctPIDs(t *testing.T) {
+	l := testLoader()
+	seen := make(map[uint32]bool)
+	for i := 0; i < 5; i++ {
+		exec := mkImage("app", "/bin/app", image.KindExecutable, 1)
+		p, err := l.NewProcess("app", exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p.PID] {
+			t.Fatalf("duplicate PID %d", p.PID)
+		}
+		seen[p.PID] = true
+	}
+	if got := len(l.Processes()); got != 5 {
+		t.Errorf("processes = %d", got)
+	}
+}
+
+func TestMapOverlapRejected(t *testing.T) {
+	l := testLoader()
+	exec := mkImage("app", "/bin/app", image.KindExecutable, 1)
+	p, err := l.NewProcess("app", exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := mkImage("bad", "/bin/bad", image.KindExecutable, 1)
+	other.ID = 99
+	if err := p.Map(other, UserTextBase+4); err == nil {
+		t.Error("overlapping mapping accepted")
+	}
+}
+
+func TestImageLookupHelpers(t *testing.T) {
+	l := testLoader()
+	exec := mkImage("app", "/bin/app", image.KindExecutable, 1)
+	if _, err := l.NewProcess("app", exec); err != nil {
+		t.Fatal(err)
+	}
+	im, ok := l.ImageByPath("/bin/app")
+	if !ok || im.Name != "app" {
+		t.Errorf("ImageByPath = %v, %v", im, ok)
+	}
+	if _, ok := l.ImageByPath("/nope"); ok {
+		t.Error("bogus path resolved")
+	}
+	images := l.Images()
+	if len(images) != 2 { // kernel + app
+		t.Fatalf("images = %d", len(images))
+	}
+	if images[0].ID >= images[1].ID {
+		t.Error("images not sorted by ID")
+	}
+	if l.Kernel().Kind != image.KindKernel {
+		t.Error("kernel accessor wrong")
+	}
+}

@@ -1,0 +1,153 @@
+// Package mem provides the memory-system substrate the simulated Alpha
+// machine is built from: set-associative caches, TLBs, a merging write
+// buffer, a branch predictor, a virtual-to-physical page mapper, and a sparse
+// functional memory. All components are timing models with hit/miss
+// accounting; the functional memory holds the architectural bytes.
+package mem
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name     string
+	Size     int // total bytes
+	LineSize int // bytes per line (power of two)
+	Assoc    int // ways; 1 = direct mapped
+}
+
+// Validate checks the configuration for consistency.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.Size <= 0 || c.LineSize <= 0 || c.Assoc <= 0:
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	case c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineSize)
+	case c.Size%(c.LineSize*c.Assoc) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by %d-way sets of %dB lines",
+			c.Name, c.Size, c.Assoc, c.LineSize)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with LRU replacement, indexed by physical
+// address. It models only presence (hit/miss), not contents; the functional
+// memory holds data.
+type Cache struct {
+	cfg       CacheConfig
+	lineShift uint
+	setMask   uint64
+	// tags[set*assoc+way]; lru[set*assoc+way] is a recency stamp.
+	tags  []uint64
+	valid []bool
+	lru   []uint64
+	tick  uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache builds a cache; it panics on an invalid configuration (cache
+// geometries in this codebase are compile-time constants).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Size / (cfg.LineSize * cfg.Assoc)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets not a power of two", cfg.Name, sets))
+	}
+	c := &Cache{
+		cfg:     cfg,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*cfg.Assoc),
+		valid:   make([]bool, sets*cfg.Assoc),
+		lru:     make([]uint64, sets*cfg.Assoc),
+	}
+	for shift := uint(0); ; shift++ {
+		if 1<<shift == cfg.LineSize {
+			c.lineShift = shift
+			break
+		}
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineOf returns the line address (tag+index bits) containing addr.
+func (c *Cache) LineOf(addr uint64) uint64 { return addr >> c.lineShift }
+
+// Access looks up addr and, on a miss, fills the line (allocate-on-miss,
+// LRU victim). It reports whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.cfg.Assoc
+	c.tick++
+	victim, oldest := base, ^uint64(0)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.lru[i] = c.tick
+			c.Hits++
+			return true
+		}
+		if !c.valid[i] {
+			victim, oldest = i, 0
+		} else if c.lru[i] < oldest {
+			victim, oldest = i, c.lru[i]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lru[victim] = c.tick
+	return false
+}
+
+// Probe reports whether addr currently hits, without changing any state.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr's line if present (used on context switches that
+// model cache pollution, and by tests).
+func (c *Cache) Invalidate(addr uint64) {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.valid[i] = false
+		}
+	}
+}
+
+// Flush invalidates the whole cache.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Accesses returns the total number of lookups.
+func (c *Cache) Accesses() uint64 { return c.Hits + c.Misses }
+
+// MissRate returns misses/accesses, or 0 if no accesses.
+func (c *Cache) MissRate() float64 {
+	if a := c.Accesses(); a > 0 {
+		return float64(c.Misses) / float64(a)
+	}
+	return 0
+}

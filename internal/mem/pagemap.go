@@ -1,0 +1,64 @@
+package mem
+
+// PageMapper assigns physical pages to virtual pages on first touch,
+// modeling the operating system's page placement: each 1MB virtual region
+// receives a contiguous physical run starting at a (seeded) pseudo-random
+// base. Contiguity matters: with physically indexed caches, two large
+// arrays then conflict wholesale or not at all depending on where their
+// runs landed, which is exactly the run-to-run variance the paper's wave5
+// study (§3.3) attributes to virtual-to-physical mapping differences.
+type PageMapper struct {
+	physPages uint64
+	next      map[uint64]uint64 // vpage|asn key -> ppage
+	seed      uint64
+}
+
+// regionPages is the contiguous-allocation granularity (128 pages = 1MB).
+const regionPages = 128
+
+// NewPageMapper creates a mapper over physPages physical pages using seed
+// for placement. Different seeds model different runs.
+func NewPageMapper(physPages uint64, seed uint64) *PageMapper {
+	if physPages == 0 {
+		panic("mem: need at least one physical page")
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &PageMapper{
+		physPages: physPages,
+		next:      make(map[uint64]uint64),
+		seed:      seed,
+	}
+}
+
+// mix is a splitmix64-style hash used to place each region's base.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func mapKey(asn uint32, vpage uint64) uint64 {
+	return vpage<<16 ^ uint64(asn)
+}
+
+// Translate returns the physical address for (asn, vaddr), assigning a
+// physical page on first touch: contiguous within each 1MB region, with a
+// seeded pseudo-random region base.
+func (m *PageMapper) Translate(asn uint32, vaddr uint64) uint64 {
+	vpage := PageOf(vaddr)
+	k := mapKey(asn, vpage)
+	ppage, ok := m.next[k]
+	if !ok {
+		region := vpage / regionPages
+		base := mix(m.seed^mix(uint64(asn)^region<<20)) % m.physPages
+		ppage = (base + vpage%regionPages) % m.physPages
+		m.next[k] = ppage
+	}
+	return ppage<<PageShift | (vaddr & (PageSize - 1))
+}
+
+// MappedPages returns the number of virtual pages assigned so far.
+func (m *PageMapper) MappedPages() int { return len(m.next) }

@@ -1,0 +1,66 @@
+package mem
+
+// Sparse is a page-granular sparse byte memory implementing the functional
+// (architectural) data store of one address space. It satisfies
+// alpha.Memory. Unmapped bytes read as zero.
+type Sparse struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// NewSparse returns an empty sparse memory.
+func NewSparse() *Sparse {
+	return &Sparse{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (s *Sparse) page(vpage uint64, create bool) *[PageSize]byte {
+	p, ok := s.pages[vpage]
+	if !ok && create {
+		p = new([PageSize]byte)
+		s.pages[vpage] = p
+	}
+	return p
+}
+
+// Load reads size bytes at addr, little-endian.
+func (s *Sparse) Load(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		if p := s.page(PageOf(a), false); p != nil {
+			v |= uint64(p[a&(PageSize-1)]) << (8 * i)
+		}
+	}
+	return v
+}
+
+// Store writes the low size bytes of val at addr, little-endian.
+func (s *Sparse) Store(addr uint64, size int, val uint64) {
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		p := s.page(PageOf(a), true)
+		p[a&(PageSize-1)] = byte(val >> (8 * i))
+	}
+}
+
+// WriteBytes copies b into memory at addr (loader convenience).
+func (s *Sparse) WriteBytes(addr uint64, b []byte) {
+	for i, c := range b {
+		a := addr + uint64(i)
+		s.page(PageOf(a), true)[a&(PageSize-1)] = c
+	}
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (s *Sparse) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		a := addr + uint64(i)
+		if p := s.page(PageOf(a), false); p != nil {
+			out[i] = p[a&(PageSize-1)]
+		}
+	}
+	return out
+}
+
+// Pages returns the number of resident pages.
+func (s *Sparse) Pages() int { return len(s.pages) }

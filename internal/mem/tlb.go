@@ -1,0 +1,93 @@
+package mem
+
+// PageShift is the machine's page size: 8 KB, as on the Alpha 21164.
+const PageShift = 13
+
+// PageSize is the page size in bytes.
+const PageSize = 1 << PageShift
+
+// PageOf returns the virtual or physical page number of addr.
+func PageOf(addr uint64) uint64 { return addr >> PageShift }
+
+// TLB is a fully associative translation buffer with LRU replacement,
+// modeling the 21164's ITB/DTB. Entries are (ASN, virtual page) pairs so
+// multiple address spaces can coexist without flushing.
+type TLB struct {
+	capacity int
+	entries  map[tlbKey]uint64 // -> recency stamp
+	tick     uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+type tlbKey struct {
+	asn   uint32
+	vpage uint64
+}
+
+// NewTLB builds a TLB with the given number of entries.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		panic("mem: TLB capacity must be positive")
+	}
+	return &TLB{capacity: capacity, entries: make(map[tlbKey]uint64, capacity)}
+}
+
+// Lookup checks for (asn, vpage) and fills the entry on a miss, evicting the
+// least recently used translation if full. It reports whether it hit.
+func (t *TLB) Lookup(asn uint32, vpage uint64) bool {
+	t.tick++
+	k := tlbKey{asn, vpage}
+	if _, ok := t.entries[k]; ok {
+		t.entries[k] = t.tick
+		t.Hits++
+		return true
+	}
+	t.Misses++
+	if len(t.entries) >= t.capacity {
+		var victim tlbKey
+		oldest := ^uint64(0)
+		for key, stamp := range t.entries {
+			if stamp < oldest {
+				victim, oldest = key, stamp
+			}
+		}
+		delete(t.entries, victim)
+	}
+	t.entries[k] = t.tick
+	return false
+}
+
+// Probe reports whether (asn, vpage) is resident, without filling or
+// touching recency or statistics.
+func (t *TLB) Probe(asn uint32, vpage uint64) bool {
+	_, ok := t.entries[tlbKey{asn, vpage}]
+	return ok
+}
+
+// Flush drops all translations (e.g. on a full TLB invalidate).
+func (t *TLB) Flush() {
+	t.entries = make(map[tlbKey]uint64, t.capacity)
+}
+
+// FlushASN drops translations belonging to one address space.
+func (t *TLB) FlushASN(asn uint32) {
+	for k := range t.entries {
+		if k.asn == asn {
+			delete(t.entries, k)
+		}
+	}
+}
+
+// Len returns the number of resident translations.
+func (t *TLB) Len() int { return len(t.entries) }
+
+// MissRate returns misses/lookups, or 0 if none.
+func (t *TLB) MissRate() float64 {
+	total := t.Hits + t.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(total)
+}

@@ -1,0 +1,240 @@
+// Package optimize is a profile-driven binary-rewriting pass — the consumer
+// role the paper's §7 anticipates ("feed the output of our tools into ...
+// the Spike/OM post-linker optimization framework" and "a 'continuous
+// optimization' system that runs in the background"). It consumes the
+// analysis's edge-frequency estimates and re-lays a procedure's basic
+// blocks so the hot path falls through: a Pettis–Hansen-style chaining pass
+// with branch-sense inversion.
+package optimize
+
+import (
+	"fmt"
+	"sort"
+
+	"dcpi/internal/alpha"
+	"dcpi/internal/analysis"
+	"dcpi/internal/cfg"
+)
+
+// invertible maps each conditional branch to its sense inversion.
+var invertible = map[alpha.Op]alpha.Op{
+	alpha.OpBEQ:  alpha.OpBNE,
+	alpha.OpBNE:  alpha.OpBEQ,
+	alpha.OpBLT:  alpha.OpBGE,
+	alpha.OpBGE:  alpha.OpBLT,
+	alpha.OpBLE:  alpha.OpBGT,
+	alpha.OpBGT:  alpha.OpBLE,
+	alpha.OpBLBC: alpha.OpBLBS,
+	alpha.OpBLBS: alpha.OpBLBC,
+	alpha.OpFBEQ: alpha.OpFBNE,
+	alpha.OpFBNE: alpha.OpFBEQ,
+}
+
+// Result is an optimized procedure body.
+type Result struct {
+	Code []alpha.Inst
+	// Order is the chosen block order (original block indices).
+	Order []int
+	// Inverted counts branches whose sense was flipped.
+	Inverted int
+	// AddedBranches counts unconditional branches inserted to preserve
+	// control flow when a fall-through target could not be placed next.
+	AddedBranches int
+	// RemovedBranches counts unconditional branches deleted because their
+	// target now falls through.
+	RemovedBranches int
+}
+
+// ReorderProcedure rewrites a procedure so that, per the measured edge
+// frequencies, the likelier successor of each block falls through. The
+// rewritten code is functionally equivalent. It returns an error when the
+// procedure contains control flow that cannot be relocated safely
+// (PC-relative transfers that leave the procedure, e.g. bsr or an
+// out-of-range branch).
+func ReorderProcedure(pa *analysis.ProcAnalysis) (*Result, error) {
+	g := pa.Graph
+	if len(g.Blocks) == 0 {
+		return nil, fmt.Errorf("optimize: empty procedure")
+	}
+	if g.MissingEdges {
+		return nil, fmt.Errorf("optimize: %s has computed jumps; cannot re-lay blocks", pa.Name)
+	}
+	for i := range pa.Insts {
+		in := pa.Insts[i].Inst
+		if in.Op == alpha.OpBSR {
+			return nil, fmt.Errorf("optimize: %s contains bsr (PC-relative call)", pa.Name)
+		}
+		if in.Op.Class() == alpha.ClassBranch {
+			t := i + 1 + int(in.Disp)
+			if t < 0 || t >= len(pa.Insts) {
+				return nil, fmt.Errorf("optimize: %s branches outside the procedure", pa.Name)
+			}
+		}
+	}
+
+	order := chainBlocks(pa)
+	return emit(pa, order)
+}
+
+// chainBlocks forms the block order: start from the entry, repeatedly
+// extend with the hottest unplaced successor; when stuck, continue from the
+// hottest unplaced block.
+func chainBlocks(pa *analysis.ProcAnalysis) []int {
+	g := pa.Graph
+	n := len(g.Blocks)
+	placed := make([]bool, n)
+	var order []int
+
+	place := func(b int) {
+		placed[b] = true
+		order = append(order, b)
+	}
+
+	// Hottest-first worklist for chain starts (entry block first).
+	starts := make([]int, n)
+	for i := range starts {
+		starts[i] = i
+	}
+	sort.SliceStable(starts, func(i, j int) bool {
+		return pa.BlockFreq[starts[i]] > pa.BlockFreq[starts[j]]
+	})
+
+	cur := 0 // the entry block starts the first chain
+	for {
+		place(cur)
+		// Extend with the hottest unplaced successor.
+		next, bestF := -1, -1.0
+		for _, ei := range g.Blocks[cur].Succs {
+			e := g.Edges[ei]
+			if e.To < 0 || placed[e.To] {
+				continue
+			}
+			if f := pa.EdgeFreq[ei]; f > bestF {
+				bestF, next = f, e.To
+			}
+		}
+		if next >= 0 {
+			cur = next
+			continue
+		}
+		// Chain ended: start a new one at the hottest unplaced block.
+		cur = -1
+		for _, b := range starts {
+			if !placed[b] {
+				cur = b
+				break
+			}
+		}
+		if cur < 0 {
+			return order
+		}
+	}
+}
+
+// emit lays the blocks out in the chosen order, fixing up branches.
+func emit(pa *analysis.ProcAnalysis, order []int) (*Result, error) {
+	g := pa.Graph
+	res := &Result{Order: order}
+	posOf := make([]int, len(order)) // block -> position in order
+	for pos, b := range order {
+		posOf[b] = pos
+	}
+
+	type fixup struct {
+		at     int // instruction index in the new code
+		target int // block whose start it must reach
+	}
+	var (
+		newCode    []alpha.Inst
+		fixups     []fixup
+		blockStart = make([]int, len(g.Blocks))
+	)
+
+	succsOf := func(b int) (taken, fall int) {
+		taken, fall = -1, -1
+		for _, ei := range g.Blocks[b].Succs {
+			e := g.Edges[ei]
+			switch e.Kind {
+			case cfg.EdgeTaken:
+				taken = e.To
+			case cfg.EdgeFallthrough:
+				fall = e.To
+			}
+		}
+		return taken, fall
+	}
+
+	for pos, b := range order {
+		blockStart[b] = len(newCode)
+		blk := g.Blocks[b]
+		last := pa.Insts[blk.End-1].Inst
+		nextBlock := -1
+		if pos+1 < len(order) {
+			nextBlock = order[pos+1]
+		}
+
+		// Copy the body (all but a control-transfer tail).
+		bodyEnd := blk.End
+		tailIsBranch := last.Op.Class() == alpha.ClassBranch
+		if tailIsBranch {
+			bodyEnd--
+		}
+		for i := blk.Start; i < bodyEnd; i++ {
+			newCode = append(newCode, pa.Insts[i].Inst)
+		}
+
+		switch {
+		case tailIsBranch && last.Op.IsCondBranch():
+			taken, fall := succsOf(b)
+			switch {
+			case fall == nextBlock || fall < 0:
+				// Keep the branch sense; retarget the taken edge.
+				newCode = append(newCode, last)
+				fixups = append(fixups, fixup{len(newCode) - 1, taken})
+			case taken == nextBlock:
+				// Invert so the old taken edge falls through.
+				inv := last
+				inv.Op = invertible[last.Op]
+				newCode = append(newCode, inv)
+				fixups = append(fixups, fixup{len(newCode) - 1, fall})
+				res.Inverted++
+			default:
+				// Neither successor follows: branch + added br.
+				newCode = append(newCode, last)
+				fixups = append(fixups, fixup{len(newCode) - 1, taken})
+				br := alpha.Inst{Op: alpha.OpBR, Ra: alpha.RegZero}
+				newCode = append(newCode, br)
+				fixups = append(fixups, fixup{len(newCode) - 1, fall})
+				res.AddedBranches++
+			}
+		case tailIsBranch: // unconditional br
+			taken, _ := succsOf(b)
+			if taken == nextBlock {
+				res.RemovedBranches++ // falls through now
+			} else {
+				newCode = append(newCode, last)
+				fixups = append(fixups, fixup{len(newCode) - 1, taken})
+			}
+		default:
+			// ret/halt/jmp/jsr/call_pal or plain fall-through tails were
+			// copied with the body; restore flow to the fall-through
+			// successor if it no longer follows.
+			_, fall := succsOf(b)
+			if fall >= 0 && fall != nextBlock {
+				br := alpha.Inst{Op: alpha.OpBR, Ra: alpha.RegZero}
+				newCode = append(newCode, br)
+				fixups = append(fixups, fixup{len(newCode) - 1, fall})
+				res.AddedBranches++
+			}
+		}
+	}
+
+	for _, f := range fixups {
+		if f.target < 0 {
+			return nil, fmt.Errorf("optimize: %s: dangling branch target", pa.Name)
+		}
+		newCode[f.at].Disp = int32(blockStart[f.target] - (f.at + 1))
+	}
+	res.Code = newCode
+	return res, nil
+}

@@ -1,0 +1,194 @@
+// Package pipeline is the static machine model shared by the timing
+// simulator and the analysis tools: issue and slotting rules, operation
+// latencies, functional-unit occupancy, and the static basic-block scheduler
+// that computes each instruction's minimum head-of-queue time Mᵢ and its
+// static stall reasons.
+//
+// Sharing one model between simulation and analysis mirrors the paper's
+// premise that the analysis uses "an accurate model of the processor issue
+// logic" (§6.1.2): whatever the simulated machine does statically, the
+// analysis can predict exactly.
+package pipeline
+
+import (
+	"dcpi/internal/alpha"
+)
+
+// Model holds the machine's timing parameters. All values are in cycles.
+type Model struct {
+	// Result latencies (issue to result-ready).
+	IntLat  int64 // simple integer ops, lda
+	CMovLat int64 // conditional moves
+	LoadLat int64 // D-cache hit load-to-use
+	MulLat  int64 // integer multiply
+	FPLat   int64 // FP add/mul/convert/compare
+	DivLat  int64 // FP divide
+
+	// Functional-unit occupancy (issue to next same-unit issue).
+	MulBusy int64
+	DivBusy int64
+
+	// Dynamic penalties, used by the simulator and by the analysis when it
+	// bounds dynamic-stall candidates.
+	L2Lat             int64 // L1 miss, board-cache hit
+	MemLat            int64 // board-cache miss, all the way to memory
+	TLBMissPenalty    int64 // ITB or DTB fill
+	MispredictPenalty int64 // branch mispredict redirect
+	TakenBranchBubble int64 // fetch bubble after a correctly predicted taken branch
+}
+
+// Default returns the 21164-like model used throughout; see DESIGN.md §3.
+func Default() Model {
+	return Model{
+		IntLat:  1,
+		CMovLat: 2,
+		LoadLat: 2,
+		MulLat:  8,
+		FPLat:   4,
+		DivLat:  16,
+
+		MulBusy: 8,
+		DivBusy: 16,
+
+		L2Lat:             12,
+		MemLat:            80,
+		TLBMissPenalty:    30,
+		MispredictPenalty: 5,
+		TakenBranchBubble: 1,
+	}
+}
+
+// Latency returns the result latency of op in cycles (0 for instructions
+// that produce no register result).
+func (m Model) Latency(op alpha.Op) int64 {
+	switch op.Class() {
+	case alpha.ClassLoad:
+		return m.LoadLat
+	case alpha.ClassIntMul:
+		return m.MulLat
+	case alpha.ClassFPOp:
+		return m.FPLat
+	case alpha.ClassFPDiv:
+		return m.DivLat
+	case alpha.ClassIntOp:
+		switch op {
+		case alpha.OpCMOVEQ, alpha.OpCMOVNE, alpha.OpCMOVLT, alpha.OpCMOVGE:
+			return m.CMovLat
+		}
+		return m.IntLat
+	case alpha.ClassBranch, alpha.ClassJump:
+		return m.IntLat // link-register value
+	}
+	return 0
+}
+
+// FU identifies a long-occupancy functional unit.
+type FU uint8
+
+const (
+	FUNone FU = iota
+	FUMul     // integer multiplier ("IMULL busy" in dcpicalc summaries)
+	FUDiv     // floating-point divider ("FDIV busy")
+	fuCount
+)
+
+func (f FU) String() string {
+	switch f {
+	case FUMul:
+		return "IMULL"
+	case FUDiv:
+		return "FDIV"
+	}
+	return "none"
+}
+
+// FUse returns which long-occupancy unit op ties up and for how long.
+func (m Model) FUse(op alpha.Op) (FU, int64) {
+	switch op.Class() {
+	case alpha.ClassIntMul:
+		return FUMul, m.MulBusy
+	case alpha.ClassFPDiv:
+		return FUDiv, m.DivBusy
+	}
+	return FUNone, 0
+}
+
+// issuesSolo reports whether op always issues alone (and ends the group).
+func issuesSolo(op alpha.Op) bool {
+	switch op {
+	case alpha.OpCALLPAL, alpha.OpMB, alpha.OpWMB, alpha.OpHALT:
+		return true
+	}
+	return false
+}
+
+// CanPair reports whether b can issue in the same cycle as a, with a in the
+// first slot, considering only class/slotting rules (not operand readiness).
+//
+// Rules (DESIGN.md §3, validated against the paper's Figure 2 pairings):
+//   - at most one store per cycle (adjacent stores are the figure's
+//     "slotting hazard"),
+//   - two loads may pair; a load and a store may pair,
+//   - a branch or jump only in the second slot, and never two,
+//   - integer multiplies and stores share a pipe and cannot pair,
+//   - PAL calls, barriers, and halt issue alone,
+//   - b must not read a result a produces this cycle, nor write a register
+//     a writes (checked by dependsOn).
+func CanPair(a, b alpha.Inst) bool {
+	return ClassPairable(a, b) && !dependsOn(a, b)
+}
+
+// ClassPairable applies only the slotting (class) rules, ignoring register
+// dependencies. When this alone fails, the second instruction carries a
+// "slotting hazard" in dcpicalc output.
+func ClassPairable(a, b alpha.Inst) bool {
+	if issuesSolo(a.Op) || issuesSolo(b.Op) {
+		return false
+	}
+	ca, cb := a.Op.Class(), b.Op.Class()
+	// Control flow only in the second slot.
+	if ca == alpha.ClassBranch || ca == alpha.ClassJump {
+		return false
+	}
+	// At most one store; multiplies contend with stores for the same pipe.
+	if cb == alpha.ClassStore && (ca == alpha.ClassStore || ca == alpha.ClassIntMul) {
+		return false
+	}
+	if ca == alpha.ClassStore && cb == alpha.ClassIntMul {
+		return false
+	}
+	// Two long-latency FP units of the same kind cannot pair.
+	if ca == alpha.ClassFPDiv && cb == alpha.ClassFPDiv {
+		return false
+	}
+	if ca == alpha.ClassIntMul && cb == alpha.ClassIntMul {
+		return false
+	}
+	return true
+}
+
+// regKey identifies a register for dependency purposes.
+type regKey struct {
+	reg uint8
+	fp  bool
+}
+
+func key(o alpha.Operand) regKey { return regKey{o.Reg, o.FP} }
+
+// dependsOn reports whether b reads or rewrites a's destination register.
+func dependsOn(a, b alpha.Inst) bool {
+	dest, ok := a.Dest()
+	if !ok {
+		return false
+	}
+	dk := key(dest)
+	for _, s := range b.Sources() {
+		if key(s) == dk {
+			return true
+		}
+	}
+	if bd, ok := b.Dest(); ok && key(bd) == dk {
+		return true // WAW in one cycle not allowed
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+package profiledb
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dcpi/internal/sim"
+)
+
+// bigProfile mimics a real profile's structure: instructions within a basic
+// block share nearly the same sample count (S ≈ f·M), and a few hot blocks
+// dominate — which is what makes the compressed format effective.
+func bigProfile() *Profile {
+	p := NewProfile("/usr/shlib/libbig.so", sim.EvCycles)
+	x := uint64(12345)
+	off := uint64(0)
+	for block := 0; block < 2500; block++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		blockFreq := []uint64{1, 2, 3, 5, 40, 41, 500}[x%7]
+		blockLen := 4 + int(x%9)
+		for i := 0; i < blockLen; i++ {
+			jitter := (x >> uint(i%3)) % 3
+			p.Add(off, blockFreq+jitter)
+			off += 4
+		}
+	}
+	return p
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	p := bigProfile()
+	var buf bytes.Buffer
+	if err := p.WriteCompressed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ImagePath != p.ImagePath || got.Event != p.Event {
+		t.Errorf("header = %s/%v", got.ImagePath, got.Event)
+	}
+	if len(got.Counts) != len(p.Counts) {
+		t.Fatalf("counts = %d, want %d", len(got.Counts), len(p.Counts))
+	}
+	for off, n := range p.Counts {
+		if got.Counts[off] != n {
+			t.Fatalf("count[%d] = %d, want %d", off, got.Counts[off], n)
+		}
+	}
+}
+
+func TestCompressedSmaller(t *testing.T) {
+	// The paper's claim: roughly a factor of three smaller.
+	p := bigProfile()
+	var plain, compressed bytes.Buffer
+	if err := p.Write(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteCompressed(&compressed); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(plain.Len()) / float64(compressed.Len())
+	t.Logf("plain %d bytes, compressed %d bytes, ratio %.2fx", plain.Len(), compressed.Len(), ratio)
+	if ratio < 1.5 {
+		t.Errorf("compression ratio = %.2f, want meaningful savings", ratio)
+	}
+}
+
+func TestCompressedPropertyRoundTrip(t *testing.T) {
+	f := func(offsets []uint32, counts []uint16) bool {
+		p := NewProfile("/bin/q", sim.EvIMiss)
+		for i, off := range offsets {
+			n := uint64(1)
+			if len(counts) > 0 {
+				n = uint64(counts[i%len(counts)]) + 1
+			}
+			p.Add(uint64(off), n)
+		}
+		var buf bytes.Buffer
+		if err := p.WriteCompressed(&buf); err != nil {
+			return false
+		}
+		got, err := ReadProfile(&buf)
+		if err != nil || len(got.Counts) != len(p.Counts) {
+			return false
+		}
+		for off, n := range p.Counts {
+			if got.Counts[off] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressedTruncated(t *testing.T) {
+	p := bigProfile()
+	var buf bytes.Buffer
+	if err := p.WriteCompressed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadProfile(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated compressed profile accepted")
+	}
+}
+
+func TestVersionsInteroperateInDB(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write a compressed file directly where the DB expects the profile,
+	// then Update must read it (version dispatch) and merge on top.
+	p := NewProfile("/bin/app", sim.EvCycles)
+	p.Add(8, 3)
+	f, err := createFile(db.Path("/bin/app", sim.EvCycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteCompressed(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	q := NewProfile("/bin/app", sim.EvCycles)
+	q.Add(8, 2)
+	if err := db.Update(q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Load("/bin/app", sim.EvCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counts[8] != 5 {
+		t.Errorf("merged = %d, want 5", got.Counts[8])
+	}
+}

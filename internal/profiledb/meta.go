@@ -1,0 +1,48 @@
+package profiledb
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+)
+
+// Meta records how an epoch's profiles were collected, so offline tools can
+// interpret sample counts without re-running the collection.
+type Meta struct {
+	Workload     string  `json:"workload"`
+	Mode         string  `json:"mode"`
+	CyclesPeriod float64 `json:"cycles_period"` // average, in cycles
+	EventPeriod  float64 `json:"event_period"`
+	WallCycles   int64   `json:"wall_cycles"`
+	Seed         uint64  `json:"seed"`
+	Scale        float64 `json:"scale"`
+}
+
+const metaFile = "epoch.meta"
+
+// WriteMeta stores collection metadata in the current epoch.
+func (db *DB) WriteMeta(m Meta) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(db.epochDir(db.epoch), metaFile), data, 0o644)
+}
+
+// Meta reads the current epoch's collection metadata; ok is false when the
+// epoch has none.
+func (db *DB) Meta() (Meta, bool, error) {
+	data, err := os.ReadFile(filepath.Join(db.epochDir(db.epoch), metaFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return Meta{}, false, nil
+	}
+	if err != nil {
+		return Meta{}, false, err
+	}
+	var m Meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Meta{}, false, err
+	}
+	return m, true, nil
+}

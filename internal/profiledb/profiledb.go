@@ -1,0 +1,314 @@
+// Package profiledb implements the on-disk profile database of paper §4.3.3:
+// samples organized into non-overlapping epochs, one compact binary file per
+// (image, event) pair, merged incrementally as the daemon flushes. Profiles
+// are typically much smaller than their images because only executed
+// offsets appear, and offsets are delta-varint encoded.
+package profiledb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dcpi/internal/sim"
+)
+
+// Magic identifies a profile file.
+var Magic = [8]byte{'D', 'C', 'P', 'I', 'P', 'R', 'O', 'F'}
+
+// Version is the current file-format version.
+const Version = 1
+
+// Profile is the per-(image, event) sample map: byte offset within the
+// image to accumulated count.
+type Profile struct {
+	ImagePath string
+	Event     sim.Event
+	Counts    map[uint64]uint64
+}
+
+// NewProfile creates an empty profile.
+func NewProfile(imagePath string, ev sim.Event) *Profile {
+	return &Profile{ImagePath: imagePath, Event: ev, Counts: make(map[uint64]uint64)}
+}
+
+// Add accumulates n samples at offset.
+func (p *Profile) Add(offset, n uint64) {
+	p.Counts[offset] += n
+}
+
+// Merge folds other into p. The image path and event must match.
+func (p *Profile) Merge(other *Profile) error {
+	if other.ImagePath != p.ImagePath || other.Event != p.Event {
+		return fmt.Errorf("profiledb: merge mismatch: %s/%v vs %s/%v",
+			p.ImagePath, p.Event, other.ImagePath, other.Event)
+	}
+	for off, n := range other.Counts {
+		p.Counts[off] += n
+	}
+	return nil
+}
+
+// Total returns the sum of all counts.
+func (p *Profile) Total() uint64 {
+	var t uint64
+	for _, n := range p.Counts {
+		t += n
+	}
+	return t
+}
+
+// Write encodes the profile. Offsets are sorted and delta-encoded, counts
+// are varints; the result is typically an order of magnitude smaller than
+// the image.
+func (p *Profile) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:], Version)
+	hdr[2] = byte(p.Event)
+	if err := writeByteN(bw, hdr[:]); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(p.ImagePath)))
+	if _, err := bw.WriteString(p.ImagePath); err != nil {
+		return err
+	}
+
+	if err := writePairs(bw, p); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writePairs emits the sorted delta-varint (offset, count) pairs.
+func writePairs(bw *bufio.Writer, p *Profile) error {
+	offsets := make([]uint64, 0, len(p.Counts))
+	for off := range p.Counts {
+		offsets = append(offsets, off)
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+
+	writeUvarint(bw, uint64(len(offsets)))
+	var prev uint64
+	for _, off := range offsets {
+		writeUvarint(bw, off-prev)
+		writeUvarint(bw, p.Counts[off])
+		prev = off
+	}
+	return nil
+}
+
+// eventFromByte validates and converts a stored event byte.
+func eventFromByte(b byte) sim.Event { return sim.Event(b) }
+
+// ReadProfile decodes a profile written by Write (version 1) or
+// WriteCompressed (version 2).
+func ReadProfile(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("profiledb: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, errors.New("profiledb: bad magic")
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if ev := sim.Event(hdr[2]); ev >= sim.NumEvents {
+		return nil, fmt.Errorf("profiledb: bad event %d", hdr[2])
+	}
+	switch v := binary.LittleEndian.Uint16(hdr[0:]); v {
+	case Version:
+		return decodePayload(br, hdr[2])
+	case VersionCompressed:
+		return readCompressed(br, hdr[2])
+	default:
+		return nil, fmt.Errorf("profiledb: unsupported version %d", v)
+	}
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // flushed and checked at the end
+}
+
+func writeByteN(w *bufio.Writer, b []byte) error {
+	_, err := w.Write(b)
+	return err
+}
+
+// DB is a profile database rooted at a directory, organized into epochs.
+type DB struct {
+	root  string
+	epoch int
+}
+
+// Open opens (or creates) a database, resuming the latest epoch.
+func Open(root string) (*DB, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{root: root}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	latest := 0
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "epoch-%d", &n); err == nil && n > latest {
+			latest = n
+		}
+	}
+	if latest == 0 {
+		latest = 1
+	}
+	db.epoch = latest
+	return db, os.MkdirAll(db.epochDir(latest), 0o755)
+}
+
+// Root returns the database directory.
+func (db *DB) Root() string { return db.root }
+
+// Epoch returns the current epoch number.
+func (db *DB) Epoch() int { return db.epoch }
+
+func (db *DB) epochDir(epoch int) string {
+	return filepath.Join(db.root, fmt.Sprintf("epoch-%04d", epoch))
+}
+
+// NewEpoch starts a fresh epoch; subsequent updates land there.
+func (db *DB) NewEpoch() error {
+	db.epoch++
+	return os.MkdirAll(db.epochDir(db.epoch), 0o755)
+}
+
+// fileName mangles an image path and event into a profile file name, the
+// way DCPI stores one file per (image, event) combination.
+func fileName(imagePath string, ev sim.Event) string {
+	mangled := strings.NewReplacer("/", "_", "\\", "_", ":", "_").Replace(strings.TrimPrefix(imagePath, "/"))
+	return mangled + "." + ev.String() + ".prof"
+}
+
+// Path returns the on-disk path for (imagePath, ev) in the current epoch.
+func (db *DB) Path(imagePath string, ev sim.Event) string {
+	return filepath.Join(db.epochDir(db.epoch), fileName(imagePath, ev))
+}
+
+// Update merges p into the on-disk profile for its (image, event) in the
+// current epoch.
+func (db *DB) Update(p *Profile) error {
+	path := db.Path(p.ImagePath, p.Event)
+	merged := p
+	if f, err := os.Open(path); err == nil {
+		existing, rerr := ReadProfile(f)
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("profiledb: re-reading %s: %w", path, rerr)
+		}
+		if err := existing.Merge(p); err != nil {
+			return err
+		}
+		merged = existing
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := merged.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads the profile for (imagePath, ev) from the current epoch,
+// returning an empty profile if none exists.
+func (db *DB) Load(imagePath string, ev sim.Event) (*Profile, error) {
+	f, err := os.Open(db.Path(imagePath, ev))
+	if errors.Is(err, os.ErrNotExist) {
+		return NewProfile(imagePath, ev), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadProfile(f)
+}
+
+// Profiles lists every profile in the current epoch.
+func (db *DB) Profiles() ([]*Profile, error) {
+	entries, err := os.ReadDir(db.epochDir(db.epoch))
+	if err != nil {
+		return nil, err
+	}
+	var out []*Profile
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".prof") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(db.epochDir(db.epoch), e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		p, rerr := ReadProfile(f)
+		f.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("profiledb: %s: %w", e.Name(), rerr)
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ImagePath != out[j].ImagePath {
+			return out[i].ImagePath < out[j].ImagePath
+		}
+		return out[i].Event < out[j].Event
+	})
+	return out, nil
+}
+
+// DiskUsage returns the total bytes of all profile files in all epochs
+// (Table 5's disk column).
+func (db *DB) DiskUsage() (int64, error) {
+	var total int64
+	err := filepath.Walk(db.root, func(_ string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(info.Name(), ".prof") {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total, err
+}
+
+// createFile creates a file, making parent directories as needed (test and
+// tool convenience).
+func createFile(path string) (*os.File, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	return os.Create(path)
+}

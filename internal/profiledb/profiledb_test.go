@@ -1,0 +1,263 @@
+package profiledb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"dcpi/internal/sim"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	p := NewProfile("/usr/shlib/libm.so", sim.EvCycles)
+	p.Add(0, 5)
+	p.Add(4096, 100)
+	p.Add(8, 1)
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ImagePath != p.ImagePath || got.Event != p.Event {
+		t.Errorf("header = %s/%v", got.ImagePath, got.Event)
+	}
+	if len(got.Counts) != 3 || got.Counts[4096] != 100 || got.Counts[8] != 1 || got.Counts[0] != 5 {
+		t.Errorf("counts = %v", got.Counts)
+	}
+}
+
+// Property: arbitrary profiles round-trip exactly.
+func TestProfileRoundTripProperty(t *testing.T) {
+	f := func(offsets []uint32, counts []uint16) bool {
+		p := NewProfile("/bin/x", sim.EvIMiss)
+		for i, off := range offsets {
+			n := uint64(1)
+			if len(counts) > 0 {
+				n = uint64(counts[i%len(counts)]) + 1
+			}
+			p.Add(uint64(off)*4, n)
+		}
+		var buf bytes.Buffer
+		if err := p.Write(&buf); err != nil {
+			return false
+		}
+		got, err := ReadProfile(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Counts) != len(p.Counts) {
+			return false
+		}
+		for off, n := range p.Counts {
+			if got.Counts[off] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadProfile(bytes.NewReader([]byte("not a profile at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadProfile(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated valid prefix.
+	p := NewProfile("/bin/x", sim.EvCycles)
+	p.Add(100, 7)
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-1]
+	if _, err := ReadProfile(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated profile accepted")
+	}
+}
+
+func TestMergeMismatch(t *testing.T) {
+	a := NewProfile("/bin/a", sim.EvCycles)
+	b := NewProfile("/bin/b", sim.EvCycles)
+	if err := a.Merge(b); err == nil {
+		t.Error("cross-image merge accepted")
+	}
+	c := NewProfile("/bin/a", sim.EvIMiss)
+	if err := a.Merge(c); err == nil {
+		t.Error("cross-event merge accepted")
+	}
+	d := NewProfile("/bin/a", sim.EvCycles)
+	d.Add(4, 2)
+	a.Add(4, 1)
+	if err := a.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts[4] != 3 {
+		t.Errorf("merged count = %d", a.Counts[4])
+	}
+	if a.Total() != 3 {
+		t.Errorf("total = %d", a.Total())
+	}
+}
+
+func TestDBUpdateAndLoad(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProfile("/usr/shlib/X11/libos.so", sim.EvCycles)
+	p.Add(16, 3)
+	if err := db.Update(p); err != nil {
+		t.Fatal(err)
+	}
+	// Second update merges.
+	q := NewProfile("/usr/shlib/X11/libos.so", sim.EvCycles)
+	q.Add(16, 2)
+	q.Add(32, 9)
+	if err := db.Update(q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Load("/usr/shlib/X11/libos.so", sim.EvCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counts[16] != 5 || got.Counts[32] != 9 {
+		t.Errorf("counts = %v", got.Counts)
+	}
+	// Missing profile loads empty.
+	empty, err := db.Load("/nonexistent", sim.EvCycles)
+	if err != nil || len(empty.Counts) != 0 {
+		t.Errorf("missing profile: %v, %v", empty, err)
+	}
+}
+
+func TestDBSeparateFilesPerImageAndEvent(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []sim.Event{sim.EvCycles, sim.EvIMiss} {
+		for _, img := range []string{"/vmunix", "/bin/app"} {
+			p := NewProfile(img, ev)
+			p.Add(0, 1)
+			if err := db.Update(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	all, err := db.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("profiles = %d, want 4", len(all))
+	}
+	// Sorted by path then event.
+	if all[0].ImagePath != "/bin/app" || all[0].Event != sim.EvCycles {
+		t.Errorf("first profile = %s/%v", all[0].ImagePath, all[0].Event)
+	}
+}
+
+func TestDBEpochs(t *testing.T) {
+	root := t.TempDir()
+	db, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Epoch() != 1 {
+		t.Errorf("initial epoch = %d", db.Epoch())
+	}
+	p := NewProfile("/bin/app", sim.EvCycles)
+	p.Add(0, 1)
+	if err := db.Update(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.NewEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	// The new epoch is empty.
+	got, err := db.Load("/bin/app", sim.EvCycles)
+	if err != nil || len(got.Counts) != 0 {
+		t.Errorf("new epoch should be empty: %v %v", got.Counts, err)
+	}
+	// Reopening resumes the latest epoch.
+	db2, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Epoch() != 2 {
+		t.Errorf("reopened epoch = %d", db2.Epoch())
+	}
+}
+
+func TestDiskUsage(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := db.DiskUsage(); err != nil || n != 0 {
+		t.Errorf("empty usage = %d, %v", n, err)
+	}
+	p := NewProfile("/bin/app", sim.EvCycles)
+	for i := uint64(0); i < 1000; i++ {
+		p.Add(i*4, i+1)
+	}
+	if err := db.Update(p); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.DiskUsage()
+	if err != nil || n <= 0 {
+		t.Fatalf("usage = %d, %v", n, err)
+	}
+	// Compactness: 1000 hot instructions = 4KB of code; the profile should
+	// be within the same order of magnitude, not 16 bytes per sample.
+	if n > 8000 {
+		t.Errorf("profile size = %d bytes for 1000 entries, not compact", n)
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// Dense consecutive offsets with small counts: ~2 bytes per entry.
+	p := NewProfile("/bin/app", sim.EvCycles)
+	for i := uint64(0); i < 10000; i++ {
+		p.Add(i*4, 3)
+	}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	perEntry := float64(buf.Len()) / 10000
+	if perEntry > 3 {
+		t.Errorf("bytes per entry = %.2f, want <= 3", perEntry)
+	}
+}
+
+func TestFileNameMangling(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := db.Path("/usr/shlib/X11/lib_dec_ffb_ev5.so", sim.EvCycles)
+	base := filepath.Base(path)
+	if base != "usr_shlib_X11_lib_dec_ffb_ev5.so.cycles.prof" {
+		t.Errorf("file name = %q", base)
+	}
+	// Update must actually create that file.
+	p := NewProfile("/usr/shlib/X11/lib_dec_ffb_ev5.so", sim.EvCycles)
+	p.Add(0, 1)
+	if err := db.Update(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("profile file missing: %v", err)
+	}
+}

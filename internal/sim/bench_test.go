@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"dcpi/internal/alpha"
+	"dcpi/internal/image"
+	"dcpi/internal/loader"
+)
+
+// benchMachine builds a machine running the sum program for b.N-scaled work.
+func benchMachine(b *testing.B, mode Mode, iters int) (*Machine, *loader.Process) {
+	b.Helper()
+	kernel, abi := testKernel()
+	l := loader.New(kernel)
+	m := NewMachine(Options{Loader: l, ABI: abi, Seed: 7, Profile: ProfileConfig{Mode: mode}})
+	src := `
+main:
+	lda t0, 0(zero)
+	bis a0, zero, t3
+.loop:
+	addq t0, 1, t0
+	ldq t1, 0(t3)
+	xor t1, t0, t2
+	and t2, 0xff, t2
+	lda t3, 8(t3)
+	cmpult t0, a1, t4
+	bne t4, .loop
+	halt
+`
+	exec := image.New("bench", "/bin/bench", image.KindExecutable, alpha.MustAssemble(src))
+	p, err := l.NewProcess("bench", exec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Regs.WriteI(alpha.RegA0, loader.HeapBase)
+	p.Regs.WriteI(alpha.RegA1, uint64(iters))
+	m.Spawn(p)
+	return m, p
+}
+
+// BenchmarkSimulatorThroughput measures raw walker speed (instructions
+// simulated per second) without profiling.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	m, _ := benchMachine(b, ModeOff, b.N)
+	b.ResetTimer()
+	m.Run(1 << 60)
+	b.StopTimer()
+	st := m.Stats()
+	b.ReportMetric(float64(st.Instructions)/float64(b.N), "insts/op")
+	b.ReportMetric(float64(st.Cycles)/float64(st.Instructions), "sim-cpi")
+}
+
+// BenchmarkSimulatorWithSampling measures the walker with CYCLES sampling
+// enabled (no sink costs), isolating the sampling bookkeeping overhead.
+func BenchmarkSimulatorWithSampling(b *testing.B) {
+	m, _ := benchMachine(b, ModeCycles, b.N)
+	b.ResetTimer()
+	m.Run(1 << 60)
+	b.StopTimer()
+	b.ReportMetric(float64(m.Stats().Samples), "samples")
+}

@@ -1,0 +1,665 @@
+package sim
+
+import (
+	"dcpi/internal/alpha"
+	"dcpi/internal/image"
+	"dcpi/internal/loader"
+	"dcpi/internal/mem"
+	"dcpi/internal/pipeline"
+)
+
+// Cache geometry of the simulated machine (see DESIGN.md §3).
+var (
+	icacheCfg = mem.CacheConfig{Name: "icache", Size: 8 << 10, LineSize: 32, Assoc: 1}
+	dcacheCfg = mem.CacheConfig{Name: "dcache", Size: 8 << 10, LineSize: 32, Assoc: 1}
+	boardCfg  = mem.CacheConfig{Name: "board", Size: 2 << 20, LineSize: 64, Assoc: 1}
+)
+
+const (
+	itbEntries = 48
+	dtbEntries = 64
+	wbEntries  = 6
+	// wbDrainCycles is the write buffer's per-line retire time. It models
+	// the *contended* memory write path: when a loop streams (reads
+	// competing with writebacks for the memory bus), stores cannot retire
+	// faster than this, which is what makes the six-entry buffer fill and
+	// the paper's Figure 2 stq stalls appear. 120 cycles per 32-byte line
+	// puts the streaming copy loop at ~10 CPI, the paper's Figure 2 regime.
+	wbDrainCycles = 120
+	predEntries   = 512
+	deliverySkew  = 6 // cycles between counter overflow and interrupt delivery
+)
+
+// CPU is one simulated processor: private caches, TLBs, write buffer,
+// branch predictor, performance counters, and a run queue of processes.
+type CPU struct {
+	id    int
+	m     *Machine
+	model pipeline.Model
+
+	icache, dcache, board *mem.Cache
+	itb, dtb              *mem.TLB
+	wb                    *mem.WriteBuffer
+	pred                  *mem.Predictor
+
+	clock    int64
+	regReady [64]int64 // 0..31 integer, 32..63 floating point
+	fuFree   [4]int64  // indexed by pipeline.FU
+
+	// Fetch state.
+	fetchReadyAt  int64
+	lastFetchLine uint64
+	haveFetchLine bool
+	lastITBPage   uint64
+	lastITBASN    uint32
+	haveITBPage   bool
+
+	// Performance counters.
+	rng        *carta
+	cycEnabled bool
+	cycNext    int64 // absolute cycle of the next CYCLES overflow
+	evEnabled  bool
+	evActive   Event
+	// evRemaining holds each event counter's residual count; values
+	// persist across mux rotations (the hardware counter is saved and
+	// restored when the monitored event switches, so fine-grain
+	// multiplexing still accumulates to overflow).
+	evRemaining [NumEvents]int64
+	muxSlot     int64
+	skewed      []Event // event samples awaiting skewed delivery
+	pendingCost int64
+	nextPoll    int64
+
+	// Double sampling (§7): the second interrupt fires at the next issue
+	// group, pairing the previous sample's PC with the next head PC.
+	pendingEdge bool
+	edgeFromPC  uint64
+	edgeFromPID uint32
+
+	// Scheduling.
+	runq      []*loader.Process
+	cur       *loader.Process
+	rrNext    int
+	curSince  int64
+	nextTimer int64
+	resched   bool
+	idle      *loader.Process
+
+	// Statistics.
+	instructions, groups, samples, faults uint64
+	itbMissStalls                         uint64
+	SampleCounts                          [NumEvents]uint64
+	ContextSwitches                       uint64
+}
+
+func newCPU(id int, m *Machine) *CPU {
+	c := &CPU{
+		id:     id,
+		m:      m,
+		model:  m.Model,
+		icache: mem.NewCache(icacheCfg),
+		dcache: mem.NewCache(dcacheCfg),
+		board:  mem.NewCache(boardCfg),
+		itb:    mem.NewTLB(itbEntries),
+		dtb:    mem.NewTLB(dtbEntries),
+		wb:     mem.NewWriteBuffer(wbEntries, wbDrainCycles),
+		pred:   mem.NewPredictor(predEntries),
+		rng:    newCarta(m.cfg.Seed + uint32(id)*7919 + 1),
+	}
+	switch m.cfg.Mode {
+	case ModeCycles:
+		c.cycEnabled = true
+	case ModeDefault, ModeMux:
+		c.cycEnabled = true
+		c.evEnabled = true
+	}
+	c.evActive = EvIMiss
+	if c.cycEnabled {
+		c.cycNext = m.cfg.CyclesPeriod.draw(c.rng)
+	}
+	if c.evEnabled {
+		for _, ev := range []Event{EvIMiss, EvDMiss, EvBranchMP, EvDTBMiss} {
+			c.evRemaining[ev] = m.cfg.EventPeriod.draw(c.rng)
+		}
+	}
+	c.nextTimer = m.timerInterval
+	c.nextPoll = m.cfg.PollInterval
+	return c
+}
+
+// Clock returns the CPU's current cycle count.
+func (c *CPU) Clock() int64 { return c.clock }
+
+// Samples returns the number of samples this CPU delivered.
+func (c *CPU) Samples() uint64 { return c.samples }
+
+func ridx(o alpha.Operand) int {
+	if o.FP {
+		return 32 + int(o.Reg)
+	}
+	return int(o.Reg)
+}
+
+// Run executes until the run queue is drained or the clock reaches
+// maxCycles.
+func (c *CPU) Run(maxCycles int64) {
+	for c.clock < maxCycles {
+		if !c.step() {
+			return
+		}
+	}
+}
+
+// idleProc lazily creates the kernel idle pseudo-process (PID 0).
+func (c *CPU) idleProc() *loader.Process {
+	if c.idle == nil {
+		p := &loader.Process{PID: 0, Name: "kernel idle", Mem: mem.NewSparse()}
+		if err := p.Map(c.m.Loader.Kernel(), loader.KernelBase); err != nil {
+			panic(err)
+		}
+		p.PC = loader.KernelBase + c.m.ABI.IdleEntry
+		p.InKernel = true
+		c.idle = p
+	}
+	return c.idle
+}
+
+// ensureProcess wakes sleepers and picks the process to run. It returns
+// false when every process has exited.
+func (c *CPU) ensureProcess() bool {
+	anyBlocked := false
+	for _, p := range c.runq {
+		if p.State == loader.ProcBlocked {
+			if p.WakeAt <= c.clock {
+				p.State = loader.ProcRunnable
+			} else {
+				anyBlocked = true
+			}
+		}
+	}
+	if c.cur != nil && c.cur != c.idle && c.cur.State == loader.ProcRunnable && !c.resched {
+		return true
+	}
+	c.resched = false
+	n := len(c.runq)
+	for i := 0; i < n; i++ {
+		p := c.runq[(c.rrNext+i)%n]
+		if p.State == loader.ProcRunnable {
+			c.rrNext = (c.rrNext + i + 1) % n
+			c.switchTo(p)
+			return true
+		}
+	}
+	if !anyBlocked {
+		return false // everything exited
+	}
+	c.switchTo(c.idleProc())
+	return true
+}
+
+func (c *CPU) switchTo(p *loader.Process) {
+	if p == c.cur {
+		return
+	}
+	c.cur = p
+	c.curSince = c.clock
+	c.ContextSwitches++
+	for i := range c.regReady {
+		c.regReady[i] = c.clock
+	}
+	c.haveITBPage = false
+	if c.nextTimer < c.clock {
+		c.nextTimer = c.clock + c.m.timerInterval
+	}
+}
+
+func (c *CPU) fault(p *loader.Process) {
+	c.faults++
+	c.exit(p)
+}
+
+// exit terminates a process and tells the loader (which tells the daemon).
+func (c *CPU) exit(p *loader.Process) {
+	p.State = loader.ProcExited
+	c.cur = nil
+	c.m.Loader.ProcessExited(p.PID)
+}
+
+// fetch models the front end for the instruction at (im, off), virtual
+// address pc: ITB lookup and I-cache access. It returns the added fetch
+// penalty in cycles.
+func (c *CPU) fetch(p *loader.Process, im *image.Image, off, pc uint64) int64 {
+	var penalty int64
+	vpage := mem.PageOf(pc)
+	asn := fetchASN(p.PID, pc)
+	if !c.haveITBPage || vpage != c.lastITBPage || asn != c.lastITBASN {
+		if !c.itb.Lookup(asn, vpage) {
+			penalty += c.model.TLBMissPenalty
+			c.itbMissStalls++
+		}
+		c.lastITBPage, c.lastITBASN, c.haveITBPage = vpage, asn, true
+	}
+	phys := c.m.textPhys(im.ID, off)
+	line := c.icache.LineOf(phys)
+	if !c.haveFetchLine || line != c.lastFetchLine {
+		c.lastFetchLine, c.haveFetchLine = line, true
+		if !c.icache.Access(phys) {
+			c.countEvent(EvIMiss, p.PID, pc)
+			if c.board.Access(phys) {
+				penalty += c.model.L2Lat
+			} else {
+				penalty += c.model.MemLat
+			}
+		}
+	}
+	return penalty
+}
+
+func fetchASN(pid uint32, pc uint64) uint32 {
+	if pc >= loader.KernelBase {
+		return 0
+	}
+	return pid
+}
+
+// emit delivers one sample to the sink, charging the handler cost.
+func (c *CPU) emit(pid uint32, pc uint64, ev Event) {
+	c.samples++
+	c.SampleCounts[ev]++
+	if sink := c.m.cfg.Sink; sink != nil {
+		c.pendingCost += sink.Sample(Sample{CPU: c.id, PID: pid, PC: pc, Event: ev})
+	}
+}
+
+// emitEdge delivers a double-sampling edge sample (from -> to).
+func (c *CPU) emitEdge(pid uint32, from, to uint64) {
+	c.samples++
+	c.SampleCounts[EvEdge]++
+	if sink := c.m.cfg.Sink; sink != nil {
+		c.pendingCost += sink.Sample(Sample{CPU: c.id, PID: pid, PC: from, PC2: to, Event: EvEdge})
+	}
+}
+
+// deliverCycles attributes CYCLES-counter overflows whose (skewed) delivery
+// falls before end — the close of the current head-of-queue interval — to
+// the instruction at pc. Head intervals tile time contiguously, so every
+// delivery lands in exactly one interval. It returns the number of samples
+// delivered.
+func (c *CPU) deliverCycles(end int64, pid uint32, pc uint64) int {
+	if !c.cycEnabled {
+		return 0
+	}
+	n := 0
+	for c.cycNext+deliverySkew < end {
+		n++
+		c.emit(pid, pc, EvCycles)
+		if c.m.cfg.DoubleSample {
+			// Careful coding ensures the second interrupt captures the
+			// very next instruction (paper §7); the pairing completes at
+			// the next issue group.
+			c.pendingEdge = true
+			c.edgeFromPC = pc
+			c.edgeFromPID = pid
+		}
+		c.cycNext += c.m.cfg.CyclesPeriod.draw(c.rng)
+	}
+	return n
+}
+
+// countEvent counts one occurrence of a miss-type event on the second
+// counter; on overflow, IMISS samples attribute directly to the faulting pc
+// (usually accurate, §4.1.2) while DMISS/BRANCHMP deliveries are skewed onto
+// the next issue group's head instruction.
+func (c *CPU) countEvent(ev Event, pid uint32, pc uint64) {
+	if !c.evEnabled || ev != c.evActive {
+		return
+	}
+	c.evRemaining[ev]--
+	if c.evRemaining[ev] > 0 {
+		return
+	}
+	c.evRemaining[ev] = c.m.cfg.EventPeriod.draw(c.rng)
+	if ev == EvIMiss {
+		c.emit(pid, pc, ev)
+	} else {
+		c.skewed = append(c.skewed, ev)
+	}
+}
+
+// updateMux rotates the second counter's event in mux mode.
+func (c *CPU) updateMux() {
+	if c.m.cfg.Mode != ModeMux {
+		return
+	}
+	slot := c.clock / c.m.cfg.MuxInterval
+	if slot == c.muxSlot {
+		return
+	}
+	c.muxSlot = slot
+	events := [4]Event{EvIMiss, EvDMiss, EvBranchMP, EvDTBMiss}
+	c.evActive = events[slot%4] // residual counts persist across rotations
+}
+
+func (c *CPU) exactCount(im *image.Image, off uint64, taken, isCond bool) {
+	if c.m.Exact == nil {
+		return
+	}
+	exec, tk := c.m.Exact.ensure(im)
+	i := off / alpha.InstBytes
+	exec[i]++
+	if isCond && taken {
+		tk[i]++
+	}
+}
+
+func (c *CPU) commit(inst alpha.Inst, issue, loadExtra int64) {
+	if d, ok := inst.Dest(); ok {
+		c.regReady[ridx(d)] = issue + c.model.Latency(inst.Op) + loadExtra
+	}
+	if fu, busy := c.model.FUse(inst.Op); fu != pipeline.FUNone {
+		c.fuFree[fu] = issue + busy
+	}
+}
+
+// controlFlow applies branch-prediction effects and fetch redirects.
+func (c *CPU) controlFlow(p *loader.Process, inst alpha.Inst, pc uint64, out alpha.Outcome, issue int64) {
+	if inst.Op.IsCondBranch() {
+		if c.pred.Update(pc, out.Taken) {
+			c.countEvent(EvBranchMP, p.PID, pc)
+			c.fetchReadyAt = issue + 1 + c.model.MispredictPenalty
+		} else if out.Taken {
+			c.fetchReadyAt = issue + 1 + c.model.TakenBranchBubble
+		}
+		return
+	}
+	if out.Taken { // br/bsr/jmp/jsr/ret
+		c.fetchReadyAt = issue + 1 + c.model.TakenBranchBubble
+	}
+}
+
+// dataAccess models the memory system for one executed load or store and
+// returns (issueDelay, loadExtra): issueDelay stalls the instruction at
+// issue (DTB miss, write-buffer overflow); loadExtra lengthens a load's
+// result latency (D-cache miss), stalling consumers instead.
+func (c *CPU) dataAccess(p *loader.Process, pc uint64, out alpha.Outcome, at int64) (issueDelay, loadExtra int64) {
+	asn := dataASN(p.PID, out.MemAddr)
+	if !c.dtb.Lookup(asn, mem.PageOf(out.MemAddr)) {
+		issueDelay += c.model.TLBMissPenalty
+		c.countEvent(EvDTBMiss, p.PID, pc)
+	}
+	phys := c.m.PageMap.Translate(asn, out.MemAddr)
+	if out.MemIsStore {
+		issueDelay += c.wb.Store(c.dcache.LineOf(phys), at+issueDelay)
+		return issueDelay, 0
+	}
+	if !c.dcache.Access(phys) {
+		c.countEvent(EvDMiss, p.PID, pc)
+		if c.board.Access(phys) {
+			loadExtra = c.model.L2Lat
+		} else {
+			loadExtra = c.model.MemLat
+		}
+	}
+	return issueDelay, loadExtra
+}
+
+// step executes one issue group (head instruction plus an optional
+// dual-issued partner). It returns false when the CPU has no work left.
+func (c *CPU) step() bool {
+	if !c.ensureProcess() {
+		return false
+	}
+	p := c.cur
+
+	// Timer interrupt: delivered between issue groups, user mode only
+	// (kernel runs at high IPL; see paper §4.1.3 on deferred interrupts).
+	if !p.InKernel && c.clock >= c.nextTimer {
+		p.IntrRet = p.PC
+		p.IntrRegs = p.Regs // PALcode saves state at interrupt entry
+		p.InKernel = true
+		p.PC = loader.KernelBase + c.m.ABI.TimerEntry
+		c.fetchReadyAt = c.clock + PALLatency
+	}
+
+	c.updateMux()
+
+	pc := p.PC
+	im, off, ok := p.Lookup(pc)
+	if !ok {
+		c.fault(p)
+		return true
+	}
+	inst := im.Code[off/alpha.InstBytes]
+	if inst.Op == alpha.OpInvalid {
+		c.fault(p)
+		return true
+	}
+
+	h := c.clock
+
+	// Samples skewed from the previous group land on this instruction.
+	for _, ev := range c.skewed {
+		c.emit(p.PID, pc, ev)
+	}
+	c.skewed = c.skewed[:0]
+
+	// Complete a pending double sample with this head instruction's PC.
+	if c.pendingEdge {
+		c.pendingEdge = false
+		if c.edgeFromPID == p.PID {
+			c.emitEdge(p.PID, c.edgeFromPC, pc)
+		}
+	}
+
+	// Front end.
+	earliest := h
+	if c.fetchReadyAt > earliest {
+		earliest = c.fetchReadyAt
+	}
+	earliest += c.fetch(p, im, off, pc)
+
+	// Operand and functional-unit readiness.
+	for _, s := range inst.Sources() {
+		if t := c.regReady[ridx(s)]; t > earliest {
+			earliest = t
+		}
+	}
+	if fu, _ := c.model.FUse(inst.Op); fu != pipeline.FUNone {
+		if t := c.fuFree[fu]; t > earliest {
+			earliest = t
+		}
+	}
+
+	// Architectural execution.
+	pmem := procMem{p, c.m.KernelMem}
+	out := alpha.Execute(inst, pc, &p.Regs, pmem)
+	if out.Fault != nil {
+		c.fault(p)
+		return true
+	}
+	if out.ReadCounter {
+		p.Regs.WriteI(inst.Ra, uint64(c.clock))
+	}
+
+	issue := earliest
+	var loadExtra int64
+	if out.MemSize != 0 {
+		d, le := c.dataAccess(p, pc, out, issue)
+		issue += d
+		loadExtra = le
+	}
+	if out.Barrier {
+		issue += c.wb.DrainAll(issue)
+	}
+
+	// Head-of-queue accounting and CYCLES sampling for [h, issue+1).
+	delivered := c.deliverCycles(issue+1, p.PID, pc)
+	c.groups++
+	c.instructions++
+	c.exactCount(im, off, out.Taken, inst.Op.IsCondBranch())
+
+	c.commit(inst, issue, loadExtra)
+	c.controlFlow(p, inst, pc, out, issue)
+	p.PC = out.NextPC
+
+	// Instruction interpretation (§7): a sampled conditional branch is
+	// decoded by the handler and its direction recorded as an edge sample.
+	if delivered > 0 && c.m.cfg.InterpretBranches && inst.Op.IsCondBranch() {
+		c.emitEdge(p.PID, pc, out.NextPC)
+	}
+
+	switch {
+	case out.IsPal:
+		c.handlePal(p, pc, out, issue)
+	case out.Halt:
+		c.exit(p)
+	default:
+		if !out.Taken && p.State == loader.ProcRunnable {
+			c.tryPair(p, inst, issue)
+		}
+	}
+
+	c.clock = issue + 1 + c.pendingCost
+	c.pendingCost = 0
+
+	// The "meta" method (paper footnote 2): overflows delivered while the
+	// interrupt handler itself runs are attributed to the handler's text
+	// rather than rolling onto the next instruction.
+	if c.m.cfg.MetaSamples && c.cycEnabled {
+		handlerPC := loader.KernelBase + c.m.ABI.HandlerEntry
+		for c.cycNext+deliverySkew < c.clock {
+			c.emit(p.PID, handlerPC, EvCycles)
+			c.cycNext += c.m.cfg.CyclesPeriod.draw(c.rng)
+		}
+		// Recursively-generated handler cost lands at the handler too.
+		if c.pendingCost > 0 {
+			c.clock += c.pendingCost
+			c.pendingCost = 0
+		}
+	}
+
+	if sink := c.m.cfg.Sink; sink != nil && c.clock >= c.nextPoll {
+		c.clock += sink.Poll(c.id, c.clock)
+		c.nextPoll = c.clock + c.m.cfg.PollInterval
+	}
+	return true
+}
+
+// tryPair attempts to dual-issue the instruction at p.PC alongside the
+// just-issued head instruction, applying the slotting rules plus dynamic
+// feasibility: the partner's fetch must already be resident, its operands
+// and functional unit ready, and its memory access must not need a TLB fill
+// or a full write buffer.
+func (c *CPU) tryPair(p *loader.Process, head alpha.Inst, issue int64) {
+	pc2 := p.PC
+	im2, off2, ok := p.Lookup(pc2)
+	if !ok {
+		return
+	}
+	inst2 := im2.Code[off2/alpha.InstBytes]
+	if inst2.Op == alpha.OpInvalid || !pipeline.CanPair(head, inst2) {
+		return
+	}
+
+	// Fetch residency (probe only; a miss will be taken when it is head).
+	vpage2 := mem.PageOf(pc2)
+	asn2 := fetchASN(p.PID, pc2)
+	if !(c.haveITBPage && vpage2 == c.lastITBPage && asn2 == c.lastITBASN) &&
+		!c.itb.Probe(asn2, vpage2) {
+		return
+	}
+	phys2 := c.m.textPhys(im2.ID, off2)
+	if c.icache.LineOf(phys2) != c.lastFetchLine && !c.icache.Probe(phys2) {
+		return
+	}
+
+	// Operand and FU readiness at the shared issue cycle.
+	for _, s := range inst2.Sources() {
+		if c.regReady[ridx(s)] > issue {
+			return
+		}
+	}
+	if fu, _ := c.model.FUse(inst2.Op); fu != pipeline.FUNone && c.fuFree[fu] > issue {
+		return
+	}
+
+	// Memory feasibility, computed without architectural effects.
+	if inst2.Op.IsLoad() || inst2.Op.IsStore() {
+		addr := p.Regs.ReadI(inst2.Rb) + uint64(int64(inst2.Disp))
+		asn := dataASN(p.PID, addr)
+		if !c.dtb.Probe(asn, mem.PageOf(addr)) {
+			return
+		}
+		if inst2.Op.IsStore() {
+			phys := c.m.PageMap.Translate(asn, addr)
+			if c.wb.Full(c.dcache.LineOf(phys), issue) {
+				return
+			}
+		}
+	}
+
+	// Commit the pair.
+	pmem := procMem{p, c.m.KernelMem}
+	out2 := alpha.Execute(inst2, pc2, &p.Regs, pmem)
+	if out2.Fault != nil {
+		c.fault(p)
+		return
+	}
+	if out2.ReadCounter {
+		p.Regs.WriteI(inst2.Ra, uint64(c.clock))
+	}
+	var loadExtra2 int64
+	if out2.MemSize != 0 {
+		d, le := c.dataAccess(p, pc2, out2, issue)
+		loadExtra2 = le + d // any residual delay folds into result latency
+	}
+	c.instructions++
+	c.exactCount(im2, off2, out2.Taken, inst2.Op.IsCondBranch())
+	c.commit(inst2, issue, loadExtra2)
+	c.controlFlow(p, inst2, pc2, out2, issue)
+	p.PC = out2.NextPC
+}
+
+// handlePal implements the PALcode services: syscall entry/exit and
+// interrupt return. The PAL sequence is uninterruptible; its latency shows
+// up as a fetch delay on the next instruction, which therefore accumulates
+// any samples whose delivery falls inside the window (paper §4.1.3).
+func (c *CPU) handlePal(p *loader.Process, pc uint64, out alpha.Outcome, issue int64) {
+	c.fetchReadyAt = issue + 1 + PALLatency
+	switch out.Pal {
+	case PalCallsys:
+		p.SyscallNo = p.Regs.ReadI(alpha.RegV0)
+		p.SyscallRet = pc + alpha.InstBytes
+		p.InKernel = true
+		p.PC = loader.KernelBase + c.m.ABI.SyscallEntry
+	case PalRetsys:
+		c.applySyscall(p)
+		p.InKernel = false
+		p.PC = p.SyscallRet
+	case PalRti:
+		p.InKernel = false
+		p.PC = p.IntrRet
+		p.Regs = p.IntrRegs // PALcode restores state at interrupt return
+		c.nextTimer = c.clock + c.m.timerInterval
+		c.resched = true
+	default:
+		// Unknown PAL call: treated as an expensive no-op.
+	}
+}
+
+func (c *CPU) applySyscall(p *loader.Process) {
+	switch p.SyscallNo {
+	case SysExit:
+		c.exit(p)
+	case SysYield:
+		c.resched = true
+	case SysSleep:
+		p.State = loader.ProcBlocked
+		p.WakeAt = c.clock + int64(p.Regs.ReadI(alpha.RegA1))
+		c.resched = true
+	case SysWrite:
+		// The kernel code already performed the copy/checksum work.
+	case SysGetPID:
+		p.Regs.WriteI(alpha.RegV0, uint64(p.PID))
+	}
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+
+	"dcpi/internal/image"
+	"dcpi/internal/loader"
+	"dcpi/internal/mem"
+	"dcpi/internal/pipeline"
+)
+
+// Options configures a Machine.
+type Options struct {
+	Model   pipeline.Model // zero value -> pipeline.Default()
+	NumCPUs int            // 0 -> 1
+	ABI     KernelABI
+	Loader  *loader.Loader
+	Profile ProfileConfig
+
+	// Seed drives virtual-to-physical page placement; different seeds model
+	// different runs of the same workload (the wave5 variance effect).
+	Seed      uint64
+	PhysPages uint64 // 0 -> 64K pages (512 MB)
+
+	Quantum       int64 // context-switch quantum in cycles; 0 -> 400K
+	TimerInterval int64 // timer-interrupt interval; 0 -> same as Quantum
+
+	// CollectExact turns on per-instruction execution and branch-direction
+	// counting (the dcpix/pixie role).
+	CollectExact bool
+}
+
+// Counts holds exact execution counts, keyed by image ID.
+type Counts struct {
+	// Exec[imageID][i] is how many times instruction i executed.
+	Exec map[uint32][]uint64
+	// Taken[imageID][i] is how many times the conditional branch at i was
+	// taken; Exec-Taken gives the fall-through count.
+	Taken map[uint32][]uint64
+}
+
+func newCounts() *Counts {
+	return &Counts{Exec: make(map[uint32][]uint64), Taken: make(map[uint32][]uint64)}
+}
+
+func (c *Counts) ensure(im *image.Image) ([]uint64, []uint64) {
+	e, ok := c.Exec[im.ID]
+	if !ok {
+		e = make([]uint64, len(im.Code))
+		c.Exec[im.ID] = e
+		c.Taken[im.ID] = make([]uint64, len(im.Code))
+	}
+	return e, c.Taken[im.ID]
+}
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	Model     pipeline.Model
+	Loader    *loader.Loader
+	KernelMem *mem.Sparse
+	PageMap   *mem.PageMapper
+	CPUs      []*CPU
+	ABI       KernelABI
+	Exact     *Counts
+
+	cfg           ProfileConfig
+	quantum       int64
+	timerInterval int64
+	nextCPU       int
+}
+
+// NewMachine builds a machine. The loader must already hold the kernel
+// image; workloads then create processes and Spawn them onto CPUs.
+func NewMachine(opts Options) *Machine {
+	if opts.Loader == nil {
+		panic("sim: Options.Loader is required")
+	}
+	model := opts.Model
+	if model == (pipeline.Model{}) {
+		model = pipeline.Default()
+	}
+	ncpu := opts.NumCPUs
+	if ncpu == 0 {
+		ncpu = 1
+	}
+	physPages := opts.PhysPages
+	if physPages == 0 {
+		physPages = 64 * 1024
+	}
+	quantum := opts.Quantum
+	if quantum == 0 {
+		quantum = 400_000
+	}
+	timer := opts.TimerInterval
+	if timer == 0 {
+		timer = quantum
+	}
+	m := &Machine{
+		Model:         model,
+		Loader:        opts.Loader,
+		KernelMem:     mem.NewSparse(),
+		PageMap:       mem.NewPageMapper(physPages, opts.Seed),
+		ABI:           opts.ABI,
+		cfg:           opts.Profile.withDefaults(),
+		quantum:       quantum,
+		timerInterval: timer,
+	}
+	if opts.CollectExact {
+		m.Exact = newCounts()
+	}
+	for i := 0; i < ncpu; i++ {
+		m.CPUs = append(m.CPUs, newCPU(i, m))
+	}
+	return m
+}
+
+// textASN returns the page-mapper key for an image's text pages. Text
+// placement is keyed by image, not process, so shared libraries share
+// physical pages (and cache lines) across processes.
+func textASN(imageID uint32) uint32 { return 0x8000_0000 | imageID }
+
+// dataASN returns the TLB/page-mapper context for a data address.
+func dataASN(pid uint32, vaddr uint64) uint32 {
+	if vaddr >= loader.KernelBase {
+		return 0
+	}
+	return pid
+}
+
+// textPhys translates an image-relative text offset to a physical address.
+func (m *Machine) textPhys(imageID uint32, off uint64) uint64 {
+	return m.PageMap.Translate(textASN(imageID), off)
+}
+
+// Spawn assigns a process to a CPU round-robin and makes it runnable.
+func (m *Machine) Spawn(p *loader.Process) *CPU {
+	c := m.CPUs[m.nextCPU%len(m.CPUs)]
+	m.nextCPU++
+	c.runq = append(c.runq, p)
+	return c
+}
+
+// SpawnOn assigns a process to a specific CPU.
+func (m *Machine) SpawnOn(cpu int, p *loader.Process) {
+	m.CPUs[cpu].runq = append(m.CPUs[cpu].runq, p)
+}
+
+// Run executes every CPU until its processes finish or it reaches maxCycles.
+// CPUs are independent (private caches); they run sequentially in
+// simulation. It returns the maximum CPU clock (the wall-clock cycles of the
+// run).
+func (m *Machine) Run(maxCycles int64) int64 {
+	var wall int64
+	for _, c := range m.CPUs {
+		c.Run(maxCycles)
+		if c.clock > wall {
+			wall = c.clock
+		}
+	}
+	return wall
+}
+
+// Stats aggregates machine-wide statistics.
+type Stats struct {
+	Cycles       int64
+	Instructions uint64
+	IssueGroups  uint64
+	Samples      uint64
+	ICacheMisses uint64
+	DCacheMisses uint64
+	ITBMisses    uint64
+	DTBMisses    uint64
+	Mispredicts  uint64
+	WBOverflows  uint64
+	Faults       uint64
+}
+
+// Stats sums statistics over all CPUs.
+func (m *Machine) Stats() Stats {
+	var s Stats
+	for _, c := range m.CPUs {
+		if c.clock > s.Cycles {
+			s.Cycles = c.clock
+		}
+		s.Instructions += c.instructions
+		s.IssueGroups += c.groups
+		s.Samples += c.samples
+		s.ICacheMisses += c.icache.Misses
+		s.DCacheMisses += c.dcache.Misses
+		s.ITBMisses += c.itb.Misses
+		s.DTBMisses += c.dtb.Misses
+		s.Mispredicts += c.pred.Mispredicts
+		s.WBOverflows += c.wb.Overflows
+		s.Faults += c.faults
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d insts=%d groups=%d samples=%d imiss=%d dmiss=%d itb=%d dtb=%d bmp=%d wb=%d faults=%d",
+		s.Cycles, s.Instructions, s.IssueGroups, s.Samples, s.ICacheMisses,
+		s.DCacheMisses, s.ITBMisses, s.DTBMisses, s.Mispredicts, s.WBOverflows, s.Faults)
+}
+
+// procMem adapts a process's split address space (user memory below
+// KernelBase, kernel memory above) to the alpha.Memory interface.
+type procMem struct {
+	p *loader.Process
+	k *mem.Sparse
+}
+
+func (pm procMem) Load(addr uint64, size int) uint64 {
+	if addr >= loader.KernelBase {
+		return pm.k.Load(addr, size)
+	}
+	return pm.p.Mem.Load(addr, size)
+}
+
+func (pm procMem) Store(addr uint64, size int, val uint64) {
+	if addr >= loader.KernelBase {
+		pm.k.Store(addr, size, val)
+		return
+	}
+	pm.p.Mem.Store(addr, size, val)
+}

@@ -1,0 +1,146 @@
+// Package workload builds the kernel image and the benchmark workloads of
+// the paper's Table 2, re-expressed for the simulated machine: McCalpin
+// STREAM loops, an x11perf-like server (Figure 1's procedure mix), SPEC-like
+// integer and floating-point programs (including the gcc-like many-PID
+// compile driver and the wave5-like variance study), multiprocessor
+// AltaVista/DSS-like servers, and a timesharing mix.
+package workload
+
+import (
+	"fmt"
+
+	"dcpi/internal/alpha"
+	"dcpi/internal/image"
+	"dcpi/internal/sim"
+)
+
+// kernelSrc is the vmunix kernel: syscall dispatch (with real in_checksum
+// and bcopy work on write), the clock interrupt handler, and the idle loop.
+// Kernel code uses t0..t7 as scratch (caller-saved across syscalls) and t7
+// as the internal link register, so the user's ra survives syscalls.
+const kernelSrc = `
+syscall_dispatch:
+	beq   v0, .sys_done        ; exit(0): nothing to do in-kernel
+	cmpeq v0, 3, t0
+	bne   t0, .sys_write
+	cmpeq v0, 2, t0
+	bne   t0, .sys_sleep
+	cmpeq v0, 1, t0
+	bne   t0, .sys_yield
+	br    .sys_done
+.sys_write:
+	bsr   t7, in_checksum
+	bsr   t7, kbcopy
+	br    .sys_done
+.sys_sleep:
+	lda   t0, 4(zero)          ; timer bookkeeping
+.sleep_book:
+	subq  t0, 1, t0
+	bne   t0, .sleep_book
+	br    .sys_done
+.sys_yield:
+	nop
+	br    .sys_done
+.sys_done:
+	call_pal 0x84
+
+in_checksum:
+	; a0 = user buffer, a1 = byte length; sum quadwords into t0.
+	bis   a0, zero, t1
+	srl   a1, 3, t2
+	lda   t0, 0(zero)
+.ck_loop:
+	beq   t2, .ck_done
+	ldq   t3, 0(t1)
+	addq  t0, t3, t0
+	lda   t1, 8(t1)
+	subq  t2, 1, t2
+	br    .ck_loop
+.ck_done:
+	ret   (t7)
+
+kbcopy:
+	; copy a1 bytes from a0 into the kernel staging buffer.
+	lda   t0, 1(zero)
+	sll   t0, 40, t0           ; kernel base (1<<40)
+	lda   t1, 0x1000(zero)
+	sll   t1, 16, t1           ; data offset 0x10000000
+	addq  t0, t1, t1
+	lda   t1, 4096(t1)         ; staging area
+	bis   a0, zero, t2         ; src
+	srl   a1, 3, t3            ; quadwords
+.bc_loop:
+	beq   t3, .bc_done
+	ldq   t4, 0(t2)
+	stq   t4, 0(t1)
+	lda   t2, 8(t2)
+	lda   t1, 8(t1)
+	subq  t3, 1, t3
+	br    .bc_loop
+.bc_done:
+	ret   (t7)
+
+hardclock:
+	; bump the tick counter and scan the run queue.
+	lda   t0, 1(zero)
+	sll   t0, 40, t0
+	lda   t1, 0x1000(zero)
+	sll   t1, 16, t1
+	addq  t0, t1, t1
+	ldq   t2, 0(t1)
+	addq  t2, 1, t2
+	stq   t2, 0(t1)
+	lda   t3, 8(zero)
+	lda   t4, 64(t1)
+.hc_scan:
+	ldq   t5, 0(t4)
+	lda   t4, 8(t4)
+	subq  t3, 1, t3
+	bne   t3, .hc_scan
+	call_pal 0x85
+
+idle_thread:
+	lda   t0, 1(zero)
+	sll   t0, 40, t0
+	lda   t1, 0x1000(zero)
+	sll   t1, 16, t1
+	addq  t0, t1, t1
+.idle_loop:
+	ldq   t2, 0(t1)            ; watch the tick counter
+	nop
+	addq  t3, 1, t3
+	br    .idle_loop
+
+perfcount_intr:
+	; the performance-counter interrupt handler's text. The simulator
+	; models the handler's cycles as a cost, so this body never executes;
+	; it exists so the paper's "meta" method (footnote 2) has an address
+	; to attribute in-handler samples to.
+	nop
+	nop
+	ret   (t7)
+`
+
+// Kernel assembles the vmunix image and returns it with its ABI offsets.
+func Kernel() (*image.Image, sim.KernelABI) {
+	asm := alpha.MustAssemble(kernelSrc)
+	im := image.New("vmunix", "/vmunix", image.KindKernel, asm)
+	var abi sim.KernelABI
+	var haveSys, haveClock, haveIdle bool
+	for _, s := range im.Symbols {
+		switch s.Name {
+		case "syscall_dispatch":
+			abi.SyscallEntry, haveSys = s.Offset, true
+		case "hardclock":
+			abi.TimerEntry, haveClock = s.Offset, true
+		case "idle_thread":
+			abi.IdleEntry, haveIdle = s.Offset, true
+		case "perfcount_intr":
+			abi.HandlerEntry = s.Offset
+		}
+	}
+	if !haveSys || !haveClock || !haveIdle {
+		panic(fmt.Sprintf("workload: kernel missing entry points (%v %v %v)", haveSys, haveClock, haveIdle))
+	}
+	return im, abi
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"testing"
+
+	"dcpi/internal/loader"
+	"dcpi/internal/sim"
+)
+
+// runSpec sets up and runs a workload at small scale, returning the machine.
+func runSpec(t *testing.T, name string, scale float64, maxCycles int64) (*sim.Machine, *loader.Loader) {
+	t.Helper()
+	spec, ok := Get(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	kernel, abi := Kernel()
+	l := loader.New(kernel)
+	m := sim.NewMachine(sim.Options{
+		NumCPUs: spec.NumCPUs,
+		ABI:     abi,
+		Loader:  l,
+		Seed:    42,
+	})
+	if err := spec.Setup(&Ctx{Loader: l, Machine: m, Scale: scale}); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(maxCycles)
+	return m, l
+}
+
+func TestKernelAssembles(t *testing.T) {
+	im, abi := Kernel()
+	if err := im.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if abi.SyscallEntry == abi.TimerEntry || abi.TimerEntry == abi.IdleEntry {
+		t.Error("kernel entry points collide")
+	}
+	for _, name := range []string{"syscall_dispatch", "in_checksum", "kbcopy", "hardclock", "idle_thread"} {
+		if _, ok := im.Symbol(name); !ok {
+			t.Errorf("kernel missing %s", name)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"altavista", "compress", "dss", "gcc", "go", "li",
+		"mccalpin-assign", "mccalpin-saxpy", "mccalpin-scale", "mccalpin-sum",
+		"mgrid", "swim", "timeshare", "vortex", "wave5", "x11perf",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registered = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, s := range All() {
+		if s.Description == "" || s.Setup == nil || s.NumCPUs < 1 {
+			t.Errorf("spec %q incomplete", s.Name)
+		}
+	}
+}
+
+// TestAllWorkloadsRunToCompletion runs every workload at tiny scale and
+// checks that every process exits without faults.
+func TestAllWorkloadsRunToCompletion(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m, l := runSpec(t, spec.Name, 0.05, 1<<31)
+			st := m.Stats()
+			if st.Faults != 0 {
+				t.Fatalf("faults: %v", st)
+			}
+			if st.Instructions == 0 {
+				t.Fatal("no instructions executed")
+			}
+			for _, p := range l.Processes() {
+				if p.State != loader.ProcExited {
+					t.Errorf("process %s did not exit (state %v, pc %#x)", p.Name, p.State, p.PC)
+				}
+			}
+			t.Logf("%-16s cycles=%-12d insts=%-12d cpi=%.2f", spec.Name, st.Cycles, st.Instructions,
+				float64(st.Cycles)/float64(st.Instructions))
+		})
+	}
+}
+
+func TestWave5VarianceAcrossSeeds(t *testing.T) {
+	// Different page placements must change wave5's run time (the §3.3
+	// effect dcpistats isolates).
+	spec, _ := Get("wave5")
+	walls := map[int64]bool{}
+	for seed := uint64(1); seed <= 4; seed++ {
+		kernel, abi := Kernel()
+		l := loader.New(kernel)
+		m := sim.NewMachine(sim.Options{ABI: abi, Loader: l, Seed: seed})
+		if err := spec.Setup(&Ctx{Loader: l, Machine: m, Scale: 0.2}); err != nil {
+			t.Fatal(err)
+		}
+		walls[m.Run(1<<31)] = true
+	}
+	if len(walls) < 2 {
+		t.Errorf("wave5 run time identical across seeds: %v", walls)
+	}
+}
+
+func TestX11UsesSharedLibrariesAndKernel(t *testing.T) {
+	m, l := runSpec(t, "x11perf", 0.05, 1<<31)
+	_ = m
+	paths := map[string]bool{}
+	for _, im := range l.Images() {
+		paths[im.Path] = true
+	}
+	for _, want := range []string{
+		"/usr/shlib/X11/libdix.so", "/usr/shlib/X11/libos.so",
+		"/usr/shlib/X11/libmi.so", "/usr/shlib/X11/lib_dec_ffb_ev5.so",
+		"/vmunix", "/usr/bin/X11/x11perf",
+	} {
+		if !paths[want] {
+			t.Errorf("image %s not registered", want)
+		}
+	}
+}
+
+func TestGCCManyPIDs(t *testing.T) {
+	_, l := runSpec(t, "gcc", 0.02, 1<<31)
+	pids := map[uint32]bool{}
+	for _, p := range l.Processes() {
+		pids[p.PID] = true
+	}
+	if len(pids) < 10 {
+		t.Errorf("gcc spawned %d PIDs, want many", len(pids))
+	}
+}
+
+func TestTimeshareSleepsAndWakes(t *testing.T) {
+	m, l := runSpec(t, "timeshare", 0.1, 1<<31)
+	var switches uint64
+	for _, c := range m.CPUs {
+		switches += c.ContextSwitches
+	}
+	if switches < uint64(len(l.Processes())) {
+		t.Errorf("context switches = %d", switches)
+	}
+}
