@@ -4,21 +4,36 @@
 // Usage:
 //
 //	dcpieval -table 3            # Tables: 2, 3, 4, 5
-//	dcpieval -fig 2              # Figures: 1, 2, 3, 4, 6, 8, 9, 10
+//	dcpieval -fig 2              # Figures: 1-4, 6-10
 //	dcpieval -ablation ht        # §5.4 hash-table design sweep
 //	dcpieval -all                # everything
+//	dcpieval -all -j 8           # ... with eight simulation workers
 //
-// Flags -runs and -scale trade time for confidence.
+// Flags -runs and -scale trade time for confidence. All experiments share
+// one simulation runner (internal/runner): sections run concurrently, -j
+// bounds how many machine simulations execute at once (default GOMAXPROCS),
+// and identical run configurations across sections are simulated exactly
+// once. Sections stream to stdout in their fixed order as they complete, so
+// long sweeps show progress; output is byte-identical for every -j value.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"dcpi/internal/eval"
+	"dcpi/internal/runner"
 )
+
+// section is one independently runnable report: it renders into w and all
+// its simulations go through the shared runner inside eval.Options.
+type section struct {
+	name string
+	fn   func(w io.Writer) error
+}
 
 func main() {
 	var (
@@ -28,22 +43,13 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate everything")
 		runs     = flag.Int("runs", 0, "runs per configuration (default 5)")
 		scale    = flag.Float64("scale", 0, "workload scale (default 0.25)")
+		jobs     = flag.Int("j", 0, "concurrent simulation workers (default GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	o := eval.Options{Runs: *runs, Scale: *scale}
-	w := os.Stdout
+	sched := runner.New(*jobs)
+	o := eval.Options{Runs: *runs, Scale: *scale, Runner: sched}
 
-	run := func(name string, f func() error) {
-		fmt.Fprintf(w, "==== %s ====\n\n", name)
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "dcpieval: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(w)
-	}
-
-	any := false
 	want := func(t, f int, abl string) bool {
 		if *all {
 			return true
@@ -57,9 +63,13 @@ func main() {
 		return abl != "" && abl == *ablation
 	}
 
+	var sections []section
+	add := func(name string, fn func(io.Writer) error) {
+		sections = append(sections, section{name, fn})
+	}
+
 	if want(2, 0, "") {
-		any = true
-		run("Table 2: workloads and base runtimes", func() error {
+		add("Table 2: workloads and base runtimes", func(w io.Writer) error {
 			rows, err := eval.Table2(o)
 			if err != nil {
 				return err
@@ -69,8 +79,7 @@ func main() {
 		})
 	}
 	if want(3, 0, "") {
-		any = true
-		run("Table 3: overall slowdown", func() error {
+		add("Table 3: overall slowdown", func(w io.Writer) error {
 			rows, err := eval.Table3(o)
 			if err != nil {
 				return err
@@ -80,8 +89,7 @@ func main() {
 		})
 	}
 	if want(4, 0, "") {
-		any = true
-		run("Table 4: time overhead components", func() error {
+		add("Table 4: time overhead components", func(w io.Writer) error {
 			rows, err := eval.Table4(o)
 			if err != nil {
 				return err
@@ -91,8 +99,7 @@ func main() {
 		})
 	}
 	if want(5, 0, "") {
-		any = true
-		run("Table 5: space overhead", func() error {
+		add("Table 5: space overhead", func(w io.Writer) error {
 			rows, err := eval.Table5(o)
 			if err != nil {
 				return err
@@ -102,16 +109,13 @@ func main() {
 		})
 	}
 	if want(0, 1, "") {
-		any = true
-		run("Figure 1: dcpiprof on x11perf", func() error { return eval.Fig1(o, w) })
+		add("Figure 1: dcpiprof on x11perf", func(w io.Writer) error { return eval.Fig1(o, w) })
 	}
 	if want(0, 2, "") {
-		any = true
-		run("Figure 2: dcpicalc on the copy loop", func() error { return eval.Fig2(o, w) })
+		add("Figure 2: dcpicalc on the copy loop", func(w io.Writer) error { return eval.Fig2(o, w) })
 	}
 	if want(0, 3, "") || want(0, 4, "") {
-		any = true
-		run("Figures 3 & 4: dcpistats and the smooth_ summary", func() error {
+		add("Figures 3 & 4: dcpistats and the smooth_ summary", func(w io.Writer) error {
 			results, err := eval.Fig3(o, figWriter(w, 3, *fig, *all))
 			if err != nil {
 				return err
@@ -120,14 +124,12 @@ func main() {
 		})
 	}
 	if want(0, 7, "") {
-		any = true
-		run("Figure 7: frequency estimation for the copy loop", func() error {
+		add("Figure 7: frequency estimation for the copy loop", func(w io.Writer) error {
 			return eval.Fig7(o, w)
 		})
 	}
 	if want(0, 6, "") {
-		any = true
-		run("Figure 6: running-time distributions", func() error {
+		add("Figure 6: running-time distributions", func(w io.Writer) error {
 			series, err := eval.Fig6(o)
 			if err != nil {
 				return err
@@ -137,8 +139,7 @@ func main() {
 		})
 	}
 	if want(0, 8, "") {
-		any = true
-		run("Figure 8: instruction-frequency accuracy", func() error {
+		add("Figure 8: instruction-frequency accuracy", func(w io.Writer) error {
 			res, err := eval.Fig8(o)
 			if err != nil {
 				return err
@@ -154,8 +155,7 @@ func main() {
 		})
 	}
 	if want(0, 9, "") {
-		any = true
-		run("Figure 9: edge-frequency accuracy", func() error {
+		add("Figure 9: edge-frequency accuracy", func(w io.Writer) error {
 			res, err := eval.Fig9(o)
 			if err != nil {
 				return err
@@ -177,8 +177,7 @@ func main() {
 		})
 	}
 	if want(0, 10, "") {
-		any = true
-		run("Figure 10: I-cache stalls vs IMISS events", func() error {
+		add("Figure 10: I-cache stalls vs IMISS events", func(w io.Writer) error {
 			res, err := eval.Fig10(o)
 			if err != nil {
 				return err
@@ -188,8 +187,7 @@ func main() {
 		})
 	}
 	if want(0, 0, "ht") {
-		any = true
-		run("Ablation: hash-table design space (§5.4)", func() error {
+		add("Ablation: hash-table design space (§5.4)", func(w io.Writer) error {
 			res, err := eval.AblationHT(o)
 			if err != nil {
 				return err
@@ -199,9 +197,46 @@ func main() {
 		})
 	}
 
-	if !any {
+	if len(sections) == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Run every section concurrently — simulations are bounded by the
+	// runner's -j workers and deduplicated across sections — and stream
+	// each section's rendering to stdout in order as soon as it (and all
+	// sections before it) complete. This keeps output byte-identical for
+	// any -j while long sweeps still show progress section by section.
+	type done struct {
+		buf bytes.Buffer
+		err error
+		ch  chan struct{}
+	}
+	states := make([]*done, len(sections))
+	for i, s := range sections {
+		st := &done{ch: make(chan struct{})}
+		states[i] = st
+		go func(s section, st *done) {
+			defer close(st.ch)
+			fmt.Fprintf(&st.buf, "==== %s ====\n\n", s.name)
+			if err := s.fn(&st.buf); err != nil {
+				st.err = err
+				return
+			}
+			fmt.Fprintln(&st.buf)
+		}(s, st)
+	}
+	for i, st := range states {
+		<-st.ch
+		os.Stdout.Write(st.buf.Bytes())
+		if st.err != nil {
+			fmt.Fprintf(os.Stderr, "dcpieval: %s: %v\n", sections[i].name, st.err)
+			os.Exit(1)
+		}
+	}
+	if sims, dups := sched.Stats(); dups > 0 {
+		fmt.Fprintf(os.Stderr, "dcpieval: %d simulations run, %d duplicate requests served from cache\n",
+			sims, dups)
 	}
 }
 

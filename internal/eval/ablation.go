@@ -44,11 +44,11 @@ func AblationHT(o Options) (*AblationResult, error) {
 	if scale < 0.25 {
 		scale = 0.25
 	}
-	r, err := dcpi.Run(dcpi.Config{
+	r, err := o.Runner.Run(dcpi.Config{
 		Workload:           wl,
 		Scale:              scale,
 		Mode:               sim.ModeCycles,
-		Seed:               o.SeedBase,
+		Seed:               seedFor(o.SeedBase, "ablation", wl, 0),
 		CyclesPeriod:       sim.PeriodSpec{Base: 448, Spread: 128},
 		TraceSamples:       true,
 		ZeroCostCollection: true,

@@ -9,6 +9,7 @@ import (
 	"dcpi/internal/cfg"
 	"dcpi/internal/dcpi"
 	"dcpi/internal/image"
+	"dcpi/internal/runner"
 	"dcpi/internal/sim"
 	"dcpi/internal/stats"
 )
@@ -67,22 +68,17 @@ func (a *AccuracyResult) finish() {
 
 // forEachProcAnalysis runs a workload suite with dense zero-cost CYCLES
 // sampling and exact counting, invoking fn for every sampled procedure.
+// All runs are submitted up front; Figures 8 and 9 request identical
+// configurations, so a shared runner simulates the suite once for both.
 func forEachProcAnalysis(o Options, suite []string, mode sim.Mode,
 	fn func(r *dcpi.Result, im *image.Image, sym alpha.Symbol, pa *analysis.ProcAnalysis)) error {
 	o = o.withDefaults()
+	pending := make([]*runner.Pending, len(suite))
 	for i, wl := range suite {
-		r, err := dcpi.Run(dcpi.Config{
-			Workload:           wl,
-			Scale:              o.Scale,
-			Mode:               mode,
-			Seed:               o.SeedBase + uint64(i),
-			CyclesPeriod:       o.DensePeriod,
-			EventPeriod:        o.DenseEventPeriod,
-			CollectExact:       true,
-			ZeroCostCollection: true,
-			DoubleSample:       o.DoubleSample,
-			InterpretBranches:  o.InterpretBranches,
-		})
+		pending[i] = o.Runner.Submit(accCfg(o, wl, mode, 0))
+	}
+	for i, wl := range suite {
+		r, err := pending[i].Wait()
 		if err != nil {
 			return fmt.Errorf("accuracy %s: %w", wl, err)
 		}

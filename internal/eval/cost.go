@@ -7,6 +7,7 @@ import (
 
 	"dcpi/internal/dcpi"
 	"dcpi/internal/driver"
+	"dcpi/internal/runner"
 	"dcpi/internal/sim"
 )
 
@@ -35,16 +36,27 @@ var Table4Modes = []sim.Mode{sim.ModeCycles, sim.ModeDefault, sim.ModeMux}
 // workloads, cold misses would dominate the miss rate).
 func Table4(o Options) ([]Table4Row, error) {
 	o = o.withDefaults()
-	var rows []Table4Row
+	cfg := func(wl string, mode sim.Mode) dcpi.Config {
+		return dcpi.Config{
+			Workload:     wl,
+			Scale:        o.Scale,
+			Mode:         mode,
+			Seed:         seedFor(o.SeedBase, "table4", wl, 0),
+			CyclesPeriod: sim.PeriodSpec{Base: 4096, Spread: 512},
+		}
+	}
+	var pending []*runner.Pending
 	for _, wl := range o.Workloads {
 		for _, mode := range Table4Modes {
-			r, err := dcpi.Run(dcpi.Config{
-				Workload:     wl,
-				Scale:        o.Scale,
-				Mode:         mode,
-				Seed:         o.SeedBase,
-				CyclesPeriod: sim.PeriodSpec{Base: 4096, Spread: 512},
-			})
+			pending = append(pending, o.Runner.Submit(cfg(wl, mode)))
+		}
+	}
+	var rows []Table4Row
+	i := 0
+	for _, wl := range o.Workloads {
+		for _, mode := range Table4Modes {
+			r, err := pending[i].Wait()
+			i++
 			if err != nil {
 				return nil, fmt.Errorf("table4 %s %v: %w", wl, mode, err)
 			}
@@ -105,28 +117,61 @@ type Table5Row struct {
 	DriverKernel int   // pinned kernel memory (driver tables)
 }
 
-// Table5 measures daemon memory and profile-database disk usage.
+// Table5Modes are the two disk-backed configurations measured.
+var Table5Modes = []sim.Mode{sim.ModeCycles, sim.ModeDefault}
+
+// Table5 measures daemon memory and profile-database disk usage. These
+// runs write real on-disk databases (each into its own temporary
+// directory), so the runner schedules them in parallel but never caches
+// them; the directory is deleted as soon as its size has been read.
 func Table5(o Options) ([]Table5Row, error) {
 	o = o.withDefaults()
-	var rows []Table5Row
+	type dbRun struct {
+		dir     string
+		pending *runner.Pending
+	}
+	var runs []dbRun
 	for _, wl := range o.Workloads {
-		for _, mode := range []sim.Mode{sim.ModeCycles, sim.ModeDefault} {
+		for _, mode := range Table5Modes {
 			dir, err := os.MkdirTemp("", "dcpi-eval-db-")
 			if err != nil {
+				for _, dr := range runs {
+					dr.pending.Wait()
+					os.RemoveAll(dr.dir)
+				}
 				return nil, err
 			}
-			r, runErr := dcpi.Run(dcpi.Config{
-				Workload: wl, Scale: o.Scale, Mode: mode, Seed: o.SeedBase, DBDir: dir,
-			})
+			runs = append(runs, dbRun{dir, o.Runner.Submit(dcpi.Config{
+				Workload: wl, Scale: o.Scale, Mode: mode,
+				Seed:  seedFor(o.SeedBase, "table5", wl, 0),
+				DBDir: dir,
+			})})
+		}
+	}
+	cleanup := func(from int) {
+		for _, dr := range runs[from:] {
+			dr.pending.Wait()
+			os.RemoveAll(dr.dir)
+		}
+	}
+	var rows []Table5Row
+	i := 0
+	for _, wl := range o.Workloads {
+		for _, mode := range Table5Modes {
+			dr := runs[i]
+			r, runErr := dr.pending.Wait()
 			if runErr != nil {
-				os.RemoveAll(dir)
+				os.RemoveAll(dr.dir)
+				cleanup(i + 1)
 				return nil, fmt.Errorf("table5 %s %v: %w", wl, mode, runErr)
 			}
 			disk, derr := r.DB.DiskUsage()
+			os.RemoveAll(dr.dir)
 			if derr != nil {
-				os.RemoveAll(dir)
+				cleanup(i + 1)
 				return nil, derr
 			}
+			i++
 			rows = append(rows, Table5Row{
 				Workload:     wl,
 				Mode:         mode,
@@ -136,7 +181,6 @@ func Table5(o Options) ([]Table5Row, error) {
 				DiskBytes:    disk,
 				DriverKernel: r.Driver.KernelMemoryBytes(),
 			})
-			os.RemoveAll(dir)
 		}
 	}
 	return rows, nil

@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"dcpi/internal/runner"
+)
+
+// renderSweep renders Table 2, Table 3, Figure 8, and Figure 9 through one
+// shared runner and returns the concatenated text.
+func renderSweep(t *testing.T, o Options) string {
+	t.Helper()
+	var buf bytes.Buffer
+
+	t2, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FormatTable2(&buf, t2)
+
+	t3, err := Table3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FormatTable3(&buf, t3)
+
+	f8, err := Fig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FormatAccuracy(&buf, "Figure 8", f8)
+
+	f9, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FormatAccuracy(&buf, "Figure 9", f9)
+
+	return buf.String()
+}
+
+// TestWorkerCountDoesNotChangeResults is the engine's core contract: the
+// rendered experiments are byte-identical with one worker and with a full
+// GOMAXPROCS pool, because results depend only on run configurations (which
+// carry structurally derived seeds), never on scheduling order.
+func TestWorkerCountDoesNotChangeResults(t *testing.T) {
+	o := Options{
+		Runs:  2,
+		Scale: 0.1,
+		Workloads: []string{
+			"compress", "mccalpin-assign",
+		},
+	}
+
+	serial := o
+	serial.Runner = runner.New(1)
+	serialOut := renderSweep(t, serial)
+
+	wide := o
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4 // exercise a real pool even on small CI machines
+	}
+	wide.Runner = runner.New(workers)
+	wideOut := renderSweep(t, wide)
+
+	if serialOut != wideOut {
+		t.Errorf("output differs between 1 worker and %d workers:\n--- 1 worker ---\n%s\n--- %d workers ---\n%s",
+			workers, serialOut, workers, wideOut)
+	}
+	if serialOut == "" {
+		t.Fatal("empty sweep output")
+	}
+
+	// The same sweep also demonstrates the cross-experiment sharing the
+	// runner exists for: Table 3's base runs are Table 2's, and Figure 9
+	// analyzes Figure 8's dense-sampling runs, so the shared runner must
+	// have deduplicated at least those requests.
+	sims, deduped := wide.Runner.Stats()
+	if sims == 0 {
+		t.Fatal("no simulations ran")
+	}
+	minShared := len(o.Workloads)*o.Runs + len(AccuracyWorkloads)
+	if deduped < minShared {
+		t.Errorf("deduplicated %d requests, want at least %d (simulated %d)",
+			deduped, minShared, sims)
+	}
+}

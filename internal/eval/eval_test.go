@@ -6,16 +6,20 @@ import (
 	"testing"
 
 	"dcpi/internal/analysis"
+	"dcpi/internal/runner"
 	"dcpi/internal/sim"
 )
 
-// tiny keeps test experiments fast.
+// tiny keeps test experiments fast. The shared runner deduplicates
+// identical configurations across the whole test suite (e.g. TestTable2 and
+// TestTable3 request the same base runs), exactly like dcpieval -all does.
 var tiny = Options{
 	Runs:  3,
 	Scale: 0.12,
 	Workloads: []string{
 		"compress", "gcc", "mccalpin-assign", "wave5",
 	},
+	Runner: runner.New(0),
 }
 
 func TestTable2(t *testing.T) {
@@ -304,7 +308,7 @@ func TestFig7FreqTable(t *testing.T) {
 
 func TestFig8MultiRun(t *testing.T) {
 	o := tiny
-	res, err := Fig8MultiRun(o, 3)
+	res, err := Fig8MultiRun(o, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

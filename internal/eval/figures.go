@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"dcpi/internal/dcpi"
+	"dcpi/internal/runner"
 	"dcpi/internal/sim"
 )
 
@@ -15,11 +16,11 @@ import (
 // dcpiprof per-procedure listing.
 func Fig1(o Options, w io.Writer) error {
 	o = o.withDefaults()
-	r, err := dcpi.Run(dcpi.Config{
+	r, err := o.Runner.Run(dcpi.Config{
 		Workload:     "x11perf",
 		Scale:        o.Scale,
 		Mode:         sim.ModeDefault,
-		Seed:         o.SeedBase,
+		Seed:         seedFor(o.SeedBase, "fig1", "x11perf", 0),
 		CyclesPeriod: o.DensePeriod,
 	})
 	if err != nil {
@@ -33,11 +34,11 @@ func Fig1(o Options, w io.Writer) error {
 // listing of the copy-loop basic block.
 func Fig2(o Options, w io.Writer) error {
 	o = o.withDefaults()
-	r, err := dcpi.Run(dcpi.Config{
+	r, err := o.Runner.Run(dcpi.Config{
 		Workload:     "mccalpin-assign",
 		Scale:        o.Scale,
 		Mode:         sim.ModeCycles,
-		Seed:         o.SeedBase,
+		Seed:         seedFor(o.SeedBase, "fig2", "mccalpin-assign", 0),
 		CyclesPeriod: o.DensePeriod,
 	})
 	if err != nil {
@@ -56,11 +57,11 @@ func Fig2(o Options, w io.Writer) error {
 // starred.
 func Fig7(o Options, w io.Writer) error {
 	o = o.withDefaults()
-	r, err := dcpi.Run(dcpi.Config{
+	r, err := o.Runner.Run(dcpi.Config{
 		Workload:           "mccalpin-assign",
 		Scale:              o.Scale,
 		Mode:               sim.ModeCycles,
-		Seed:               o.SeedBase,
+		Seed:               seedFor(o.SeedBase, "fig7", "mccalpin-assign", 0),
 		CyclesPeriod:       o.DensePeriod,
 		ZeroCostCollection: true,
 	})
@@ -81,19 +82,23 @@ func Fig7(o Options, w io.Writer) error {
 func Fig3(o Options, w io.Writer) ([]*dcpi.Result, error) {
 	o = o.withDefaults()
 	const runs = 8
+	pending := make([]*runner.Pending, runs)
+	for i := range pending {
+		pending[i] = o.Runner.Submit(dcpi.Config{
+			Workload:     "wave5",
+			Scale:        o.Scale,
+			Mode:         sim.ModeCycles,
+			Seed:         seedFor(o.SeedBase, "fig3", "wave5", i),
+			CyclesPeriod: o.DensePeriod,
+		})
+	}
 	var (
 		results []*dcpi.Result
 		maps    []map[string]uint64
 		totals  []uint64
 	)
 	for i := 0; i < runs; i++ {
-		r, err := dcpi.Run(dcpi.Config{
-			Workload:     "wave5",
-			Scale:        o.Scale,
-			Mode:         sim.ModeCycles,
-			Seed:         o.SeedBase + uint64(i)*7,
-			CyclesPeriod: o.DensePeriod,
-		})
+		r, err := pending[i].Wait()
 		if err != nil {
 			return nil, fmt.Errorf("fig3 run %d: %w", i, err)
 		}

@@ -37,6 +37,8 @@ type Fig10Result struct {
 // Fig10 runs the suite in default mode (CYCLES + IMISS) and correlates.
 // Sampling is denser than the Figure 8/9 runs so the many small procedures
 // of the I-cache-pressure programs each gather enough samples to place.
+// The denser periods make these configurations distinct from the Figure
+// 8/9 runs, so they never falsely share cached simulations with them.
 func Fig10(o Options) (*Fig10Result, error) {
 	o = o.withDefaults()
 	o.DensePeriod = sim.PeriodSpec{Base: 256, Spread: 64}

@@ -7,6 +7,7 @@ import (
 	"dcpi/internal/alpha"
 	"dcpi/internal/analysis"
 	"dcpi/internal/dcpi"
+	"dcpi/internal/runner"
 	"dcpi/internal/sim"
 )
 
@@ -37,6 +38,17 @@ func Fig8MultiRun(o Options, runs int) (*MultiRunResult, error) {
 	single := newAccuracyResult()
 	merged := newAccuracyResult()
 
+	// Submit every run of every workload before collecting anything, so
+	// the whole grid fans out across the runner's workers at once. Run 0
+	// of each workload is the accuracy suite's own run (accCfg), so with a
+	// shared runner the single-run baseline costs no extra simulation.
+	pending := make([][]*runner.Pending, len(AccuracyWorkloads))
+	for wi, wl := range AccuracyWorkloads {
+		for run := 0; run < runs; run++ {
+			pending[wi] = append(pending[wi], o.Runner.Submit(accCfg(o, wl, sim.ModeCycles, run)))
+		}
+	}
+
 	for wi, wl := range AccuracyWorkloads {
 		// Collect per-run profiles and exact counts.
 		type runData struct {
@@ -44,15 +56,7 @@ func Fig8MultiRun(o Options, runs int) (*MultiRunResult, error) {
 		}
 		var rds []runData
 		for run := 0; run < runs; run++ {
-			r, err := dcpi.Run(dcpi.Config{
-				Workload:           wl,
-				Scale:              o.Scale,
-				Mode:               sim.ModeCycles,
-				Seed:               o.SeedBase + uint64(wi*100+run),
-				CyclesPeriod:       o.DensePeriod,
-				CollectExact:       true,
-				ZeroCostCollection: true,
-			})
+			r, err := pending[wi][run].Wait()
 			if err != nil {
 				return nil, fmt.Errorf("multirun %s run %d: %w", wl, run, err)
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"dcpi/internal/runner"
 	"dcpi/internal/sim"
 	"dcpi/internal/stats"
 )
@@ -21,16 +22,22 @@ type Table2Row struct {
 // Table2 measures base (unprofiled) run times with confidence intervals.
 func Table2(o Options) ([]Table2Row, error) {
 	o = o.withDefaults()
+	pending := make([][]*runner.Pending, len(o.Workloads))
+	for wi, wl := range o.Workloads {
+		for run := 0; run < o.Runs; run++ {
+			pending[wi] = append(pending[wi], o.Runner.Submit(baseCfg(o, wl, run)))
+		}
+	}
 	var rows []Table2Row
-	for _, wl := range o.Workloads {
+	for wi, wl := range o.Workloads {
+		results, err := collect(pending[wi], "table2 "+wl)
+		if err != nil {
+			return nil, err
+		}
 		var times []float64
 		var desc string
 		var ncpu int
-		for run := 0; run < o.Runs; run++ {
-			r, err := runBase(o, wl, o.SeedBase+uint64(run))
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s: %w", wl, err)
-			}
+		for _, r := range results {
 			times = append(times, float64(r.Wall))
 			ncpu = len(r.Machine.CPUs)
 		}
@@ -74,27 +81,46 @@ type Measurement struct {
 var Table3Modes = []sim.Mode{sim.ModeCycles, sim.ModeDefault, sim.ModeMux}
 
 // Table3 measures the overall time overhead of the three configurations.
+// Its base runs are the same configurations as Table 2's, so a shared
+// runner simulates them only once.
 func Table3(o Options) ([]Table3Row, error) {
 	o = o.withDefaults()
+	type wlPending struct {
+		base  []*runner.Pending
+		modes map[sim.Mode][]*runner.Pending
+	}
+	pending := make([]wlPending, len(o.Workloads))
+	for wi, wl := range o.Workloads {
+		pending[wi].modes = map[sim.Mode][]*runner.Pending{}
+		for run := 0; run < o.Runs; run++ {
+			pending[wi].base = append(pending[wi].base, o.Runner.Submit(baseCfg(o, wl, run)))
+		}
+		for _, mode := range Table3Modes {
+			for run := 0; run < o.Runs; run++ {
+				pending[wi].modes[mode] = append(pending[wi].modes[mode],
+					o.Runner.Submit(modeCfg(o, wl, mode, run)))
+			}
+		}
+	}
 	var rows []Table3Row
-	for _, wl := range o.Workloads {
+	for wi, wl := range o.Workloads {
 		row := Table3Row{Workload: wl, Overhead: map[sim.Mode]Measurement{}}
 		// Per-seed base times, reused across modes (paired comparison).
+		baseResults, err := collect(pending[wi].base, "table3 "+wl+" base")
+		if err != nil {
+			return nil, err
+		}
 		base := make([]float64, o.Runs)
-		for run := 0; run < o.Runs; run++ {
-			r, err := runBase(o, wl, o.SeedBase+uint64(run))
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s base: %w", wl, err)
-			}
+		for run, r := range baseResults {
 			base[run] = float64(r.Wall)
 		}
 		for _, mode := range Table3Modes {
+			results, err := collect(pending[wi].modes[mode], fmt.Sprintf("table3 %s %v", wl, mode))
+			if err != nil {
+				return nil, err
+			}
 			var ovh []float64
-			for run := 0; run < o.Runs; run++ {
-				r, err := runMode(o, wl, mode, o.SeedBase+uint64(run))
-				if err != nil {
-					return nil, fmt.Errorf("table3 %s %v: %w", wl, mode, err)
-				}
+			for run, r := range results {
 				ovh = append(ovh, float64(r.Wall)/base[run]-1)
 			}
 			row.Overhead[mode] = Measurement{Mean: stats.Mean(ovh), CI: stats.CI95(ovh), N: o.Runs}
@@ -129,19 +155,31 @@ type Fig6Series struct {
 // Fig6Workloads are the three programs the paper plots.
 var Fig6Workloads = []string{"altavista", "gcc", "wave5"}
 
-// Fig6 collects the running-time distributions.
+// Fig6 collects the running-time distributions. Every configuration it
+// measures also appears in the Table 2/3 sweeps, so with a shared runner
+// this figure costs no additional simulation.
 func Fig6(o Options) ([]Fig6Series, error) {
 	o = o.withDefaults()
 	modes := []sim.Mode{sim.ModeOff, sim.ModeCycles, sim.ModeDefault, sim.ModeMux}
+	pending := make(map[string]map[sim.Mode][]*runner.Pending)
+	for _, wl := range Fig6Workloads {
+		pending[wl] = map[sim.Mode][]*runner.Pending{}
+		for _, mode := range modes {
+			for run := 0; run < o.Runs; run++ {
+				pending[wl][mode] = append(pending[wl][mode],
+					o.Runner.Submit(modeCfg(o, wl, mode, run)))
+			}
+		}
+	}
 	var out []Fig6Series
 	for _, wl := range Fig6Workloads {
 		s := Fig6Series{Workload: wl, Times: map[sim.Mode][]float64{}}
 		for _, mode := range modes {
-			for run := 0; run < o.Runs; run++ {
-				r, err := runMode(o, wl, mode, o.SeedBase+uint64(run))
-				if err != nil {
-					return nil, fmt.Errorf("fig6 %s %v: %w", wl, mode, err)
-				}
+			results, err := collect(pending[wl][mode], fmt.Sprintf("fig6 %s %v", wl, mode))
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range results {
 				s.Times[mode] = append(s.Times[mode], float64(r.Wall))
 			}
 		}

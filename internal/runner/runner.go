@@ -1,0 +1,161 @@
+// Package runner schedules simulated DCPI runs across a bounded worker
+// pool with a content-keyed result cache.
+//
+// The evaluation suite (internal/eval) repeats complete machine
+// simulations: every table and figure loops over workloads × runs × modes,
+// and experiments frequently request identical (workload, mode, scale,
+// seed, period) configurations — Table 2's base runs are Table 3's paired
+// baselines, Figure 6 re-measures Table 3's configurations for three
+// workloads, and Figures 8 and 9 analyze the same dense-sampling runs.
+// The runner exploits both structures:
+//
+//   - Distinct configurations fan out across a worker pool bounded at
+//     GOMAXPROCS workers by default (override with New's workers argument
+//     or dcpieval's -j flag).
+//   - Identical configurations are deduplicated single-flight style: the
+//     first request simulates, concurrent and later duplicates wait for /
+//     reuse the same *dcpi.Result.
+//
+// Results are treated as immutable once Run returns: the simulation is
+// finished, the daemon has flushed, and every accessor on *dcpi.Result
+// (Profiles, AnalyzeProc, ProcRows, ...) only reads. That is what makes a
+// cached result safe to hand to concurrent readers.
+//
+// Runs that write an on-disk profile database (Config.DBDir != "") are
+// scheduled through the pool but never cached: the caller owns the
+// directory's lifetime (the eval suite deletes it right after reading),
+// so retaining the Result would dangle.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dcpi/internal/dcpi"
+)
+
+// Runner is a concurrent simulation scheduler. The zero value is not
+// usable; call New.
+type Runner struct {
+	sem   chan struct{}
+	runFn func(dcpi.Config) (*dcpi.Result, error) // dcpi.Run, stubbed in tests
+
+	mu    sync.Mutex
+	cache map[string]*call
+
+	statsMu   sync.Mutex
+	simulated int // runs actually executed
+	deduped   int // requests served by an identical prior/in-flight run
+}
+
+// call is one in-flight or completed simulation.
+type call struct {
+	done chan struct{}
+	res  *dcpi.Result
+	err  error
+}
+
+// New creates a runner whose pool admits the given number of concurrent
+// simulations; workers <= 0 means runtime.GOMAXPROCS(0).
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		sem:   make(chan struct{}, workers),
+		runFn: dcpi.Run,
+		cache: make(map[string]*call),
+	}
+}
+
+// Workers returns the pool bound.
+func (r *Runner) Workers() int { return cap(r.sem) }
+
+// Key is the content key of a run: every Config field that influences the
+// simulation. Two configs with equal keys produce identical Results
+// (simulation is deterministic in its configuration), which is what makes
+// deduplication safe.
+func Key(cfg dcpi.Config) string {
+	return fmt.Sprintf("w=%s|scale=%g|mode=%d|seed=%d|cyc=%d/%d|ev=%d/%d|mux=%d|db=%s|exact=%t|max=%d|ncpu=%d|pids=%v|trace=%t|zero=%t|double=%t|interp=%t|meta=%t",
+		cfg.Workload, cfg.Scale, cfg.Mode, cfg.Seed,
+		cfg.CyclesPeriod.Base, cfg.CyclesPeriod.Spread,
+		cfg.EventPeriod.Base, cfg.EventPeriod.Spread,
+		cfg.MuxInterval, cfg.DBDir, cfg.CollectExact, cfg.MaxCycles,
+		cfg.NumCPUs, cfg.PerProcessPIDs, cfg.TraceSamples,
+		cfg.ZeroCostCollection, cfg.DoubleSample, cfg.InterpretBranches,
+		cfg.MetaSamples)
+}
+
+// Pending is a submitted run; Wait blocks until it completes.
+type Pending struct {
+	c *call
+}
+
+// Wait returns the run's result, blocking until the simulation finishes.
+// It may be called from any number of goroutines.
+func (p *Pending) Wait() (*dcpi.Result, error) {
+	<-p.c.done
+	return p.c.res, p.c.err
+}
+
+// Submit schedules a run and returns immediately. Experiments submit every
+// configuration they need up front (in their natural deterministic order)
+// and then Wait in that same order, so output is independent of worker
+// count and completion order.
+func (r *Runner) Submit(cfg dcpi.Config) *Pending {
+	cacheable := cfg.DBDir == ""
+	if !cacheable {
+		c := &call{done: make(chan struct{})}
+		r.noteSimulated()
+		go r.execute(c, cfg)
+		return &Pending{c: c}
+	}
+
+	key := Key(cfg)
+	r.mu.Lock()
+	if c, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		r.noteDeduped()
+		return &Pending{c: c}
+	}
+	c := &call{done: make(chan struct{})}
+	r.cache[key] = c
+	r.mu.Unlock()
+	r.noteSimulated()
+	go r.execute(c, cfg)
+	return &Pending{c: c}
+}
+
+// Run schedules a run and waits for it: the synchronous form of Submit.
+func (r *Runner) Run(cfg dcpi.Config) (*dcpi.Result, error) {
+	return r.Submit(cfg).Wait()
+}
+
+// execute performs one simulation under the worker-pool bound.
+func (r *Runner) execute(c *call, cfg dcpi.Config) {
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	c.res, c.err = r.runFn(cfg)
+	close(c.done)
+}
+
+// Stats reports how many runs were simulated and how many requests were
+// served by deduplication against an identical run.
+func (r *Runner) Stats() (simulated, deduped int) {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.simulated, r.deduped
+}
+
+func (r *Runner) noteSimulated() {
+	r.statsMu.Lock()
+	r.simulated++
+	r.statsMu.Unlock()
+}
+
+func (r *Runner) noteDeduped() {
+	r.statsMu.Lock()
+	r.deduped++
+	r.statsMu.Unlock()
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# bench.sh — the per-PR performance and race gate.
+#
+# Runs the benchmark suite (every paper table/figure as a benchmark, plus
+# the driver and simulator micro-benchmarks) and the race-detector tests
+# for the packages the parallel evaluation engine touches. Compare the
+# JSON it writes against the committed BENCH_baseline.json (captured on
+# the seed revision, same flags) to spot regressions.
+#
+# Usage:  ./scripts/bench.sh [out.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_current.json}"
+
+echo "== go test -race ./internal/runner ./internal/eval" >&2
+go test -race -count=1 ./internal/runner ./internal/eval
+
+echo "== go test -bench=. -benchmem (root, driver, sim)" >&2
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go test -run '^$' -bench=. -benchmem . ./internal/driver ./internal/sim | tee "$tmp" >&2
+
+go run ./scripts/benchjson < "$tmp" > "$out"
+echo "== wrote $out (baseline: BENCH_baseline.json)" >&2
