@@ -16,6 +16,7 @@ import (
 
 	"dcpi/internal/dcpi"
 	"dcpi/internal/eval"
+	"dcpi/internal/runner"
 	"dcpi/internal/sim"
 )
 
@@ -231,6 +232,31 @@ func BenchmarkAblationHashTable(b *testing.B) {
 			if row.Label == "6-way swap-to-front" {
 				b.ReportMetric(100*row.CostRatio, "cost-vs-shipping-%")
 			}
+		}
+	}
+}
+
+// BenchmarkRunnerCacheEffectiveness measures the evaluation engine's
+// memoization across overlapping experiment sections: Table 2's base runs
+// are a subset of Table 3's, so with a shared runner the dedup rate is the
+// fraction of simulation requests served from cache. Captured in
+// BENCH_*.json via benchjson.
+func BenchmarkRunnerCacheEffectiveness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sched := runner.New(0)
+		o := benchOpts
+		o.Runner = sched
+		if _, err := eval.Table2(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eval.Table3(o); err != nil {
+			b.Fatal(err)
+		}
+		sims, dups := sched.Stats()
+		b.ReportMetric(float64(sims), "sims-run")
+		b.ReportMetric(float64(dups), "cache-hits")
+		if sims+dups > 0 {
+			b.ReportMetric(100*float64(dups)/float64(sims+dups), "dedup-%")
 		}
 	}
 }

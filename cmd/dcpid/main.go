@@ -5,6 +5,13 @@
 // Usage:
 //
 //	dcpid -workload x11perf -mode default -db ./dcpidb [-seed 1] [-scale 1]
+//	dcpid -workload x11perf -stats-out metrics.json -trace-out trace.json
+//
+// -stats-out writes the collection stack's self-measurements (the paper's
+// Table 3-5 numbers: handler-cycle histogram, hash miss rate, evictions,
+// daemon cycles/sample, database bytes) as a metrics JSON artifact;
+// -trace-out writes a Chrome-trace-format JSON of the collection pipeline
+// (openable in Perfetto). See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -14,20 +21,23 @@ import (
 	"strings"
 
 	"dcpi/internal/dcpi"
+	"dcpi/internal/obs"
 	"dcpi/internal/sim"
 	"dcpi/internal/workload"
 )
 
 func main() {
 	var (
-		wl      = flag.String("workload", "", "workload to run ("+strings.Join(workload.Names(), ", ")+")")
-		mode    = flag.String("mode", "default", "profiling mode: cycles, default, mux")
-		dbDir   = flag.String("db", "dcpidb", "profile database directory")
-		seed    = flag.Uint64("seed", 1, "run seed (page placement + sampling)")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor")
-		period  = flag.Int64("period", 0, "cycles sampling period base (0 = paper default 60K-64K)")
-		verbose = flag.Bool("v", false, "print per-CPU driver statistics")
-		perPID  = flag.String("perpid", "", "comma-separated PIDs to keep separate per-process profiles for (paper §4.3; workload PIDs start at 100)")
+		wl       = flag.String("workload", "", "workload to run ("+strings.Join(workload.Names(), ", ")+")")
+		mode     = flag.String("mode", "default", "profiling mode: cycles, default, mux")
+		dbDir    = flag.String("db", "dcpidb", "profile database directory")
+		seed     = flag.Uint64("seed", 1, "run seed (page placement + sampling)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		period   = flag.Int64("period", 0, "cycles sampling period base (0 = paper default 60K-64K)")
+		verbose  = flag.Bool("v", false, "print per-CPU driver statistics (to stderr)")
+		perPID   = flag.String("perpid", "", "comma-separated PIDs to keep separate per-process profiles for (paper §4.3; workload PIDs start at 100)")
+		statsOut = flag.String("stats-out", "", "write collection-stack self-measurements as metrics JSON to this file")
+		traceOut = flag.String("trace-out", "", "write the collection-pipeline event trace (Chrome trace format) to this file")
 	)
 	flag.Parse()
 	if *wl == "" {
@@ -68,6 +78,12 @@ func main() {
 	if *period > 0 {
 		cfg.CyclesPeriod = sim.PeriodSpec{Base: *period, Spread: *period / 16}
 	}
+	if *statsOut != "" {
+		cfg.Obs.Registry = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		cfg.Obs.Tracer = obs.NewTracer(0)
+	}
 
 	r, err := dcpi.Run(cfg)
 	if err != nil {
@@ -88,8 +104,25 @@ func main() {
 		fmt.Printf("  database      %s (epoch %d, %d bytes)\n", *dbDir, r.DB.Epoch(), disk)
 	}
 	if *verbose {
+		// Verbose diagnostics go to stderr so the summary block on stdout
+		// stays machine-parseable.
 		for cpu := 0; cpu < r.Driver.NumCPUs(); cpu++ {
-			fmt.Printf("  cpu%d: %s\n", cpu, r.Driver.Stats(cpu))
+			fmt.Fprintf(os.Stderr, "  cpu%d: %s\n", cpu, r.Driver.Stats(cpu))
 		}
+	}
+	if *statsOut != "" {
+		if err := cfg.Obs.Registry.WriteFile(*statsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dcpid: writing %s: %v\n", *statsOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dcpid: wrote metrics to %s\n", *statsOut)
+	}
+	if *traceOut != "" {
+		if err := cfg.Obs.Tracer.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dcpid: writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dcpid: wrote %d trace events to %s (open in ui.perfetto.dev)\n",
+			cfg.Obs.Tracer.Len(), *traceOut)
 	}
 }

@@ -8,6 +8,8 @@
 //	dcpieval -ablation ht        # §5.4 hash-table design sweep
 //	dcpieval -all                # everything
 //	dcpieval -all -j 8           # ... with eight simulation workers
+//	dcpieval -all -metrics-out m.json -trace-out t.json
+//	                             # ... plus self-observability artifacts
 //
 // Flags -runs and -scale trade time for confidence. All experiments share
 // one simulation runner (internal/runner): sections run concurrently, -j
@@ -19,12 +21,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"dcpi/internal/eval"
+	"dcpi/internal/obs"
 	"dcpi/internal/runner"
 )
 
@@ -44,11 +48,24 @@ func main() {
 		runs     = flag.Int("runs", 0, "runs per configuration (default 5)")
 		scale    = flag.Float64("scale", 0, "workload scale (default 0.25)")
 		jobs     = flag.Int("j", 0, "concurrent simulation workers (default GOMAXPROCS)")
+		metrics  = flag.String("metrics-out", "", "write evaluation-engine self-measurements (runner cache, queue wait, run wall time) as metrics JSON to this file")
+		traceOut = flag.String("trace-out", "", "write the runner/experiment event trace (Chrome trace format) to this file")
 	)
 	flag.Parse()
 
+	var hooks obs.Hooks
+	if *metrics != "" {
+		hooks.Registry = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		hooks.Tracer = obs.NewTracer(0)
+		hooks.Tracer.NameProcess(obs.PIDRunner, "runner (simulation scheduler)")
+		hooks.Tracer.NameProcess(obs.PIDEval, "eval (experiment sections)")
+	}
+
 	sched := runner.New(*jobs)
-	o := eval.Options{Runs: *runs, Scale: *scale, Runner: sched}
+	sched.Obs = hooks
+	o := eval.Options{Runs: *runs, Scale: *scale, Runner: sched, Obs: hooks}
 
 	want := func(t, f int, abl string) bool {
 		if *all {
@@ -234,9 +251,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if sims, dups := sched.Stats(); dups > 0 {
+	sims, dups := sched.Stats()
+	if dups > 0 {
 		fmt.Fprintf(os.Stderr, "dcpieval: %d simulations run, %d duplicate requests served from cache\n",
 			sims, dups)
+	}
+	if *metrics != "" {
+		sched.PublishMetrics()
+		if err := hooks.Registry.WriteFile(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "dcpieval: writing %s: %v\n", *metrics, err)
+			os.Exit(1)
+		}
+		// Final machine-readable cache-stats line (satellite of the metrics
+		// file, for pipelines that scrape stderr rather than read files).
+		line, _ := json.Marshal(map[string]any{
+			"simulated": sims,
+			"deduped":   dups,
+			"dedup_rate": func() float64 {
+				if sims+dups == 0 {
+					return 0
+				}
+				return float64(dups) / float64(sims+dups)
+			}(),
+			"workers": sched.Workers(),
+		})
+		fmt.Fprintf(os.Stderr, "dcpieval-cache-stats %s\n", line)
+	}
+	if *traceOut != "" {
+		if err := hooks.Tracer.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dcpieval: writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dcpieval: wrote %d trace events to %s (open in ui.perfetto.dev)\n",
+			hooks.Tracer.Len(), *traceOut)
 	}
 }
 

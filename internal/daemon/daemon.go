@@ -13,6 +13,7 @@ import (
 	"dcpi/internal/driver"
 	"dcpi/internal/image"
 	"dcpi/internal/loader"
+	"dcpi/internal/obs"
 	"dcpi/internal/profiledb"
 	"dcpi/internal/sim"
 )
@@ -40,6 +41,9 @@ type Config struct {
 	// recorded in separate per-process profiles (paper §4.3: "Users may
 	// also request separate, per-process profiles").
 	PerProcessPIDs []uint32
+	// Obs attaches the optional self-observability sinks; the zero value
+	// keeps every instrumentation site a no-op.
+	Obs obs.Hooks
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +119,14 @@ type Daemon struct {
 
 	stats     Stats
 	peakBytes int
+
+	// Self-observability (nil-safe; see internal/obs). lastClock remembers
+	// the most recent simulated cycle the daemon has seen so the final
+	// Flush — which has no clock of its own — can stamp its trace events.
+	obsOn     bool
+	tracer    *obs.Tracer
+	batchHist *obs.Histogram // entries per processed batch
+	lastClock int64
 }
 
 // New builds a daemon attached to drv and subscribes to its full-buffer
@@ -130,6 +142,14 @@ func New(cfg Config, drv *driver.Driver) *Daemon {
 	}
 	for _, pid := range d.cfg.PerProcessPIDs {
 		d.perProcess[pid] = true
+	}
+	if d.cfg.Obs.Enabled() {
+		d.obsOn = true
+		d.tracer = d.cfg.Obs.Tracer
+		d.batchHist = d.cfg.Obs.Registry.Histogram("daemon.batch_entries",
+			obs.ExpBuckets(16, 2, 12))
+		d.tracer.NameProcess(obs.PIDDaemon, "daemon (user-mode)")
+		d.tracer.NameProcess(obs.PIDDB, "profile database")
 	}
 	if drv != nil {
 		drv.OnBufferFull = d.onBufferFull
@@ -174,9 +194,27 @@ func (d *Daemon) classify(pid uint32, pc uint64) (string, uint64, bool) {
 }
 
 // onBufferFull is the driver's full-overflow-buffer notification.
-func (d *Daemon) onBufferFull(cpu int, entries []driver.Entry) {
+func (d *Daemon) onBufferFull(cpu int, clock int64, entries []driver.Entry) {
 	d.stats.BuffersFull++
+	d.processBatch(cpu, clock, "process:overflow_buffer", entries)
+}
+
+// processBatch wraps process with the observability batch accounting: one
+// trace slice per delivered batch, spanning the modeled processing cost.
+func (d *Daemon) processBatch(cpu int, clock int64, kind string, entries []driver.Entry) {
 	d.process(entries)
+	if !d.obsOn {
+		return
+	}
+	if clock > d.lastClock {
+		d.lastClock = clock
+	}
+	d.batchHist.Observe(float64(len(entries)))
+	d.tracer.Slice("daemon", kind, obs.PIDDaemon, cpu, clock,
+		int64(len(entries))*d.cfg.CostPerEntry,
+		map[string]any{"entries": len(entries)})
+	d.tracer.Counter("daemon", "daemon_memory", obs.PIDDaemon, clock,
+		map[string]float64{"bytes": float64(d.MemoryBytes())})
 }
 
 // process merges driver entries into the in-memory profiles.
@@ -236,10 +274,13 @@ func (d *Daemon) profile(k profKey) *profiledb.Profile {
 // driver's hash table on the drain interval and merging to disk on the
 // merge interval. It returns the cycles to charge the polling CPU.
 func (d *Daemon) Poll(cpu int, clock int64) int64 {
+	if d.obsOn && clock > d.lastClock {
+		d.lastClock = clock
+	}
 	if next, ok := d.nextDrain[cpu]; !ok || clock >= next {
 		if ok {
 			d.stats.Drains++
-			d.process(d.drv.FlushCPU(cpu))
+			d.processBatch(cpu, clock, "process:drain", d.drv.FlushCPUAt(cpu, clock))
 		}
 		d.nextDrain[cpu] = clock + d.cfg.DrainInterval
 	}
@@ -264,7 +305,7 @@ func (d *Daemon) Flush() error {
 	if d.drv != nil {
 		for cpu := 0; cpu < d.drv.NumCPUs(); cpu++ {
 			d.stats.Drains++
-			d.process(d.drv.FlushCPU(cpu))
+			d.processBatch(cpu, d.lastClock, "process:final_flush", d.drv.FlushCPUAt(cpu, d.lastClock))
 		}
 	}
 	d.stats.CostCycles += d.pendingCost
@@ -278,16 +319,22 @@ func (d *Daemon) Flush() error {
 }
 
 // MergeToDisk writes every in-memory profile into the database and drops
-// the in-memory copies (the daemon's periodic disk merge).
+// the in-memory copies (the daemon's periodic disk merge — the epoch-flush
+// stage of the pipeline trace).
 func (d *Daemon) MergeToDisk() error {
 	if d.cfg.DB == nil {
 		return fmt.Errorf("daemon: no database configured")
 	}
+	n := len(d.profiles)
 	for k, p := range d.profiles {
 		if err := d.cfg.DB.Update(p); err != nil {
 			return err
 		}
 		delete(d.profiles, k)
+	}
+	if d.obsOn {
+		d.tracer.Instant("db", "epoch_flush", obs.PIDDB, 0, d.lastClock,
+			map[string]any{"profiles": n, "epoch": d.cfg.DB.Epoch()})
 	}
 	return nil
 }
@@ -357,4 +404,26 @@ func (d *Daemon) reapExited() {
 		d.ReapProcess(pid)
 	}
 	d.exited = nil
+}
+
+// PublishMetrics writes the daemon's cumulative self-measurements into reg
+// (call once, at the end of a run). Keys mirror the paper's Table 4 daemon
+// column and Table 5 memory rows.
+func (d *Daemon) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := d.stats
+	reg.Counter("daemon.entries").Add(s.Entries)
+	reg.Counter("daemon.samples").Add(s.Samples)
+	reg.Counter("daemon.unknown_samples").Add(s.Unknown)
+	reg.Counter("daemon.drains").Add(s.Drains)
+	reg.Counter("daemon.merges").Add(s.Merges)
+	reg.Counter("daemon.buffers_full").Add(s.BuffersFull)
+	reg.Counter("daemon.notifications").Add(s.Notifications)
+	reg.Counter("daemon.cost_cycles").Add(uint64(s.CostCycles))
+	reg.Gauge("daemon.unknown_rate").Set(s.UnknownRate())
+	reg.Gauge("daemon.cycles_per_sample").Set(s.CostPerSample())
+	reg.Gauge("daemon.memory_bytes").Set(float64(d.MemoryBytes()))
+	reg.Gauge("daemon.peak_memory_bytes").Set(float64(d.PeakMemoryBytes()))
 }

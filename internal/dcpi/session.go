@@ -12,6 +12,7 @@ import (
 	"dcpi/internal/daemon"
 	"dcpi/internal/driver"
 	"dcpi/internal/loader"
+	"dcpi/internal/obs"
 	"dcpi/internal/pipeline"
 	"dcpi/internal/profiledb"
 	"dcpi/internal/sim"
@@ -66,6 +67,11 @@ type Config struct {
 	// inside the interrupt handler are attributed to the handler's own
 	// kernel symbol (perfcount_intr) instead of being a blind spot.
 	MetaSamples bool
+	// Obs attaches the optional self-observability layer (internal/obs):
+	// the collection stack publishes its Table 3-5 self-measurements into
+	// Obs.Registry and its pipeline events into Obs.Tracer. The zero value
+	// leaves the run byte-identical to an uninstrumented one.
+	Obs obs.Hooks
 }
 
 // Result is a completed run.
@@ -94,9 +100,9 @@ func (c *collector) Sample(s sim.Sample) int64 {
 		*c.trace = append(*c.trace, s)
 	}
 	if s.Event == sim.EvEdge {
-		return c.drv.RecordEdge(s.CPU, s.PID, s.PC, s.PC2)
+		return c.drv.RecordEdgeAt(s.CPU, s.PID, s.PC, s.PC2, s.Clock)
 	}
-	return c.drv.Record(s.CPU, s.PID, s.PC, s.Event)
+	return c.drv.RecordAt(s.CPU, s.PID, s.PC, s.Event, s.Clock)
 }
 
 func (c *collector) Poll(cpu int, clock int64) int64 {
@@ -132,8 +138,8 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
-		drv = driver.New(driver.Config{NumCPUs: ncpu, ZeroCost: cfg.ZeroCostCollection})
-		dcfg := daemon.Config{DB: db, PerProcessPIDs: cfg.PerProcessPIDs}
+		drv = driver.New(driver.Config{NumCPUs: ncpu, ZeroCost: cfg.ZeroCostCollection, Obs: cfg.Obs})
+		dcfg := daemon.Config{DB: db, PerProcessPIDs: cfg.PerProcessPIDs, Obs: cfg.Obs}
 		if cfg.ZeroCostCollection {
 			dcfg.CostPerEntry = -1
 		}
@@ -217,6 +223,18 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 			res.profiles = dmn.Profiles()
+		}
+	}
+	if reg := cfg.Obs.Registry; reg != nil {
+		m.PublishMetrics(reg)
+		if drv != nil {
+			drv.PublishMetrics(reg)
+		}
+		if dmn != nil {
+			dmn.PublishMetrics(reg)
+		}
+		if db != nil {
+			db.PublishMetrics(reg)
 		}
 	}
 	return res, nil

@@ -9,6 +9,7 @@ package driver
 import (
 	"fmt"
 
+	"dcpi/internal/obs"
 	"dcpi/internal/sim"
 )
 
@@ -107,9 +108,19 @@ type Driver struct {
 	bufCap   int
 	cost     CostModel
 
+	// Self-observability (nil-safe; see internal/obs). handlerHist records
+	// the per-interrupt handler-cycle distribution (Table 4's "cycles per
+	// sample" as a histogram rather than a mean); the tracer gets one slice
+	// per serviced interrupt, stamped with the simulated clock.
+	obsOn       bool
+	tracer      *obs.Tracer
+	handlerHist *obs.Histogram
+
 	// OnBufferFull is called when a CPU's active overflow buffer fills and
 	// is swapped out; the daemon should collect the full buffer promptly.
-	OnBufferFull func(cpu int, full []Entry)
+	// clock is the simulated cycle of the swap (0 when the caller used the
+	// clock-less Record path).
+	OnBufferFull func(cpu int, clock int64, full []Entry)
 }
 
 // Config sizes the driver.
@@ -124,6 +135,9 @@ type Config struct {
 	// periods make handler time negligible; dense experimental periods do
 	// not).
 	ZeroCost bool
+	// Obs attaches the optional self-observability sinks; the zero value
+	// keeps every instrumentation site a no-op.
+	Obs obs.Hooks
 }
 
 // New builds a driver.
@@ -144,6 +158,18 @@ func New(cfg Config) *Driver {
 		cfg.Cost = CostModel{}
 	}
 	d := &Driver{nbuckets: cfg.Buckets, bufCap: cfg.OverflowEntries, cost: cfg.Cost}
+	if cfg.Obs.Enabled() {
+		d.obsOn = true
+		d.tracer = cfg.Obs.Tracer
+		// Bounds span the cost model's range: setup-only (~214) through
+		// multi-eviction flush paths (~1K+ cycles).
+		d.handlerHist = cfg.Obs.Registry.Histogram("driver.handler_cycles",
+			obs.ExpBuckets(128, 1.3, 14))
+		d.tracer.NameProcess(obs.PIDDriver, "driver (interrupt handler)")
+		for i := 0; i < cfg.NumCPUs; i++ {
+			d.tracer.NameThread(obs.PIDDriver, i, fmt.Sprintf("cpu%d", i))
+		}
+	}
 	for i := 0; i < cfg.NumCPUs; i++ {
 		d.cpus = append(d.cpus, &cpuState{
 			buckets: make([][BucketWays]Entry, cfg.Buckets),
@@ -169,15 +195,42 @@ func (d *Driver) hash(pid uint32, pc, pc2 uint64, ev sim.Event) int {
 // Record services one performance-counter interrupt on cpu and returns the
 // handler cycles consumed. This is the paper's §4.2 fast path.
 func (d *Driver) Record(cpu int, pid uint32, pc uint64, ev sim.Event) int64 {
-	return d.record(cpu, Entry{PID: pid, PC: pc, Event: ev, Count: 1})
+	return d.record(cpu, Entry{PID: pid, PC: pc, Event: ev, Count: 1}, 0)
+}
+
+// RecordAt is Record stamped with the simulated clock of the overflow
+// interrupt; the clock only feeds the observability trace.
+func (d *Driver) RecordAt(cpu int, pid uint32, pc uint64, ev sim.Event, clock int64) int64 {
+	return d.record(cpu, Entry{PID: pid, PC: pc, Event: ev, Count: 1}, clock)
 }
 
 // RecordEdge services a double-sampling interrupt pair (paper §7).
 func (d *Driver) RecordEdge(cpu int, pid uint32, pc, pc2 uint64) int64 {
-	return d.record(cpu, Entry{PID: pid, PC: pc, PC2: pc2, Event: sim.EvEdge, Count: 1})
+	return d.record(cpu, Entry{PID: pid, PC: pc, PC2: pc2, Event: sim.EvEdge, Count: 1}, 0)
 }
 
-func (d *Driver) record(cpu int, in Entry) int64 {
+// RecordEdgeAt is RecordEdge stamped with the simulated clock.
+func (d *Driver) RecordEdgeAt(cpu int, pid uint32, pc, pc2 uint64, clock int64) int64 {
+	return d.record(cpu, Entry{PID: pid, PC: pc, PC2: pc2, Event: sim.EvEdge, Count: 1}, clock)
+}
+
+// Interrupt outcomes as trace-slice names (pre-interned so the hot path
+// never builds strings).
+const (
+	intrHit    = "intr:hit"
+	intrInsert = "intr:insert"
+	intrEvict  = "intr:evict"
+	intrDirect = "intr:direct"
+)
+
+// observe feeds one serviced interrupt into the observability layer.
+// Callers guard with d.obsOn so the disabled path pays a single branch.
+func (d *Driver) observe(cpu int, clock, cost int64, outcome string) {
+	d.handlerHist.Observe(float64(cost))
+	d.tracer.Slice("driver", outcome, obs.PIDDriver, cpu, clock, cost, nil)
+}
+
+func (d *Driver) record(cpu int, in Entry, clock int64) int64 {
 	cs := d.cpus[cpu]
 	cs.stats.Samples++
 	cost := d.cost.Setup
@@ -188,8 +241,11 @@ func (d *Driver) record(cpu int, in Entry) int64 {
 		cs.stats.Direct++
 		cs.stats.Misses++
 		cost += d.cost.HitWork + d.cost.MissExtra
-		d.appendOverflow(cpu, cs, in)
+		d.appendOverflow(cpu, cs, in, clock)
 		cs.stats.CostCycles += cost
+		if d.obsOn {
+			d.observe(cpu, clock, cost, intrDirect)
+		}
 		return cost
 	}
 
@@ -201,6 +257,9 @@ func (d *Driver) record(cpu int, in Entry) int64 {
 			cs.stats.Hits++
 			cost += d.cost.HitWork
 			cs.stats.CostCycles += cost
+			if d.obsOn {
+				d.observe(cpu, clock, cost, intrHit)
+			}
 			return cost
 		}
 	}
@@ -215,34 +274,43 @@ func (d *Driver) record(cpu int, in Entry) int64 {
 			break
 		}
 	}
+	outcome := intrInsert
 	if victim < 0 {
 		victim = int(cs.evictNext % BucketWays)
 		cs.evictNext++
 		cs.stats.Evictions++
 		cost += d.cost.MissExtra
-		d.appendOverflow(cpu, cs, b[victim])
+		outcome = intrEvict
+		d.appendOverflow(cpu, cs, b[victim], clock)
 	} else {
 		cs.stats.Inserts++
 		cost += d.cost.InsertExtra
 	}
 	b[victim] = in
 	cs.stats.CostCycles += cost
+	if d.obsOn {
+		d.observe(cpu, clock, cost, outcome)
+	}
 	return cost
 }
 
 // appendOverflow adds an evicted entry to the active buffer, swapping
 // buffers and notifying the daemon when full.
-func (d *Driver) appendOverflow(cpu int, cs *cpuState, e Entry) {
+func (d *Driver) appendOverflow(cpu int, cs *cpuState, e Entry, clock int64) {
 	cs.active = append(cs.active, e)
 	if len(cs.active) >= d.bufCap {
 		full := cs.active
 		cs.active, cs.standby = cs.standby[:0], nil
 		cs.standby = full[:0:cap(full)] // reuse backing array after copy-out
 		cs.stats.BufSwaps++
+		if d.obsOn {
+			d.tracer.Instant("driver", "overflow_swap", obs.PIDDriver, cpu, clock,
+				map[string]any{"entries": len(full)})
+		}
 		if d.OnBufferFull != nil {
 			out := make([]Entry, len(full))
 			copy(out, full)
-			d.OnBufferFull(cpu, out)
+			d.OnBufferFull(cpu, clock, out)
 		}
 	}
 }
@@ -251,7 +319,10 @@ func (d *Driver) appendOverflow(cpu int, cs *cpuState, e Entry) {
 // CPU's flushing flag, the hash-table contents and the active overflow
 // buffer are copied out, and the flag is cleared. It returns the drained
 // entries.
-func (d *Driver) FlushCPU(cpu int) []Entry {
+func (d *Driver) FlushCPU(cpu int) []Entry { return d.FlushCPUAt(cpu, 0) }
+
+// FlushCPUAt is FlushCPU stamped with the simulated clock of the flush.
+func (d *Driver) FlushCPUAt(cpu int, clock int64) []Entry {
 	cs := d.cpus[cpu]
 	cs.stats.FlushIPIs++
 	cs.flushing = true
@@ -269,6 +340,10 @@ func (d *Driver) FlushCPU(cpu int) []Entry {
 	cs.active = cs.active[:0]
 
 	cs.flushing = false
+	if d.obsOn {
+		d.tracer.Instant("driver", "flush_ipi", obs.PIDDriver, cpu, clock,
+			map[string]any{"entries": len(out)})
+	}
 	return out
 }
 
@@ -279,6 +354,29 @@ func (d *Driver) FlushAll() []Entry {
 		out = append(out, d.FlushCPU(cpu)...)
 	}
 	return out
+}
+
+// PublishMetrics writes the driver's cumulative self-measurements into reg
+// (call once, at the end of a run). Keys mirror the paper's Table 4/5
+// driver columns.
+func (d *Driver) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t := d.TotalStats()
+	reg.Counter("driver.samples").Add(t.Samples)
+	reg.Counter("driver.hits").Add(t.Hits)
+	reg.Counter("driver.misses").Add(t.Misses)
+	reg.Counter("driver.evictions").Add(t.Evictions)
+	reg.Counter("driver.inserts").Add(t.Inserts)
+	reg.Counter("driver.direct_writes").Add(t.Direct)
+	reg.Counter("driver.flush_ipis").Add(t.FlushIPIs)
+	reg.Counter("driver.buffer_swaps").Add(t.BufSwaps)
+	reg.Counter("driver.cost_cycles").Add(uint64(t.CostCycles))
+	reg.Gauge("driver.miss_rate").Set(t.MissRate())
+	reg.Gauge("driver.avg_handler_cycles").Set(t.AvgCost())
+	reg.Gauge("driver.kernel_memory_bytes").Set(float64(d.KernelMemoryBytes()))
+	reg.Gauge("driver.num_cpus").Set(float64(len(d.cpus)))
 }
 
 // Stats returns a copy of cpu's statistics.

@@ -78,7 +78,7 @@ func TestEvictionRoundRobin(t *testing.T) {
 func TestOverflowBufferSwapNotifies(t *testing.T) {
 	var got [][]Entry
 	d := New(Config{NumCPUs: 1, Buckets: 1, OverflowEntries: 4})
-	d.OnBufferFull = func(cpu int, full []Entry) { got = append(got, full) }
+	d.OnBufferFull = func(cpu int, _ int64, full []Entry) { got = append(got, full) }
 	// Evictions: each new key beyond 4 evicts one entry to the buffer.
 	for pc := uint64(0); pc < 16; pc++ {
 		d.Record(0, 1, pc*8, sim.EvCycles)
@@ -164,7 +164,7 @@ func TestConservationProperty(t *testing.T) {
 	f := func(pcs []uint16, pids []uint8) bool {
 		d := New(Config{NumCPUs: 1, Buckets: 2, OverflowEntries: 8})
 		var kept uint64
-		d.OnBufferFull = func(_ int, full []Entry) {
+		d.OnBufferFull = func(_ int, _ int64, full []Entry) {
 			for _, e := range full {
 				kept += uint64(e.Count)
 			}

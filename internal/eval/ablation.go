@@ -39,6 +39,7 @@ type AblationResult struct {
 // correspondingly shorter trace.
 func AblationHT(o Options) (*AblationResult, error) {
 	o = o.withDefaults()
+	defer o.span("Ablation ht")()
 	const wl = "gcc"
 	scale := o.Scale
 	if scale < 0.25 {

@@ -114,6 +114,7 @@ func forEachProcAnalysis(o Options, suite []string, mode sim.Mode,
 // Fig8 measures instruction-frequency estimate errors, weighted by CYCLES
 // samples (paper Figure 8).
 func Fig8(o Options) (*AccuracyResult, error) {
+	defer o.span("Figure 8")()
 	res := newAccuracyResult()
 	err := forEachProcAnalysis(o, AccuracyWorkloads, sim.ModeCycles,
 		func(r *dcpi.Result, im *image.Image, sym alpha.Symbol, pa *analysis.ProcAnalysis) {
@@ -149,6 +150,7 @@ func Fig8(o Options) (*AccuracyResult, error) {
 // Fig9 measures CFG edge-frequency estimate errors, weighted by true edge
 // executions (paper Figure 9; edges never receive samples directly).
 func Fig9(o Options) (*AccuracyResult, error) {
+	defer o.span("Figure 9")()
 	res := newAccuracyResult()
 	err := forEachProcAnalysis(o, AccuracyWorkloads, sim.ModeCycles,
 		func(r *dcpi.Result, im *image.Image, sym alpha.Symbol, pa *analysis.ProcAnalysis) {

@@ -36,6 +36,7 @@ var Table4Modes = []sim.Mode{sim.ModeCycles, sim.ModeDefault, sim.ModeMux}
 // workloads, cold misses would dominate the miss rate).
 func Table4(o Options) ([]Table4Row, error) {
 	o = o.withDefaults()
+	defer o.span("Table 4")()
 	cfg := func(wl string, mode sim.Mode) dcpi.Config {
 		return dcpi.Config{
 			Workload:     wl,
@@ -126,6 +127,7 @@ var Table5Modes = []sim.Mode{sim.ModeCycles, sim.ModeDefault}
 // them; the directory is deleted as soon as its size has been read.
 func Table5(o Options) ([]Table5Row, error) {
 	o = o.withDefaults()
+	defer o.span("Table 5")()
 	type dbRun struct {
 		dir     string
 		pending *runner.Pending

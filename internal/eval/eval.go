@@ -45,8 +45,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sync/atomic"
 
 	"dcpi/internal/dcpi"
+	"dcpi/internal/obs"
 	"dcpi/internal/runner"
 	"dcpi/internal/sim"
 	"dcpi/internal/workload"
@@ -91,6 +93,11 @@ type Options struct {
 	// once across the whole sweep; nil creates a private runner with
 	// GOMAXPROCS workers.
 	Runner *runner.Runner
+	// Obs attaches the optional self-observability layer: each experiment
+	// emits one wall-time trace slice covering its whole sweep (lane
+	// obs.PIDEval), alongside the runner's per-run slices. Share the same
+	// Hooks with Runner.Obs so both use one trace epoch.
+	Obs obs.Hooks
 }
 
 func (o Options) withDefaults() Options {
@@ -202,6 +209,26 @@ func accCfg(o Options, wl string, mode sim.Mode, run int) dcpi.Config {
 		ZeroCostCollection: true,
 		DoubleSample:       o.DoubleSample,
 		InterpretBranches:  o.InterpretBranches,
+	}
+}
+
+// sectionTID hands each traced experiment its own thread lane so
+// concurrently running sections don't stack on one Perfetto track.
+var sectionTID atomic.Int64
+
+// span opens a wall-time trace slice for one experiment; call the returned
+// func when the experiment finishes. With tracing off it costs one nil
+// check.
+func (o Options) span(name string) func() {
+	tr := o.Obs.Tracer
+	if tr == nil {
+		return func() {}
+	}
+	tid := int(sectionTID.Add(1))
+	start := tr.Now()
+	return func() {
+		tr.NameThread(obs.PIDEval, tid, name)
+		tr.Slice("eval", name, obs.PIDEval, tid, start, tr.Now()-start, nil)
 	}
 }
 

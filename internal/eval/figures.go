@@ -15,6 +15,7 @@ import (
 // Fig1 profiles the x11perf-like workload in default mode and writes the
 // dcpiprof per-procedure listing.
 func Fig1(o Options, w io.Writer) error {
+	defer o.span("Figure 1")()
 	o = o.withDefaults()
 	r, err := o.Runner.Run(dcpi.Config{
 		Workload:     "x11perf",
@@ -33,6 +34,7 @@ func Fig1(o Options, w io.Writer) error {
 // Fig2 profiles the McCalpin copy loop and writes the dcpicalc annotated
 // listing of the copy-loop basic block.
 func Fig2(o Options, w io.Writer) error {
+	defer o.span("Figure 2")()
 	o = o.withDefaults()
 	r, err := o.Runner.Run(dcpi.Config{
 		Workload:     "mccalpin-assign",
@@ -56,6 +58,7 @@ func Fig2(o Options, w io.Writer) error {
 // Sᵢ/Mᵢ table for the copy loop with the cluster-selected issue points
 // starred.
 func Fig7(o Options, w io.Writer) error {
+	defer o.span("Figure 7")()
 	o = o.withDefaults()
 	r, err := o.Runner.Run(dcpi.Config{
 		Workload:           "mccalpin-assign",
@@ -80,6 +83,7 @@ func Fig7(o Options, w io.Writer) error {
 // dcpistats cross-run variance table; it returns the per-run procedure
 // sample maps so Fig4 can reuse the fastest run.
 func Fig3(o Options, w io.Writer) ([]*dcpi.Result, error) {
+	defer o.span("Figure 3")()
 	o = o.withDefaults()
 	const runs = 8
 	pending := make([]*runner.Pending, runs)

@@ -41,6 +41,7 @@ type Fig10Result struct {
 // 8/9 runs, so they never falsely share cached simulations with them.
 func Fig10(o Options) (*Fig10Result, error) {
 	o = o.withDefaults()
+	defer o.span("Figure 10")()
 	o.DensePeriod = sim.PeriodSpec{Base: 256, Spread: 64}
 	o.DenseEventPeriod = sim.PeriodSpec{Base: 64, Spread: 16}
 	res := &Fig10Result{}

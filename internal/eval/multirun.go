@@ -30,6 +30,7 @@ type MultiRunResult struct {
 // the single-run case.
 func Fig8MultiRun(o Options, runs int) (*MultiRunResult, error) {
 	o = o.withDefaults()
+	defer o.span("Figure 8 multi-run")()
 	if runs < 2 {
 		runs = 4
 	}

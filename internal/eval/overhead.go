@@ -22,6 +22,7 @@ type Table2Row struct {
 // Table2 measures base (unprofiled) run times with confidence intervals.
 func Table2(o Options) ([]Table2Row, error) {
 	o = o.withDefaults()
+	defer o.span("Table 2")()
 	pending := make([][]*runner.Pending, len(o.Workloads))
 	for wi, wl := range o.Workloads {
 		for run := 0; run < o.Runs; run++ {
@@ -85,6 +86,7 @@ var Table3Modes = []sim.Mode{sim.ModeCycles, sim.ModeDefault, sim.ModeMux}
 // runner simulates them only once.
 func Table3(o Options) ([]Table3Row, error) {
 	o = o.withDefaults()
+	defer o.span("Table 3")()
 	type wlPending struct {
 		base  []*runner.Pending
 		modes map[sim.Mode][]*runner.Pending
@@ -160,6 +162,7 @@ var Fig6Workloads = []string{"altavista", "gcc", "wave5"}
 // this figure costs no additional simulation.
 func Fig6(o Options) ([]Fig6Series, error) {
 	o = o.withDefaults()
+	defer o.span("Figure 6")()
 	modes := []sim.Mode{sim.ModeOff, sim.ModeCycles, sim.ModeDefault, sim.ModeMux}
 	pending := make(map[string]map[sim.Mode][]*runner.Pending)
 	for _, wl := range Fig6Workloads {

@@ -1,0 +1,223 @@
+// Chrome-trace-format event tracer. The emitted JSON loads directly in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Two time domains are used by convention:
+//
+//   - The collection pipeline (driver, daemon, profile database) stamps
+//     events with the *simulated* clock: one cycle is written as one
+//     microsecond, so a Perfetto millisecond reads as 1000 cycles.
+//   - The evaluation engine (runner, eval) stamps events with real wall
+//     time via Tracer.Now (microseconds since the tracer was created).
+//
+// The two never share a trace file: dcpid writes the pipeline trace,
+// dcpieval writes the runner trace.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Trace process IDs: each instrumented component appears as its own
+// "process" lane in Perfetto, with threads (tid) used for per-CPU or
+// per-worker breakdown.
+const (
+	PIDDriver = 1 // interrupt handler; tid = CPU
+	PIDDaemon = 2 // user-mode daemon; tid = CPU being drained (0 for merges)
+	PIDDB     = 3 // profile database
+	PIDRunner = 4 // simulation scheduler; tid = worker slot
+	PIDEval   = 5 // experiment sections; tid = section
+)
+
+// DefaultTraceCap bounds the event buffer; events beyond it are counted in
+// Dropped rather than stored, so a pathological run cannot exhaust memory.
+const DefaultTraceCap = 1 << 18
+
+// traceEvent is one Chrome trace event.
+type traceEvent struct {
+	Name string
+	Cat  string
+	Ph   string // "X" complete, "i" instant, "C" counter, "M" metadata
+	TS   int64  // microseconds
+	Dur  int64  // microseconds, complete events only
+	PID  int
+	TID  int
+	Args map[string]any
+}
+
+// MarshalJSON emits the event with exactly the fields its phase needs.
+// Marshaling goes through a map so keys come out sorted (deterministic
+// output for golden-file tests).
+func (e traceEvent) MarshalJSON() ([]byte, error) {
+	m := map[string]any{
+		"name": e.Name,
+		"ph":   e.Ph,
+		"ts":   e.TS,
+		"pid":  e.PID,
+		"tid":  e.TID,
+	}
+	if e.Cat != "" {
+		m["cat"] = e.Cat
+	}
+	if e.Ph == "X" {
+		m["dur"] = e.Dur
+	}
+	if e.Ph == "i" {
+		m["s"] = "t" // thread-scoped instant
+	}
+	if e.Args != nil {
+		m["args"] = e.Args
+	}
+	return json.Marshal(m)
+}
+
+// Tracer is a bounded, concurrency-safe event buffer. The nil *Tracer is
+// valid and inert.
+type Tracer struct {
+	start time.Time
+
+	mu      sync.Mutex
+	meta    []traceEvent // process/thread name records, emitted first
+	events  []traceEvent
+	cap     int
+	dropped uint64
+}
+
+// NewTracer creates a tracer holding at most capacity events
+// (capacity <= 0 selects DefaultTraceCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{start: time.Now(), cap: capacity}
+}
+
+// Now returns microseconds of real time since the tracer was created (0 on
+// nil). Wall-clock components (runner, eval) use it as their timestamp
+// source so their events share one epoch.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start).Microseconds()
+}
+
+func (t *Tracer) append(e traceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) >= t.cap {
+		t.dropped++
+	} else {
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+// Slice records a complete ("X") event covering [ts, ts+dur].
+func (t *Tracer) Slice(cat, name string, pid, tid int, ts, dur int64, args map[string]any) {
+	t.append(traceEvent{Name: name, Cat: cat, Ph: "X", TS: ts, Dur: dur, PID: pid, TID: tid, Args: args})
+}
+
+// Instant records a zero-duration ("i") event.
+func (t *Tracer) Instant(cat, name string, pid, tid int, ts int64, args map[string]any) {
+	t.append(traceEvent{Name: name, Cat: cat, Ph: "i", TS: ts, PID: pid, TID: tid, Args: args})
+}
+
+// Counter records a counter ("C") sample; Perfetto renders each key of
+// values as a stacked series under name.
+func (t *Tracer) Counter(cat, name string, pid int, ts int64, values map[string]float64) {
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.append(traceEvent{Name: name, Cat: cat, Ph: "C", TS: ts, PID: pid, Args: args})
+}
+
+// NameProcess labels a pid lane (metadata record; not counted against cap).
+func (t *Tracer) NameProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.meta = append(t.meta, traceEvent{
+		Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": name},
+	})
+	t.mu.Unlock()
+}
+
+// NameThread labels a (pid, tid) lane.
+func (t *Tracer) NameThread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.meta = append(t.meta, traceEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: tid, Args: map[string]any{"name": name},
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered (non-metadata) events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded once the buffer filled.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// traceFile is the Chrome trace JSON object form.
+type traceFile struct {
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteJSON writes the trace in Chrome trace format (JSON object form):
+// metadata records first, then events in emission order.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	out := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	if t != nil {
+		t.mu.Lock()
+		out.TraceEvents = make([]traceEvent, 0, len(t.meta)+len(t.events))
+		out.TraceEvents = append(out.TraceEvents, t.meta...)
+		out.TraceEvents = append(out.TraceEvents, t.events...)
+		if t.dropped > 0 {
+			out.OtherData = map[string]string{"dropped_events": strconv.FormatUint(t.dropped, 10)}
+		}
+		t.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteFile writes the trace JSON to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"dcpi/internal/obs"
 	"dcpi/internal/sim"
 )
 
@@ -302,6 +303,22 @@ func (db *DB) DiskUsage() (int64, error) {
 		return nil
 	})
 	return total, err
+}
+
+// PublishMetrics writes the database's self-measurements into reg (Table
+// 5's disk column as machine-readable keys). It is best-effort: an
+// unreadable directory simply leaves the gauges at their defaults.
+func (db *DB) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("db.epoch").Set(float64(db.epoch))
+	if disk, err := db.DiskUsage(); err == nil {
+		reg.Gauge("db.disk_bytes").Set(float64(disk))
+	}
+	if profiles, err := db.Profiles(); err == nil {
+		reg.Gauge("db.profiles").Set(float64(len(profiles)))
+	}
 }
 
 // createFile creates a file, making parent directories as needed (test and

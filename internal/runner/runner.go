@@ -31,22 +31,34 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dcpi/internal/dcpi"
+	"dcpi/internal/obs"
 )
 
 // Runner is a concurrent simulation scheduler. The zero value is not
 // usable; call New.
 type Runner struct {
-	sem   chan struct{}
+	slots chan int                                // worker-slot pool; the slot id becomes the trace tid
 	runFn func(dcpi.Config) (*dcpi.Result, error) // dcpi.Run, stubbed in tests
 
 	mu    sync.Mutex
 	cache map[string]*call
 
 	statsMu   sync.Mutex
-	simulated int // runs actually executed
-	deduped   int // requests served by an identical prior/in-flight run
+	simulated int           // runs actually executed
+	deduped   int           // requests served by an identical prior/in-flight run
+	runStart  map[int]int64 // per-slot start timestamp of the running simulation
+
+	// Obs attaches the optional self-observability layer: per-run wall
+	// time and queue wait (histograms), cache hit/miss counters, and a
+	// worker-occupancy counter track in the trace. Set it right after New,
+	// before the first Submit; timestamps come from Obs.Tracer.Now (real
+	// time), unlike the collection stack's simulated-clock trace.
+	Obs obs.Hooks
+
+	active atomic.Int64 // workers currently simulating (occupancy track)
 }
 
 // call is one in-flight or completed simulation.
@@ -62,15 +74,19 @@ func New(workers int) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{
-		sem:   make(chan struct{}, workers),
+	r := &Runner{
+		slots: make(chan int, workers),
 		runFn: dcpi.Run,
 		cache: make(map[string]*call),
 	}
+	for i := 0; i < workers; i++ {
+		r.slots <- i
+	}
+	return r
 }
 
 // Workers returns the pool bound.
-func (r *Runner) Workers() int { return cap(r.sem) }
+func (r *Runner) Workers() int { return cap(r.slots) }
 
 // Key is the content key of a run: every Config field that influences the
 // simulation. Two configs with equal keys produce identical Results
@@ -117,6 +133,10 @@ func (r *Runner) Submit(cfg dcpi.Config) *Pending {
 	if c, ok := r.cache[key]; ok {
 		r.mu.Unlock()
 		r.noteDeduped()
+		if tr := r.Obs.Tracer; tr != nil {
+			tr.Instant("runner", "cache_hit", obs.PIDRunner, 0, tr.Now(),
+				map[string]any{"workload": cfg.Workload, "mode": cfg.Mode.String()})
+		}
 		return &Pending{c: c}
 	}
 	c := &call{done: make(chan struct{})}
@@ -134,11 +154,61 @@ func (r *Runner) Run(cfg dcpi.Config) (*dcpi.Result, error) {
 
 // execute performs one simulation under the worker-pool bound.
 func (r *Runner) execute(c *call, cfg dcpi.Config) {
-	r.sem <- struct{}{}
-	defer func() { <-r.sem }()
+	submitted := r.Obs.Tracer.Now() // 0 when tracing is off
+	slot := <-r.slots
+	defer func() { r.slots <- slot }()
+
+	if r.Obs.Enabled() {
+		r.observeRun(cfg, slot, submitted)
+		defer r.finishRun(cfg, slot)
+	}
 	c.res, c.err = r.runFn(cfg)
 	close(c.done)
 }
+
+// observeRun records the start of a simulation: queue wait, occupancy, and
+// the opening timestamp of the per-run slice (stored per slot since slots
+// are exclusive while the run executes).
+func (r *Runner) observeRun(cfg dcpi.Config, slot int, submitted int64) {
+	now := r.Obs.Tracer.Now()
+	r.Obs.Registry.Histogram("runner.queue_wait_us", queueWaitBuckets()).
+		Observe(float64(now - submitted))
+	occ := r.active.Add(1)
+	if tr := r.Obs.Tracer; tr != nil {
+		tr.Counter("runner", "active_workers", obs.PIDRunner, now,
+			map[string]float64{"workers": float64(occ)})
+	}
+	r.statsMu.Lock()
+	if r.runStart == nil {
+		r.runStart = make(map[int]int64)
+	}
+	r.runStart[slot] = now
+	r.statsMu.Unlock()
+}
+
+// finishRun closes the per-run slice and updates occupancy.
+func (r *Runner) finishRun(cfg dcpi.Config, slot int) {
+	now := r.Obs.Tracer.Now()
+	r.statsMu.Lock()
+	start := r.runStart[slot]
+	r.statsMu.Unlock()
+	r.Obs.Registry.Histogram("runner.run_wall_us", runWallBuckets()).
+		Observe(float64(now - start))
+	occ := r.active.Add(-1)
+	if tr := r.Obs.Tracer; tr != nil {
+		tr.Slice("runner", cfg.Workload+"/"+cfg.Mode.String(),
+			obs.PIDRunner, slot, start, now-start,
+			map[string]any{"seed": cfg.Seed, "scale": cfg.Scale})
+		tr.Counter("runner", "active_workers", obs.PIDRunner, now,
+			map[string]float64{"workers": float64(occ)})
+	}
+}
+
+// queueWaitBuckets spans 100µs .. ~3s.
+func queueWaitBuckets() []float64 { return obs.ExpBuckets(100, 2.2, 14) }
+
+// runWallBuckets spans 1ms .. ~1000s.
+func runWallBuckets() []float64 { return obs.ExpBuckets(1000, 2.7, 14) }
 
 // Stats reports how many runs were simulated and how many requests were
 // served by deduplication against an identical run.
@@ -152,10 +222,27 @@ func (r *Runner) noteSimulated() {
 	r.statsMu.Lock()
 	r.simulated++
 	r.statsMu.Unlock()
+	r.Obs.Registry.Counter("runner.simulated").Inc() // nil-safe
 }
 
 func (r *Runner) noteDeduped() {
 	r.statsMu.Lock()
 	r.deduped++
 	r.statsMu.Unlock()
+	r.Obs.Registry.Counter("runner.deduped").Inc() // nil-safe
+}
+
+// PublishMetrics writes the runner's end-of-sweep summary gauges into
+// Obs.Registry (dedup rate, worker bound); counters and histograms are
+// maintained live.
+func (r *Runner) PublishMetrics() {
+	reg := r.Obs.Registry
+	if reg == nil {
+		return
+	}
+	sims, dups := r.Stats()
+	reg.Gauge("runner.workers").Set(float64(r.Workers()))
+	if total := sims + dups; total > 0 {
+		reg.Gauge("runner.dedup_rate").Set(float64(dups) / float64(total))
+	}
 }

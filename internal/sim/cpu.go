@@ -267,7 +267,7 @@ func (c *CPU) emit(pid uint32, pc uint64, ev Event) {
 	c.samples++
 	c.SampleCounts[ev]++
 	if sink := c.m.cfg.Sink; sink != nil {
-		c.pendingCost += sink.Sample(Sample{CPU: c.id, PID: pid, PC: pc, Event: ev})
+		c.pendingCost += sink.Sample(Sample{CPU: c.id, PID: pid, PC: pc, Event: ev, Clock: c.clock})
 	}
 }
 
@@ -276,7 +276,7 @@ func (c *CPU) emitEdge(pid uint32, from, to uint64) {
 	c.samples++
 	c.SampleCounts[EvEdge]++
 	if sink := c.m.cfg.Sink; sink != nil {
-		c.pendingCost += sink.Sample(Sample{CPU: c.id, PID: pid, PC: from, PC2: to, Event: EvEdge})
+		c.pendingCost += sink.Sample(Sample{CPU: c.id, PID: pid, PC: from, PC2: to, Event: EvEdge, Clock: c.clock})
 	}
 }
 

@@ -141,12 +141,15 @@ func (m Mode) String() string {
 // Sample is one performance-counter sample: the context the overflow
 // interrupt handler captures (paper §4.1: PID, PC, and event type). Edge
 // samples (double sampling, §7) carry the next instruction's PC in PC2.
+// Clock is the delivering CPU's cycle counter at the interrupt; collection
+// stacks use it to timestamp pipeline trace events (internal/obs).
 type Sample struct {
 	CPU   int
 	PID   uint32
 	PC    uint64
 	PC2   uint64 // valid only for EvEdge
 	Event Event
+	Clock int64
 }
 
 // Sink consumes samples as the overflow interrupts deliver them, and models

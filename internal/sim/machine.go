@@ -6,6 +6,7 @@ import (
 	"dcpi/internal/image"
 	"dcpi/internal/loader"
 	"dcpi/internal/mem"
+	"dcpi/internal/obs"
 	"dcpi/internal/pipeline"
 )
 
@@ -194,6 +195,28 @@ func (m *Machine) Stats() Stats {
 		s.Faults += c.faults
 	}
 	return s
+}
+
+// PublishMetrics writes the machine-wide statistics into reg (call once,
+// at the end of a run): the denominators every per-sample self-measurement
+// in the metrics artifact is normalized against.
+func (m *Machine) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := m.Stats()
+	reg.Gauge("machine.wall_cycles").Set(float64(s.Cycles))
+	reg.Counter("machine.instructions").Add(s.Instructions)
+	reg.Counter("machine.issue_groups").Add(s.IssueGroups)
+	reg.Counter("machine.samples").Add(s.Samples)
+	reg.Counter("machine.icache_misses").Add(s.ICacheMisses)
+	reg.Counter("machine.dcache_misses").Add(s.DCacheMisses)
+	reg.Counter("machine.itb_misses").Add(s.ITBMisses)
+	reg.Counter("machine.dtb_misses").Add(s.DTBMisses)
+	reg.Counter("machine.mispredicts").Add(s.Mispredicts)
+	reg.Counter("machine.wb_overflows").Add(s.WBOverflows)
+	reg.Counter("machine.faults").Add(s.Faults)
+	reg.Gauge("machine.num_cpus").Set(float64(len(m.CPUs)))
 }
 
 func (s Stats) String() string {

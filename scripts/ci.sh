@@ -1,0 +1,27 @@
+#!/bin/sh
+# ci.sh — the pre-PR gate: formatting, vet, build, and the full test suite
+# under the race detector. Run it before every PR; it must exit 0.
+#
+# Usage:  ./scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt -l" >&2
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet ./..." >&2
+go vet ./...
+
+echo "== go build ./..." >&2
+go build ./...
+
+echo "== go test -race ./..." >&2
+go test -race -count=1 ./...
+
+echo "== ci.sh: all checks passed" >&2
