@@ -147,3 +147,80 @@ func TestExamplesRun(t *testing.T) {
 		})
 	}
 }
+
+// TestCLIFaultScenarios exercises dcpid's fault injection end to end: a
+// stalled daemon loses samples (counted, with conservation intact) and a
+// crash mid-merge leaves a database the tools can still read.
+func TestCLIFaultScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI fault scenarios are slow")
+	}
+	bin := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	run := func(prog string, args ...string) string {
+		cmd := exec.Command(prog, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(prog), args, err, out)
+		}
+		return string(out)
+	}
+	dcpid := build("dcpid")
+	dcpiprof := build("dcpiprof")
+
+	// Scenario 1: daemon stalled for the whole run, tiny driver buffers.
+	// Samples must be lost, reported, and conserved.
+	dbStall := filepath.Join(bin, "db-stall")
+	out := run(dcpid, "-workload", "gcc", "-mode", "cycles", "-db", dbStall,
+		"-scale", "0.25", "-period", "768", "-buckets", "64", "-overflow", "64",
+		"-fault", "stall=0-100M")
+	if !strings.Contains(out, "samples lost") {
+		t.Errorf("stalled run reported no loss:\n%s", out)
+	}
+	if strings.Contains(out, " 0 samples lost") {
+		t.Errorf("stalled run lost nothing:\n%s", out)
+	}
+	if !strings.Contains(out, "conservation") || strings.Contains(out, "VIOLATED") {
+		t.Errorf("conservation not reported ok:\n%s", out)
+	}
+
+	// Scenario 2: crash during the second disk merge. The torn file is
+	// quarantined, the daemon restarts and resumes merging, and the
+	// database stays readable by the offline tools.
+	dbCrash := filepath.Join(bin, "db-crash")
+	out = run(dcpid, "-workload", "wave5", "-mode", "default", "-db", dbCrash,
+		"-scale", "0.15", "-seed", "1", "-period", "2048",
+		"-drain-interval", "100000", "-merge-interval", "250000",
+		"-fault", "crash-merge=2,merge-profiles=1")
+	if !strings.Contains(out, "1 crashes") {
+		t.Errorf("crash not reported:\n%s", out)
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Errorf("conservation violated after crash:\n%s", out)
+	}
+	var quarantined int
+	entries, err := os.ReadDir(filepath.Join(dbCrash, "epoch-0001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".bad") {
+			quarantined++
+		}
+	}
+	if quarantined != 1 {
+		t.Errorf("quarantined files = %d, want 1", quarantined)
+	}
+	out = run(dcpiprof, "-db", dbCrash)
+	if !strings.Contains(out, "cycles") {
+		t.Errorf("dcpiprof after crash recovery:\n%s", out)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"dcpi/internal/daemon"
 	"dcpi/internal/dcpi"
 	"dcpi/internal/obs"
 	"dcpi/internal/sim"
@@ -38,6 +39,11 @@ func main() {
 		perPID   = flag.String("perpid", "", "comma-separated PIDs to keep separate per-process profiles for (paper §4.3; workload PIDs start at 100)")
 		statsOut = flag.String("stats-out", "", "write collection-stack self-measurements as metrics JSON to this file")
 		traceOut = flag.String("trace-out", "", "write the collection-pipeline event trace (Chrome trace format) to this file")
+		fault    = flag.String("fault", "", "inject daemon faults, e.g. 'stall=1M-3M,drain-latency=500K,crash-merge=1' (see docs/ROBUSTNESS.md)")
+		buckets  = flag.Int("buckets", 0, "driver hash-table buckets (0 = default 4096)")
+		overflow = flag.Int("overflow", 0, "driver overflow-buffer capacity in entries (0 = default 8192)")
+		drainInt = flag.Int64("drain-interval", 0, "daemon drain interval in cycles (0 = default 2M)")
+		mergeInt = flag.Int64("merge-interval", 0, "daemon disk-merge interval in cycles (0 = default 4M)")
 	)
 	flag.Parse()
 	if *wl == "" {
@@ -59,11 +65,23 @@ func main() {
 	}
 
 	cfg := dcpi.Config{
-		Workload: *wl,
-		Mode:     m,
-		DBDir:    *dbDir,
-		Seed:     *seed,
-		Scale:    *scale,
+		Workload:       *wl,
+		Mode:           m,
+		DBDir:          *dbDir,
+		Seed:           *seed,
+		Scale:          *scale,
+		DriverBuckets:  *buckets,
+		DriverOverflow: *overflow,
+		DrainInterval:  *drainInt,
+		MergeInterval:  *mergeInt,
+	}
+	if *fault != "" {
+		plan, err := daemon.ParseFaultPlan(*fault)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpid: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Fault = plan
 	}
 	if *perPID != "" {
 		for _, f := range strings.Split(*perPID, ",") {
@@ -102,6 +120,34 @@ func main() {
 		dm.Entries, 100*dm.UnknownRate(), dm.CostPerSample())
 	if disk, err := r.DB.DiskUsage(); err == nil {
 		fmt.Printf("  database      %s (epoch %d, %d bytes)\n", *dbDir, r.DB.Epoch(), disk)
+	}
+	// Loss and fault reporting only appears when there is something to
+	// report, keeping the fault-free summary block byte-identical to
+	// earlier releases.
+	if ds.Lost > 0 || !cfg.Fault.Empty() {
+		fmt.Printf("  loss          %d samples lost (%.4f%% of recorded), %d deliveries deferred\n",
+			ds.Lost, 100*ds.LossRate(), ds.Deferred)
+	}
+	if !cfg.Fault.Empty() {
+		// Sample conservation: everything the driver recorded is either in
+		// the merged profiles or counted in a loss bucket. Per-process
+		// profiles duplicate aggregate samples, so only aggregates count.
+		// (Assumes a fresh -db directory; a reused epoch carries prior
+		// samples that inflate the merged side.)
+		var merged uint64
+		for _, p := range r.Profiles() {
+			if !strings.Contains(p.ImagePath, "#") {
+				merged += p.Total()
+			}
+		}
+		verdict := "ok"
+		if ds.Samples != merged+ds.Lost+dm.CrashDropped {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("  faults        plan %q: %d crashes, %d restarts, %d samples dropped by crashes\n",
+			cfg.Fault, dm.Crashes, dm.Restarts, dm.CrashDropped)
+		fmt.Printf("  conservation  recorded %d = merged %d + lost %d + crash-dropped %d: %s\n",
+			ds.Samples, merged, ds.Lost, dm.CrashDropped, verdict)
 	}
 	if *verbose {
 		// Verbose diagnostics go to stderr so the summary block on stdout

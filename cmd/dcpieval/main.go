@@ -43,7 +43,7 @@ func main() {
 	var (
 		table    = flag.Int("table", 0, "regenerate a table (2-5)")
 		fig      = flag.Int("fig", 0, "regenerate a figure (1-4, 6-10)")
-		ablation = flag.String("ablation", "", "run an ablation: ht")
+		ablation = flag.String("ablation", "", "run an ablation: ht, loss")
 		all      = flag.Bool("all", false, "regenerate everything")
 		runs     = flag.Int("runs", 0, "runs per configuration (default 5)")
 		scale    = flag.Float64("scale", 0, "workload scale (default 0.25)")
@@ -210,6 +210,16 @@ func main() {
 				return err
 			}
 			eval.FormatAblation(w, res)
+			return nil
+		})
+	}
+	if want(0, 0, "loss") {
+		add("Ablation: daemon lag vs. sample loss (§4.2.3)", func(w io.Writer) error {
+			res, err := eval.LossSweep(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatLossSweep(w, res)
 			return nil
 		})
 	}

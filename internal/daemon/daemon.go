@@ -41,6 +41,9 @@ type Config struct {
 	// recorded in separate per-process profiles (paper §4.3: "Users may
 	// also request separate, per-process profiles").
 	PerProcessPIDs []uint32
+	// Fault injects stalls, lag, and crashes into this daemon (see
+	// FaultPlan); the zero value runs fault-free.
+	Fault FaultPlan
 	// Obs attaches the optional self-observability sinks; the zero value
 	// keeps every instrumentation site a no-op.
 	Obs obs.Hooks
@@ -68,8 +71,12 @@ type Stats struct {
 	Samples       uint64 // raw samples those entries represent
 	Unknown       uint64 // samples that could not be classified
 	Drains        uint64 // driver flushes initiated
-	Merges        uint64 // disk merges
+	Merges        uint64 // disk merges completed
 	BuffersFull   uint64 // full overflow buffers delivered by the driver
+	Deferred      uint64 // full-buffer deliveries refused while stalled or down
+	Crashes       uint64 // injected crashes taken
+	Restarts      uint64 // recoveries from a crash
+	CrashDropped  uint64 // raw samples lost to crashes (in-memory + torn writes)
 	CostCycles    int64  // total processing cycles charged
 	Notifications uint64 // loadmap events received
 }
@@ -117,12 +124,21 @@ type Daemon struct {
 	nextMerge   int64
 	exited      []uint32
 
+	// Fault-injection state: a crashed daemon is down until restartAt;
+	// crashAtFired latches the one-shot CrashAt trigger and mergeAttempts
+	// counts disk merges started (CrashAtMerge is matched against it).
+	down          bool
+	restartAt     int64
+	crashAtFired  bool
+	mergeAttempts int
+
 	stats     Stats
 	peakBytes int
 
 	// Self-observability (nil-safe; see internal/obs). lastClock remembers
 	// the most recent simulated cycle the daemon has seen so the final
-	// Flush — which has no clock of its own — can stamp its trace events.
+	// Flush — which has no clock of its own — can stamp its trace events
+	// (it also anchors restart-at-flush recovery).
 	obsOn     bool
 	tracer    *obs.Tracer
 	batchHist *obs.Histogram // entries per processed batch
@@ -193,10 +209,32 @@ func (d *Daemon) classify(pid uint32, pc uint64) (string, uint64, bool) {
 	return "", 0, false
 }
 
-// onBufferFull is the driver's full-overflow-buffer notification.
-func (d *Daemon) onBufferFull(cpu int, clock int64, entries []driver.Entry) {
+// onBufferFull is the driver's full-overflow-buffer notification. It
+// returns false — deferring delivery, and eventually costing samples — when
+// the daemon is stalled, down, or lagging behind its drain schedule; the
+// driver parks the buffer and retries.
+func (d *Daemon) onBufferFull(cpu int, clock int64, entries []driver.Entry) bool {
+	if d.down || d.cfg.Fault.stalledAt(clock) || d.lagging(cpu, clock) {
+		d.stats.Deferred++
+		return false
+	}
 	d.stats.BuffersFull++
 	d.processBatch(cpu, clock, "process:overflow_buffer", entries)
+	return true
+}
+
+// lagging reports whether injected DrainLatency has put the daemon past
+// cpu's nominal drain time without having drained yet: a daemon behind
+// schedule is busy catching up and does not service buffer deliveries
+// either. This is what makes drain lag cost samples once the lag window
+// outgrows the driver's two overflow buffers (the §4.2.3 breakdown point).
+func (d *Daemon) lagging(cpu int, clock int64) bool {
+	lat := d.cfg.Fault.DrainLatency
+	if lat <= 0 {
+		return false
+	}
+	next, ok := d.nextDrain[cpu]
+	return ok && clock >= next-lat
 }
 
 // processBatch wraps process with the observability batch accounting: one
@@ -272,21 +310,42 @@ func (d *Daemon) profile(k profKey) *profiledb.Profile {
 
 // Poll performs the daemon's periodic work for one CPU: draining the
 // driver's hash table on the drain interval and merging to disk on the
-// merge interval. It returns the cycles to charge the polling CPU.
+// merge interval. It returns the cycles to charge the polling CPU. Fault
+// injection hooks in here: a stalled daemon does nothing, a crashed one
+// stays down until its restart, and the CrashAt trigger fires on the first
+// poll past its cycle.
 func (d *Daemon) Poll(cpu int, clock int64) int64 {
-	if d.obsOn && clock > d.lastClock {
+	if clock > d.lastClock {
 		d.lastClock = clock
+	}
+	if d.down {
+		if clock < d.restartAt {
+			return 0
+		}
+		d.restart(clock)
+	}
+	if f := d.cfg.Fault; f.CrashAt > 0 && !d.crashAtFired && clock >= f.CrashAt {
+		d.crashAtFired = true
+		d.crash(clock, "fault:crash_at")
+		return 0
+	}
+	if d.cfg.Fault.stalledAt(clock) {
+		return 0
 	}
 	if next, ok := d.nextDrain[cpu]; !ok || clock >= next {
 		if ok {
 			d.stats.Drains++
 			d.processBatch(cpu, clock, "process:drain", d.drv.FlushCPUAt(cpu, clock))
 		}
-		d.nextDrain[cpu] = clock + d.cfg.DrainInterval
+		d.nextDrain[cpu] = clock + d.cfg.DrainInterval + d.cfg.Fault.DrainLatency
 	}
 	if cpu == 0 && d.cfg.DB != nil && clock >= d.nextMerge {
 		if d.nextMerge != 0 {
-			if err := d.MergeToDisk(); err == nil {
+			crashed, err := d.mergeToDisk(clock)
+			if crashed {
+				return 0
+			}
+			if err == nil {
 				d.stats.Merges++
 			}
 		}
@@ -298,10 +357,56 @@ func (d *Daemon) Poll(cpu int, clock int64) int64 {
 	return cost
 }
 
+// crash models the daemon process dying: every in-memory profile is lost —
+// but counted, so the pipeline's sample conservation stays checkable —
+// and the daemon stays down until restartAt. The driver keeps collecting
+// into its buffers; deliveries are deferred, and its own loss accounting
+// takes over when they fill.
+func (d *Daemon) crash(clock int64, cause string) {
+	d.stats.Crashes++
+	var dropped uint64
+	for _, p := range d.profiles {
+		dropped += p.Total()
+	}
+	d.stats.CrashDropped += dropped
+	d.profiles = make(map[profKey]*profiledb.Profile)
+	d.pendingCost = 0
+	d.down = true
+	delay := d.cfg.Fault.RestartDelay
+	if delay <= 0 {
+		delay = d.cfg.DrainInterval
+	}
+	d.restartAt = clock + delay
+	if d.obsOn {
+		d.tracer.Instant("daemon", cause, obs.PIDDaemon, 0, clock,
+			map[string]any{"dropped_samples": dropped})
+	}
+}
+
+// restart brings a crashed daemon back: drain timers re-arm from scratch
+// (a fresh process has no state) and the database runs its recovery pass,
+// quarantining any file the crash left unreadable, so merging can resume.
+func (d *Daemon) restart(clock int64) {
+	d.down = false
+	d.stats.Restarts++
+	d.nextDrain = make(map[int]int64)
+	if d.cfg.DB != nil {
+		d.cfg.DB.Recover() //nolint:errcheck // best-effort; unreadable files stay quarantine candidates
+	}
+	if d.obsOn {
+		d.tracer.Instant("daemon", "daemon_restart", obs.PIDDaemon, 0, clock, nil)
+	}
+}
+
 // Flush drains every CPU's driver state and merges everything to disk. Call
 // it at the end of a run (the paper's "complete flush ... initiated by a
-// user-level command").
+// user-level command"). A daemon still down from an injected crash is
+// restarted first — the operator restarting the dead process — which runs
+// the database recovery pass before merging resumes.
 func (d *Daemon) Flush() error {
+	if d.down {
+		d.restart(d.lastClock)
+	}
 	if d.drv != nil {
 		for cpu := 0; cpu < d.drv.NumCPUs(); cpu++ {
 			d.stats.Drains++
@@ -314,29 +419,77 @@ func (d *Daemon) Flush() error {
 	if d.cfg.DB == nil {
 		return nil
 	}
-	d.stats.Merges++
-	return d.MergeToDisk()
+	crashed, err := d.mergeToDisk(d.lastClock)
+	if crashed {
+		// The injected crash hit the final merge. Restart and re-merge:
+		// the crash dropped (and counted) the unwritten profiles, so this
+		// leaves the database consistent for readers.
+		d.restart(d.lastClock)
+		_, err = d.mergeToDisk(d.lastClock)
+	}
+	if err == nil {
+		d.stats.Merges++
+	}
+	return err
 }
 
 // MergeToDisk writes every in-memory profile into the database and drops
 // the in-memory copies (the daemon's periodic disk merge — the epoch-flush
 // stage of the pipeline trace).
 func (d *Daemon) MergeToDisk() error {
+	_, err := d.mergeToDisk(d.lastClock)
+	return err
+}
+
+// mergeToDisk is MergeToDisk with fault injection: when the plan's
+// CrashAtMerge matches this attempt, the merge writes CrashMergeProfiles
+// profiles intact, tears the next write mid-file, and crashes the daemon.
+// Profiles merge in sorted order so the injected tear is deterministic.
+func (d *Daemon) mergeToDisk(clock int64) (crashed bool, err error) {
 	if d.cfg.DB == nil {
-		return fmt.Errorf("daemon: no database configured")
+		return false, fmt.Errorf("daemon: no database configured")
 	}
-	n := len(d.profiles)
-	for k, p := range d.profiles {
+	d.mergeAttempts++
+	injectAt := -1
+	if f := d.cfg.Fault; f.CrashAtMerge > 0 && d.mergeAttempts == f.CrashAtMerge {
+		injectAt = f.CrashMergeProfiles
+	}
+	keys := make([]profKey, 0, len(d.profiles))
+	for k := range d.profiles {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.path != b.path {
+			return a.path < b.path
+		}
+		if a.ev != b.ev {
+			return a.ev < b.ev
+		}
+		return a.pid < b.pid
+	})
+	n := len(keys)
+	for i, k := range keys {
+		p := d.profiles[k]
+		if i == injectAt {
+			// Torn write: the crash interrupts this profile mid-file, also
+			// destroying whatever the file held from earlier merges. Both
+			// losses are counted so recorded == merged + lost still holds.
+			destroyed, _ := d.cfg.DB.WriteTorn(p)
+			d.stats.CrashDropped += destroyed
+			d.crash(clock, "fault:crash_merge")
+			return true, nil
+		}
 		if err := d.cfg.DB.Update(p); err != nil {
-			return err
+			return false, err
 		}
 		delete(d.profiles, k)
 	}
 	if d.obsOn {
-		d.tracer.Instant("db", "epoch_flush", obs.PIDDB, 0, d.lastClock,
+		d.tracer.Instant("db", "epoch_flush", obs.PIDDB, 0, clock,
 			map[string]any{"profiles": n, "epoch": d.cfg.DB.Epoch()})
 	}
-	return nil
+	return false, nil
 }
 
 // Profiles returns the in-memory profiles, sorted by image then event.
@@ -420,6 +573,10 @@ func (d *Daemon) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("daemon.drains").Add(s.Drains)
 	reg.Counter("daemon.merges").Add(s.Merges)
 	reg.Counter("daemon.buffers_full").Add(s.BuffersFull)
+	reg.Counter("daemon.deferred_deliveries").Add(s.Deferred)
+	reg.Counter("daemon.crashes").Add(s.Crashes)
+	reg.Counter("daemon.restarts").Add(s.Restarts)
+	reg.Counter("daemon.crash_dropped_samples").Add(s.CrashDropped)
 	reg.Counter("daemon.notifications").Add(s.Notifications)
 	reg.Counter("daemon.cost_cycles").Add(uint64(s.CostCycles))
 	reg.Gauge("daemon.unknown_rate").Set(s.UnknownRate())

@@ -1,0 +1,203 @@
+package daemon
+
+// Fault injection for the collection pipeline. The paper's design is
+// explicitly loss-tolerant: the daemon may lag, stall, or die, and the
+// system must degrade gracefully — samples are dropped *and counted*
+// (§4.2.3, measured at under 0.1%), and the on-disk database survives
+// daemon restarts (§4.3). A FaultPlan makes those failure modes injectable
+// so experiments can sweep daemon lag against loss rate and tests can
+// exercise crash recovery deterministically.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Window is a half-open interval [From, To) of simulated cycles.
+type Window struct {
+	From, To int64
+}
+
+func (w Window) contains(clock int64) bool { return clock >= w.From && clock < w.To }
+
+// FaultPlan describes the faults to inject into one daemon. The zero value
+// injects nothing and leaves the daemon's behaviour — and the run's output
+// — exactly as before.
+type FaultPlan struct {
+	// DrainLatency adds fixed lag (cycles) to every periodic driver drain,
+	// modeling a daemon that falls behind schedule; while overdue it also
+	// refuses full-buffer deliveries (it is busy catching up). Sweeping it
+	// reproduces the paper's lag-vs-loss relation and its breakdown point.
+	DrainLatency int64
+	// Stalls are windows during which the daemon is unresponsive: it
+	// refuses full-buffer deliveries and performs no drains or merges.
+	Stalls []Window
+	// CrashAt, when nonzero, crashes the daemon at the first poll at or
+	// after this cycle: in-memory profiles are lost (counted in
+	// Stats.CrashDropped) and the daemon stays down for RestartDelay.
+	CrashAt int64
+	// CrashAtMerge, when nonzero, crashes the daemon during its Nth disk
+	// merge (1-based): after CrashMergeProfiles profiles are written
+	// intact, the next profile's write is torn mid-file — the partial
+	// state a crash leaves when data blocks never reached disk.
+	CrashAtMerge int
+	// CrashMergeProfiles is the number of profiles written successfully
+	// before the torn write of a CrashAtMerge crash.
+	CrashMergeProfiles int
+	// RestartDelay is how long (cycles) a crashed daemon stays down before
+	// restarting; 0 uses the drain interval.
+	RestartDelay int64
+}
+
+// Empty reports whether the plan injects nothing.
+func (p FaultPlan) Empty() bool {
+	return p.DrainLatency == 0 && len(p.Stalls) == 0 &&
+		p.CrashAt == 0 && p.CrashAtMerge == 0
+}
+
+// stalledAt reports whether any stall window covers clock.
+func (p FaultPlan) stalledAt(clock int64) bool {
+	for _, w := range p.Stalls {
+		if w.contains(clock) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the plan in the same canonical form ParseFaultPlan
+// accepts. It is stable for equal plans, which makes it usable as part of
+// a run's content key (internal/runner deduplication).
+func (p FaultPlan) String() string {
+	if p.Empty() && p.RestartDelay == 0 && p.CrashMergeProfiles == 0 {
+		return ""
+	}
+	var parts []string
+	stalls := append([]Window(nil), p.Stalls...)
+	sort.Slice(stalls, func(i, j int) bool {
+		if stalls[i].From != stalls[j].From {
+			return stalls[i].From < stalls[j].From
+		}
+		return stalls[i].To < stalls[j].To
+	})
+	for _, w := range stalls {
+		parts = append(parts, fmt.Sprintf("stall=%d-%d", w.From, w.To))
+	}
+	if p.DrainLatency != 0 {
+		parts = append(parts, fmt.Sprintf("drain-latency=%d", p.DrainLatency))
+	}
+	if p.CrashAt != 0 {
+		parts = append(parts, fmt.Sprintf("crash=%d", p.CrashAt))
+	}
+	if p.CrashAtMerge != 0 {
+		parts = append(parts, fmt.Sprintf("crash-merge=%d", p.CrashAtMerge))
+	}
+	if p.CrashMergeProfiles != 0 {
+		parts = append(parts, fmt.Sprintf("merge-profiles=%d", p.CrashMergeProfiles))
+	}
+	if p.RestartDelay != 0 {
+		parts = append(parts, fmt.Sprintf("restart=%d", p.RestartDelay))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultPlan parses a comma-separated fault spec (the dcpid -fault
+// syntax):
+//
+//	stall=FROM-TO        unresponsive window, repeatable
+//	drain-latency=N      extra cycles of lag on every periodic drain
+//	crash=CYCLE          crash (lose in-memory profiles) at this cycle
+//	crash-merge=N        crash mid-write during the Nth disk merge
+//	merge-profiles=K     profiles written intact before the torn write
+//	restart=DELAY        cycles the crashed daemon stays down
+//
+// Cycle values accept K/M/G suffixes (x1e3/1e6/1e9), e.g. stall=0-2M.
+func ParseFaultPlan(spec string) (FaultPlan, error) {
+	var p FaultPlan
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return p, fmt.Errorf("fault: %q is not key=value", field)
+		}
+		switch key {
+		case "stall":
+			from, to, ok := strings.Cut(val, "-")
+			if !ok {
+				return p, fmt.Errorf("fault: stall wants FROM-TO, got %q", val)
+			}
+			f, err := parseCycles(from)
+			if err != nil {
+				return p, err
+			}
+			t, err := parseCycles(to)
+			if err != nil {
+				return p, err
+			}
+			if t <= f {
+				return p, fmt.Errorf("fault: empty stall window %q", val)
+			}
+			p.Stalls = append(p.Stalls, Window{From: f, To: t})
+		case "drain-latency":
+			n, err := parseCycles(val)
+			if err != nil {
+				return p, err
+			}
+			p.DrainLatency = n
+		case "crash":
+			n, err := parseCycles(val)
+			if err != nil {
+				return p, err
+			}
+			p.CrashAt = n
+		case "crash-merge":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return p, fmt.Errorf("fault: bad crash-merge %q", val)
+			}
+			p.CrashAtMerge = n
+		case "merge-profiles":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return p, fmt.Errorf("fault: bad merge-profiles %q", val)
+			}
+			p.CrashMergeProfiles = n
+		case "restart":
+			n, err := parseCycles(val)
+			if err != nil {
+				return p, err
+			}
+			p.RestartDelay = n
+		default:
+			return p, fmt.Errorf("fault: unknown key %q", key)
+		}
+	}
+	return p, nil
+}
+
+// parseCycles parses a non-negative cycle count with an optional K/M/G
+// suffix.
+func parseCycles(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1_000, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1_000_000, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1_000_000_000, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("fault: bad cycle count %q", s)
+	}
+	return n * mult, nil
+}

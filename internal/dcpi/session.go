@@ -67,6 +67,19 @@ type Config struct {
 	// inside the interrupt handler are attributed to the handler's own
 	// kernel symbol (perfcount_intr) instead of being a blind spot.
 	MetaSamples bool
+	// DriverBuckets/DriverOverflow override the driver's hash-table bucket
+	// count and per-overflow-buffer capacity (zero keeps the defaults).
+	// Shrinking the overflow buffers is how the fault experiments provoke
+	// loss without unrealistically long stalls.
+	DriverBuckets  int
+	DriverOverflow int
+	// DrainInterval/MergeInterval override the daemon's periodic drain and
+	// disk-merge intervals in cycles (zero keeps the defaults).
+	DrainInterval int64
+	MergeInterval int64
+	// Fault injects daemon faults (stalls, drain lag, crashes) into the
+	// run; the zero value is fault-free and leaves output unchanged.
+	Fault daemon.FaultPlan
 	// Obs attaches the optional self-observability layer (internal/obs):
 	// the collection stack publishes its Table 3-5 self-measurements into
 	// Obs.Registry and its pipeline events into Obs.Tracer. The zero value
@@ -138,8 +151,21 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
-		drv = driver.New(driver.Config{NumCPUs: ncpu, ZeroCost: cfg.ZeroCostCollection, Obs: cfg.Obs})
-		dcfg := daemon.Config{DB: db, PerProcessPIDs: cfg.PerProcessPIDs, Obs: cfg.Obs}
+		drv = driver.New(driver.Config{
+			NumCPUs:         ncpu,
+			Buckets:         cfg.DriverBuckets,
+			OverflowEntries: cfg.DriverOverflow,
+			ZeroCost:        cfg.ZeroCostCollection,
+			Obs:             cfg.Obs,
+		})
+		dcfg := daemon.Config{
+			DB:             db,
+			DrainInterval:  cfg.DrainInterval,
+			MergeInterval:  cfg.MergeInterval,
+			PerProcessPIDs: cfg.PerProcessPIDs,
+			Fault:          cfg.Fault,
+			Obs:            cfg.Obs,
+		}
 		if cfg.ZeroCostCollection {
 			dcfg.CostPerEntry = -1
 		}

@@ -70,6 +70,8 @@ type Stats struct {
 	FlushIPIs  uint64 // inter-processor interrupts for flushes
 	BufSwaps   uint64 // overflow-buffer swaps
 	Direct     uint64 // samples written directly during a flush
+	Lost       uint64 // raw samples dropped because both overflow buffers were full
+	Deferred   uint64 // full-buffer deliveries the consumer refused or deferred
 	CostCycles int64  // total handler cycles charged
 }
 
@@ -79,6 +81,15 @@ func (s Stats) MissRate() float64 {
 		return 0
 	}
 	return float64(s.Misses) / float64(s.Samples)
+}
+
+// LossRate returns Lost/Samples — the paper's §4.2.3 loss accounting ("the
+// number of samples lost is counted"; in practice under 0.1%).
+func (s Stats) LossRate() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(s.Samples)
 }
 
 // AvgCost returns the mean handler cycles per sample.
@@ -91,14 +102,21 @@ func (s Stats) AvgCost() float64 {
 
 // cpuState is the per-processor data of §4.2.1: a private hash table and a
 // pair of overflow buffers, so handlers on different processors never
-// synchronize with each other.
+// synchronize with each other. The two buffers are always in one of two
+// states: {active, spare} when the consumer keeps up, or {active, pending}
+// when a swapped-out full buffer is still awaiting collection. When the
+// active buffer fills while another is pending, samples are dropped and
+// counted (§4.2.3 loss accounting).
 type cpuState struct {
-	buckets   [][BucketWays]Entry
-	evictNext uint32 // round-robin eviction counter ("mod counter")
-	active    []Entry
-	standby   []Entry
-	flushing  bool // set via IPI while the daemon copies this CPU's table
-	stats     Stats
+	buckets     [][BucketWays]Entry
+	evictNext   uint32  // round-robin eviction counter ("mod counter")
+	active      []Entry // buffer currently receiving evicted entries
+	spare       []Entry // empty buffer ready to become active (nil while pending holds it)
+	pending     []Entry // full buffer the consumer has not yet accepted
+	flushing    bool    // set via IPI while the daemon copies this CPU's table
+	dropping    bool    // in a loss episode: both buffers full, samples being dropped
+	episodeLost uint64  // samples dropped in the current loss episode
+	stats       Stats
 }
 
 // Driver is the device driver: one cpuState per processor.
@@ -119,8 +137,13 @@ type Driver struct {
 	// OnBufferFull is called when a CPU's active overflow buffer fills and
 	// is swapped out; the daemon should collect the full buffer promptly.
 	// clock is the simulated cycle of the swap (0 when the caller used the
-	// clock-less Record path).
-	OnBufferFull func(cpu int, clock int64, full []Entry)
+	// clock-less Record path). The consumer returns true when it accepted
+	// the buffer; false defers delivery (the daemon is lagging, stalled, or
+	// down), in which case the driver parks the buffer and retries on the
+	// next swap attempt. While a parked buffer remains uncollected and the
+	// second buffer also fills, newly evicted samples are dropped and
+	// counted in Stats.Lost — the paper's §4.2.3 graceful degradation.
+	OnBufferFull func(cpu int, clock int64, full []Entry) bool
 }
 
 // Config sizes the driver.
@@ -174,7 +197,7 @@ func New(cfg Config) *Driver {
 		d.cpus = append(d.cpus, &cpuState{
 			buckets: make([][BucketWays]Entry, cfg.Buckets),
 			active:  make([]Entry, 0, cfg.OverflowEntries),
-			standby: make([]Entry, 0, cfg.OverflowEntries),
+			spare:   make([]Entry, 0, cfg.OverflowEntries),
 		})
 	}
 	return d
@@ -295,24 +318,86 @@ func (d *Driver) record(cpu int, in Entry, clock int64) int64 {
 }
 
 // appendOverflow adds an evicted entry to the active buffer, swapping
-// buffers and notifying the daemon when full.
+// buffers and notifying the daemon when full. When both buffers are
+// occupied — the swapped-out buffer is still awaiting collection and the
+// consumer again refuses delivery — the entry is dropped and every raw
+// sample it aggregates is counted in Stats.Lost.
 func (d *Driver) appendOverflow(cpu int, cs *cpuState, e Entry, clock int64) {
-	cs.active = append(cs.active, e)
 	if len(cs.active) >= d.bufCap {
-		full := cs.active
-		cs.active, cs.standby = cs.standby[:0], nil
-		cs.standby = full[:0:cap(full)] // reuse backing array after copy-out
-		cs.stats.BufSwaps++
-		if d.obsOn {
-			d.tracer.Instant("driver", "overflow_swap", obs.PIDDriver, cpu, clock,
-				map[string]any{"entries": len(full)})
-		}
-		if d.OnBufferFull != nil {
-			out := make([]Entry, len(full))
-			copy(out, full)
-			d.OnBufferFull(cpu, clock, out)
+		// The earlier swap attempt failed; retry before giving up on the
+		// sample (the consumer may have caught up since).
+		if !d.trySwap(cpu, cs, clock) {
+			cs.stats.Lost += uint64(e.Count)
+			cs.episodeLost += uint64(e.Count)
+			if !cs.dropping {
+				cs.dropping = true
+				if d.obsOn {
+					d.tracer.Instant("driver", "loss_begin", obs.PIDDriver, cpu, clock, nil)
+				}
+			}
+			return
 		}
 	}
+	cs.active = append(cs.active, e)
+	if len(cs.active) >= d.bufCap {
+		d.trySwap(cpu, cs, clock)
+	}
+}
+
+// trySwap hands the full active buffer off and installs the empty one. It
+// returns false — leaving active full — when both buffers are occupied:
+// the previously swapped-out buffer is still awaiting collection and the
+// consumer (if any) again deferred its delivery.
+func (d *Driver) trySwap(cpu int, cs *cpuState, clock int64) bool {
+	if cs.pending != nil && !d.deliverPending(cpu, cs, clock) {
+		return false
+	}
+	full := cs.active
+	cs.active, cs.spare = cs.spare, nil
+	cs.pending = full
+	cs.stats.BufSwaps++
+	if d.obsOn {
+		d.tracer.Instant("driver", "overflow_swap", obs.PIDDriver, cpu, clock,
+			map[string]any{"entries": len(full)})
+	}
+	d.deliverPending(cpu, cs, clock) // immediate delivery; deferral is fine here
+	return true
+}
+
+// deliverPending offers the parked full buffer to the consumer. On
+// acceptance the buffer's backing array becomes the spare; on refusal (or
+// with no consumer attached) it stays parked and Stats.Deferred counts the
+// attempt. Returns whether the pending slot is now free.
+func (d *Driver) deliverPending(cpu int, cs *cpuState, clock int64) bool {
+	if cs.pending == nil {
+		return true
+	}
+	if d.OnBufferFull != nil {
+		out := make([]Entry, len(cs.pending))
+		copy(out, cs.pending)
+		if d.OnBufferFull(cpu, clock, out) {
+			cs.spare = cs.pending[:0:cap(cs.pending)] // reuse backing array after copy-out
+			cs.pending = nil
+			d.endLossEpisode(cpu, cs, clock)
+			return true
+		}
+	}
+	cs.stats.Deferred++
+	return false
+}
+
+// endLossEpisode closes the current loss episode, if any, stamping the
+// trace with how many samples it dropped.
+func (d *Driver) endLossEpisode(cpu int, cs *cpuState, clock int64) {
+	if !cs.dropping {
+		return
+	}
+	cs.dropping = false
+	if d.obsOn {
+		d.tracer.Instant("driver", "loss_end", obs.PIDDriver, cpu, clock,
+			map[string]any{"lost_samples": cs.episodeLost})
+	}
+	cs.episodeLost = 0
 }
 
 // FlushCPU implements the daemon-initiated flush of §4.2.3: an IPI sets the
@@ -335,6 +420,14 @@ func (d *Driver) FlushCPUAt(cpu int, clock int64) []Entry {
 				cs.buckets[bi][w] = Entry{}
 			}
 		}
+	}
+	// Drain the parked full buffer (if delivery was deferred) before the
+	// active one, preserving eviction order.
+	if cs.pending != nil {
+		out = append(out, cs.pending...)
+		cs.spare = cs.pending[:0:cap(cs.pending)]
+		cs.pending = nil
+		d.endLossEpisode(cpu, cs, clock)
 	}
 	out = append(out, cs.active...)
 	cs.active = cs.active[:0]
@@ -373,6 +466,9 @@ func (d *Driver) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("driver.flush_ipis").Add(t.FlushIPIs)
 	reg.Counter("driver.buffer_swaps").Add(t.BufSwaps)
 	reg.Counter("driver.cost_cycles").Add(uint64(t.CostCycles))
+	reg.Counter("driver.lost_samples").Add(t.Lost)
+	reg.Counter("driver.deferred_deliveries").Add(t.Deferred)
+	reg.Gauge("driver.loss_rate").Set(t.LossRate())
 	reg.Gauge("driver.miss_rate").Set(t.MissRate())
 	reg.Gauge("driver.avg_handler_cycles").Set(t.AvgCost())
 	reg.Gauge("driver.kernel_memory_bytes").Set(float64(d.KernelMemoryBytes()))
@@ -395,6 +491,8 @@ func (d *Driver) TotalStats() Stats {
 		t.FlushIPIs += s.FlushIPIs
 		t.BufSwaps += s.BufSwaps
 		t.Direct += s.Direct
+		t.Lost += s.Lost
+		t.Deferred += s.Deferred
 		t.CostCycles += s.CostCycles
 	}
 	return t
@@ -411,6 +509,6 @@ func (d *Driver) KernelMemoryBytes() int {
 func (d *Driver) NumCPUs() int { return len(d.cpus) }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("samples=%d hits=%d misses=%d (%.1f%%) evict=%d swaps=%d ipis=%d avgcost=%.0f",
-		s.Samples, s.Hits, s.Misses, 100*s.MissRate(), s.Evictions, s.BufSwaps, s.FlushIPIs, s.AvgCost())
+	return fmt.Sprintf("samples=%d hits=%d misses=%d (%.1f%%) evict=%d swaps=%d ipis=%d lost=%d avgcost=%.0f",
+		s.Samples, s.Hits, s.Misses, 100*s.MissRate(), s.Evictions, s.BufSwaps, s.FlushIPIs, s.Lost, s.AvgCost())
 }

@@ -78,7 +78,7 @@ func TestEvictionRoundRobin(t *testing.T) {
 func TestOverflowBufferSwapNotifies(t *testing.T) {
 	var got [][]Entry
 	d := New(Config{NumCPUs: 1, Buckets: 1, OverflowEntries: 4})
-	d.OnBufferFull = func(cpu int, _ int64, full []Entry) { got = append(got, full) }
+	d.OnBufferFull = func(cpu int, _ int64, full []Entry) bool { got = append(got, full); return true }
 	// Evictions: each new key beyond 4 evicts one entry to the buffer.
 	for pc := uint64(0); pc < 16; pc++ {
 		d.Record(0, 1, pc*8, sim.EvCycles)
@@ -164,10 +164,11 @@ func TestConservationProperty(t *testing.T) {
 	f := func(pcs []uint16, pids []uint8) bool {
 		d := New(Config{NumCPUs: 1, Buckets: 2, OverflowEntries: 8})
 		var kept uint64
-		d.OnBufferFull = func(_ int, _ int64, full []Entry) {
+		d.OnBufferFull = func(_ int, _ int64, full []Entry) bool {
 			for _, e := range full {
 				kept += uint64(e.Count)
 			}
+			return true
 		}
 		var fed uint64
 		for i, pc := range pcs {
@@ -323,5 +324,150 @@ func TestHTSimStatsConsistency(t *testing.T) {
 	}
 	if st.AvgProbes() < 1 || st.AvgProbes() > 4 {
 		t.Errorf("avg probes = %.2f out of range", st.AvgProbes())
+	}
+}
+
+func TestBackpressureDeferredThenRecovered(t *testing.T) {
+	d := New(Config{NumCPUs: 1, Buckets: 1, OverflowEntries: 4})
+	accept := false
+	var delivered uint64
+	d.OnBufferFull = func(_ int, _ int64, full []Entry) bool {
+		if !accept {
+			return false
+		}
+		for _, e := range full {
+			delivered += uint64(e.Count)
+		}
+		return true
+	}
+	// Evictions flow once the single bucket's 4 ways fill; with the
+	// consumer refusing, both buffers (2 x 4 entries) fill and further
+	// evictions are dropped -- counted, not silent.
+	var fed uint64
+	for pc := uint64(0); pc < 30; pc++ {
+		d.Record(0, 1, pc*8, sim.EvCycles)
+		fed++
+	}
+	st := d.Stats(0)
+	if st.Deferred == 0 {
+		t.Fatal("refused deliveries not counted as Deferred")
+	}
+	if st.Lost == 0 {
+		t.Fatal("no loss with both buffers full and a refusing consumer")
+	}
+	if st.LossRate() <= 0 || st.LossRate() >= 1 {
+		t.Errorf("loss rate = %v", st.LossRate())
+	}
+
+	// Consumer recovers: the parked buffer is delivered on the next swap
+	// attempt and no further samples are dropped.
+	accept = true
+	lostBefore := st.Lost
+	for pc := uint64(100); pc < 130; pc++ {
+		d.Record(0, 1, pc*8, sim.EvCycles)
+		fed++
+	}
+	if d.Stats(0).Lost != lostBefore {
+		t.Errorf("loss continued after consumer recovered: %d -> %d", lostBefore, d.Stats(0).Lost)
+	}
+	if delivered == 0 {
+		t.Error("parked buffer never delivered after recovery")
+	}
+
+	var flushed uint64
+	for _, e := range d.FlushCPU(0) {
+		flushed += uint64(e.Count)
+	}
+	st = d.Stats(0)
+	if got := delivered + flushed + st.Lost; got != fed {
+		t.Errorf("conservation: delivered %d + flushed %d + lost %d = %d, want %d",
+			delivered, flushed, st.Lost, got, fed)
+	}
+}
+
+func TestNilConsumerLossCounted(t *testing.T) {
+	// The old code silently discarded the full active buffer when no
+	// consumer was attached; now the drop is accounted in Stats.Lost and
+	// conservation still holds through the final flush.
+	d := New(Config{NumCPUs: 1, Buckets: 1, OverflowEntries: 4})
+	var fed uint64
+	for pc := uint64(0); pc < 40; pc++ {
+		d.Record(0, 1, pc*8, sim.EvCycles)
+		fed++
+	}
+	st := d.Stats(0)
+	if st.Lost == 0 {
+		t.Fatal("nil-consumer overflow not counted as Lost")
+	}
+	var flushed uint64
+	for _, e := range d.FlushCPU(0) {
+		flushed += uint64(e.Count)
+	}
+	if flushed+st.Lost != fed {
+		t.Errorf("conservation: flushed %d + lost %d != fed %d", flushed, st.Lost, fed)
+	}
+	if ts := d.TotalStats(); ts.Lost != st.Lost {
+		t.Errorf("TotalStats.Lost = %d, want %d", ts.Lost, st.Lost)
+	}
+}
+
+func TestFlushDuringRecordDirectPathLoss(t *testing.T) {
+	// While the daemon flushes, samples bypass the hash table and go
+	// directly to the overflow buffer; with a refusing consumer the direct
+	// path hits the same both-buffers-full accounting.
+	d := New(Config{NumCPUs: 1, OverflowEntries: 2})
+	d.OnBufferFull = func(_ int, _ int64, _ []Entry) bool { return false }
+	d.cpus[0].flushing = true
+	for i := 0; i < 10; i++ {
+		d.Record(0, 1, uint64(i)*8, sim.EvCycles)
+	}
+	st := d.Stats(0)
+	if st.Direct != 10 {
+		t.Errorf("direct = %d, want 10", st.Direct)
+	}
+	if st.Lost != 6 {
+		t.Errorf("lost = %d, want 6 (2x2-entry buffers hold 4 of 10)", st.Lost)
+	}
+	d.cpus[0].flushing = false
+	var kept uint64
+	for _, e := range d.FlushCPU(0) {
+		kept += uint64(e.Count)
+	}
+	if kept+st.Lost != 10 {
+		t.Errorf("conservation: kept %d + lost %d != 10", kept, st.Lost)
+	}
+}
+
+// Property: counts are conserved for arbitrary access patterns even when the
+// consumer refuses arbitrary subsets of deliveries -- every sample is
+// delivered, flushed, or counted lost.
+func TestConservationWithRefusals(t *testing.T) {
+	f := func(pcs []uint16, refuse []bool) bool {
+		d := New(Config{NumCPUs: 1, Buckets: 2, OverflowEntries: 8})
+		var delivered uint64
+		calls := 0
+		d.OnBufferFull = func(_ int, _ int64, full []Entry) bool {
+			calls++
+			if len(refuse) > 0 && refuse[calls%len(refuse)] {
+				return false
+			}
+			for _, e := range full {
+				delivered += uint64(e.Count)
+			}
+			return true
+		}
+		var fed uint64
+		for _, pc := range pcs {
+			d.Record(0, 1, uint64(pc)*4, sim.EvCycles)
+			fed++
+		}
+		var flushed uint64
+		for _, e := range d.FlushCPU(0) {
+			flushed += uint64(e.Count)
+		}
+		return delivered+flushed+d.Stats(0).Lost == fed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
 	}
 }

@@ -36,7 +36,9 @@ func (p *Profile) WriteCompressed(w io.Writer) error {
 	// DEFLATE it.
 	var payload bytes.Buffer
 	pw := bufio.NewWriter(&payload)
-	writeUvarint(pw, uint64(len(p.ImagePath)))
+	if err := writeUvarint(pw, uint64(len(p.ImagePath))); err != nil {
+		return err
+	}
 	if _, err := pw.WriteString(p.ImagePath); err != nil {
 		return err
 	}
@@ -47,7 +49,9 @@ func (p *Profile) WriteCompressed(w io.Writer) error {
 		return err
 	}
 
-	writeUvarint(bw, uint64(payload.Len())) // uncompressed size, for sanity
+	if err := writeUvarint(bw, uint64(payload.Len())); err != nil { // uncompressed size, for sanity
+		return err
+	}
 	fw, err := flate.NewWriter(bw, flate.BestCompression)
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package profiledb
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -27,7 +28,10 @@ func (db *DB) WriteMeta(m Meta) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(db.epochDir(db.epoch), metaFile), data, 0o644)
+	return writeFileAtomic(filepath.Join(db.epochDir(db.epoch), metaFile), func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
 }
 
 // Meta reads the current epoch's collection metadata; ok is false when the

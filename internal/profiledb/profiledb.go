@@ -7,6 +7,7 @@ package profiledb
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"dcpi/internal/obs"
@@ -79,7 +81,9 @@ func (p *Profile) Write(w io.Writer) error {
 	if err := writeByteN(bw, hdr[:]); err != nil {
 		return err
 	}
-	writeUvarint(bw, uint64(len(p.ImagePath)))
+	if err := writeUvarint(bw, uint64(len(p.ImagePath))); err != nil {
+		return err
+	}
 	if _, err := bw.WriteString(p.ImagePath); err != nil {
 		return err
 	}
@@ -98,11 +102,17 @@ func writePairs(bw *bufio.Writer, p *Profile) error {
 	}
 	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
 
-	writeUvarint(bw, uint64(len(offsets)))
+	if err := writeUvarint(bw, uint64(len(offsets))); err != nil {
+		return err
+	}
 	var prev uint64
 	for _, off := range offsets {
-		writeUvarint(bw, off-prev)
-		writeUvarint(bw, p.Counts[off])
+		if err := writeUvarint(bw, off-prev); err != nil {
+			return err
+		}
+		if err := writeUvarint(bw, p.Counts[off]); err != nil {
+			return err
+		}
 		prev = off
 	}
 	return nil
@@ -139,10 +149,11 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 	}
 }
 
-func writeUvarint(w *bufio.Writer, v uint64) {
+func writeUvarint(w *bufio.Writer, v uint64) error {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
-	w.Write(buf[:n]) //nolint:errcheck // flushed and checked at the end
+	_, err := w.Write(buf[:n])
+	return err
 }
 
 func writeByteN(w *bufio.Writer, b []byte) error {
@@ -152,11 +163,15 @@ func writeByteN(w *bufio.Writer, b []byte) error {
 
 // DB is a profile database rooted at a directory, organized into epochs.
 type DB struct {
-	root  string
-	epoch int
+	root        string
+	epoch       int
+	quarantined int // files quarantined by recovery passes over this DB's lifetime
 }
 
-// Open opens (or creates) a database, resuming the latest epoch.
+// Open opens (or creates) a database, resuming the latest epoch. It runs a
+// recovery pass over that epoch, so a database left behind by a crashed
+// writer opens with its intact profiles loadable and any torn file
+// quarantined rather than failing every subsequent read.
 func Open(root string) (*DB, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, err
@@ -168,8 +183,10 @@ func Open(root string) (*DB, error) {
 	}
 	latest := 0
 	for _, e := range entries {
-		var n int
-		if _, err := fmt.Sscanf(e.Name(), "epoch-%d", &n); err == nil && n > latest {
+		if !e.IsDir() {
+			continue
+		}
+		if n, ok := parseEpochName(e.Name()); ok && n > latest {
 			latest = n
 		}
 	}
@@ -177,7 +194,33 @@ func Open(root string) (*DB, error) {
 		latest = 1
 	}
 	db.epoch = latest
-	return db, os.MkdirAll(db.epochDir(latest), 0o755)
+	if err := os.MkdirAll(db.epochDir(latest), 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := db.Recover(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// parseEpochName parses an epoch directory name strictly: "epoch-" followed
+// by decimal digits only. (fmt.Sscanf prefix-matching accepted junk like
+// "epoch-12x" as epoch 12.)
+func parseEpochName(name string) (int, bool) {
+	digits, ok := strings.CutPrefix(name, "epoch-")
+	if !ok || digits == "" {
+		return 0, false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // Root returns the database directory.
@@ -227,12 +270,24 @@ func (db *DB) Update(p *Profile) error {
 		return err
 	}
 
+	return writeFileAtomic(path, merged.Write)
+}
+
+// writeFileAtomic writes via a temp file in the target's directory, syncing
+// before the rename, so readers only ever see the old content or the
+// complete new content — never a torn file at the final name.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := merged.Write(f); err != nil {
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -242,6 +297,79 @@ func (db *DB) Update(p *Profile) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// RecoveryReport summarizes what a recovery pass found.
+type RecoveryReport struct {
+	Quarantined []string // unreadable profiles renamed aside as NAME.bad
+	Removed     []string // stale temp files deleted
+}
+
+// Clean reports whether recovery found nothing to repair.
+func (r RecoveryReport) Clean() bool {
+	return len(r.Quarantined) == 0 && len(r.Removed) == 0
+}
+
+// Recover scans the current epoch for the damage a crashed writer can leave
+// behind: profile files that no longer decode are quarantined by renaming
+// them to NAME.bad (keeping the bytes for post-mortem but hiding them from
+// Profiles/Load), and stale .tmp files are deleted. Intact profiles are
+// untouched, so a restarted daemon resumes merging into a consistent epoch.
+func (db *DB) Recover() (RecoveryReport, error) {
+	var rep RecoveryReport
+	dir := db.epochDir(db.epoch)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return rep, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		full := filepath.Join(dir, name)
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			if err := os.Remove(full); err != nil {
+				return rep, err
+			}
+			rep.Removed = append(rep.Removed, name)
+		case strings.HasSuffix(name, ".prof"):
+			f, err := os.Open(full)
+			if err != nil {
+				return rep, err
+			}
+			_, rerr := ReadProfile(f)
+			f.Close()
+			if rerr == nil {
+				continue
+			}
+			if err := os.Rename(full, full+".bad"); err != nil {
+				return rep, err
+			}
+			rep.Quarantined = append(rep.Quarantined, name)
+		}
+	}
+	db.quarantined += len(rep.Quarantined)
+	return rep, nil
+}
+
+// WriteTorn deliberately leaves a torn profile file for (fault-injection)
+// crash tests: it writes only the first half of p's encoding directly at
+// the final path — the state a crash leaves when a writer skipped the
+// temp+rename protocol, or when the rename hit disk before the data blocks.
+// It returns the raw-sample total the file's previous content held, since
+// that already-merged data is destroyed along with the torn write.
+func (db *DB) WriteTorn(p *Profile) (destroyed uint64, err error) {
+	prior, err := db.Load(p.ImagePath, p.Event)
+	if err == nil {
+		destroyed = prior.Total()
+	}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		return destroyed, err
+	}
+	return destroyed, os.WriteFile(db.Path(p.ImagePath, p.Event), buf.Bytes()[:buf.Len()/2], 0o644)
 }
 
 // Load reads the profile for (imagePath, ev) from the current epoch,
@@ -313,6 +441,7 @@ func (db *DB) PublishMetrics(reg *obs.Registry) {
 		return
 	}
 	reg.Gauge("db.epoch").Set(float64(db.epoch))
+	reg.Gauge("db.quarantined_files").Set(float64(db.quarantined))
 	if disk, err := db.DiskUsage(); err == nil {
 		reg.Gauge("db.disk_bytes").Set(float64(disk))
 	}

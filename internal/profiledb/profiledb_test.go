@@ -261,3 +261,205 @@ func TestFileNameMangling(t *testing.T) {
 		t.Errorf("profile file missing: %v", err)
 	}
 }
+
+func TestParseEpochNameStrict(t *testing.T) {
+	good := map[string]int{"epoch-1": 1, "epoch-0004": 4, "epoch-12": 12}
+	for name, want := range good {
+		if n, ok := parseEpochName(name); !ok || n != want {
+			t.Errorf("parseEpochName(%q) = %d, %v; want %d", name, n, ok, want)
+		}
+	}
+	for _, name := range []string{
+		"epoch-12x", "epoch-", "epoch-+3", "epoch--3", "epoch-1 2", "epoch", "x-3", "epoch-0",
+	} {
+		if n, ok := parseEpochName(name); ok {
+			t.Errorf("parseEpochName(%q) accepted as %d", name, n)
+		}
+	}
+}
+
+func TestOpenIgnoresJunkEpochDirs(t *testing.T) {
+	dir := t.TempDir()
+	// Sscanf prefix matching used to read "epoch-12x" as epoch 12; strict
+	// parsing must ignore it (and non-directories) and resume epoch 2.
+	for _, d := range []string{"epoch-0001", "epoch-0002", "epoch-12x", "notes"} {
+		if err := os.MkdirAll(filepath.Join(dir, d), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "epoch-9"), nil, 0o644); err != nil {
+		t.Fatal(err) // a *file* named like an epoch must not count either
+	}
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Epoch() != 2 {
+		t.Errorf("epoch = %d, want 2", db.Epoch())
+	}
+}
+
+func TestOpenQuarantinesCorruptProfiles(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intact := NewProfile("/bin/app", sim.EvCycles)
+	intact.Add(16, 3)
+	if err := db.Update(intact); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated file (torn write) and a stale temp file, as a crashed
+	// writer would leave them.
+	var buf bytes.Buffer
+	other := NewProfile("/bin/other", sim.EvCycles)
+	other.Add(8, 5)
+	if err := other.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "epoch-0001", "bin_other.cycles.prof")
+	if err := os.WriteFile(torn, buf.Bytes()[:buf.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "epoch-0001", "bin_x.cycles.prof.tmp")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open with corrupt profile failed: %v", err)
+	}
+	profs, err := db2.Profiles()
+	if err != nil {
+		t.Fatalf("Profiles after recovery: %v", err)
+	}
+	if len(profs) != 1 || profs[0].ImagePath != "/bin/app" || profs[0].Counts[16] != 3 {
+		t.Errorf("intact profiles after recovery = %+v", profs)
+	}
+	if _, err := os.Stat(torn + ".bad"); err != nil {
+		t.Errorf("torn file not quarantined: %v", err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Errorf("torn file still present: %v", err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file not removed: %v", err)
+	}
+}
+
+func TestRecoverReport(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := db.Recover(); err != nil || !rep.Clean() {
+		t.Errorf("recovery on clean epoch = %+v, %v", rep, err)
+	}
+	bad := filepath.Join(dir, "epoch-0001", "junk.cycles.prof")
+	if err := os.WriteFile(bad, []byte("not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := db.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "junk.cycles.prof" {
+		t.Errorf("report = %+v", rep)
+	}
+	// Quarantined bytes are preserved for post-mortem.
+	data, err := os.ReadFile(bad + ".bad")
+	if err != nil || string(data) != "not a profile" {
+		t.Errorf("quarantined content = %q, %v", data, err)
+	}
+}
+
+func TestWriteTorn(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := NewProfile("/bin/app", sim.EvCycles)
+	prior.Add(4, 7)
+	prior.Add(8, 2)
+	if err := db.Update(prior); err != nil {
+		t.Fatal(err)
+	}
+	p := NewProfile("/bin/app", sim.EvCycles)
+	p.Add(12, 1)
+	destroyed, err := db.WriteTorn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if destroyed != 9 {
+		t.Errorf("destroyed = %d, want the 9 samples the file held", destroyed)
+	}
+	if _, err := db.Load("/bin/app", sim.EvCycles); err == nil {
+		t.Error("torn file still decodes; WriteTorn did not tear")
+	}
+	if rep, err := db.Recover(); err != nil || len(rep.Quarantined) != 1 {
+		t.Errorf("recovery of torn file = %+v, %v", rep, err)
+	}
+	// After quarantine the slot is writable again.
+	if err := db.Update(p); err != nil {
+		t.Errorf("update after recovery: %v", err)
+	}
+}
+
+// errWriter fails after n bytes, exercising the write-error paths that the
+// old writeUvarint swallowed.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, os.ErrClosed
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	p := NewProfile("/bin/app", sim.EvCycles)
+	for i := uint64(0); i < 10000; i++ {
+		p.Add(i*4, i+1)
+	}
+	for _, limit := range []int{0, 4, 100, 6000} {
+		if err := p.Write(&errWriter{n: limit}); err == nil {
+			t.Errorf("Write with %d-byte sink reported success", limit)
+		}
+		if err := p.WriteCompressed(&errWriter{n: limit}); err == nil {
+			t.Errorf("WriteCompressed with %d-byte sink reported success", limit)
+		}
+	}
+}
+
+func TestUpdateLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProfile("/bin/app", sim.EvCycles)
+	p.Add(4, 1)
+	if err := db.Update(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteMeta(Meta{Workload: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "epoch-0001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+}

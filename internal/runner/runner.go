@@ -93,14 +93,15 @@ func (r *Runner) Workers() int { return cap(r.slots) }
 // (simulation is deterministic in its configuration), which is what makes
 // deduplication safe.
 func Key(cfg dcpi.Config) string {
-	return fmt.Sprintf("w=%s|scale=%g|mode=%d|seed=%d|cyc=%d/%d|ev=%d/%d|mux=%d|db=%s|exact=%t|max=%d|ncpu=%d|pids=%v|trace=%t|zero=%t|double=%t|interp=%t|meta=%t",
+	return fmt.Sprintf("w=%s|scale=%g|mode=%d|seed=%d|cyc=%d/%d|ev=%d/%d|mux=%d|db=%s|exact=%t|max=%d|ncpu=%d|pids=%v|trace=%t|zero=%t|double=%t|interp=%t|meta=%t|geo=%d/%d|drain=%d/%d|fault=%s",
 		cfg.Workload, cfg.Scale, cfg.Mode, cfg.Seed,
 		cfg.CyclesPeriod.Base, cfg.CyclesPeriod.Spread,
 		cfg.EventPeriod.Base, cfg.EventPeriod.Spread,
 		cfg.MuxInterval, cfg.DBDir, cfg.CollectExact, cfg.MaxCycles,
 		cfg.NumCPUs, cfg.PerProcessPIDs, cfg.TraceSamples,
 		cfg.ZeroCostCollection, cfg.DoubleSample, cfg.InterpretBranches,
-		cfg.MetaSamples)
+		cfg.MetaSamples, cfg.DriverBuckets, cfg.DriverOverflow,
+		cfg.DrainInterval, cfg.MergeInterval, cfg.Fault)
 }
 
 // Pending is a submitted run; Wait blocks until it completes.

@@ -24,4 +24,22 @@ go build ./...
 echo "== go test -race ./..." >&2
 go test -race -count=1 ./...
 
+echo "== fault-scenario smoke (dcpid -fault)" >&2
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/dcpid" ./cmd/dcpid
+# Stalled daemon: loss must be counted and conserved, never silent.
+"$tmp/dcpid" -workload gcc -mode cycles -db "$tmp/db-stall" \
+	-scale 0.25 -period 768 -buckets 64 -overflow 64 \
+	-fault stall=0-100M >"$tmp/stall.out"
+grep -q "samples lost" "$tmp/stall.out"
+grep -q "conservation" "$tmp/stall.out"
+! grep -q "VIOLATED" "$tmp/stall.out"
+# Crash mid-merge: database must recover; conservation must hold.
+"$tmp/dcpid" -workload wave5 -mode default -db "$tmp/db-crash" \
+	-scale 0.15 -period 2048 -drain-interval 100000 -merge-interval 250000 \
+	-fault crash-merge=2,merge-profiles=1 >"$tmp/crash.out"
+grep -q " crashes" "$tmp/crash.out"
+! grep -q "VIOLATED" "$tmp/crash.out"
+
 echo "== ci.sh: all checks passed" >&2
