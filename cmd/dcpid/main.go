@@ -44,11 +44,37 @@ func main() {
 		overflow = flag.Int("overflow", 0, "driver overflow-buffer capacity in entries (0 = default 8192)")
 		drainInt = flag.Int64("drain-interval", 0, "daemon drain interval in cycles (0 = default 2M)")
 		mergeInt = flag.Int64("merge-interval", 0, "daemon disk-merge interval in cycles (0 = default 4M)")
+		cpuProf  = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of this run to this file")
+		memProf  = flag.String("memprofile", "", "write a runtime/pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	// -cpuprofile/-memprofile turn the profiler on itself (docs/TOOLS.md);
+	// exit flushes both profiles on every path out of main.
+	stopCPU := func() {}
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpid: %v\n", err)
+			os.Exit(1)
+		}
+		stopCPU = stop
+	}
+	exit := func(code int) {
+		stopCPU()
+		if *memProf != "" {
+			if err := obs.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintf(os.Stderr, "dcpid: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+		os.Exit(code)
+	}
 	if *wl == "" {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	var m sim.Mode
@@ -61,7 +87,7 @@ func main() {
 		m = sim.ModeMux
 	default:
 		fmt.Fprintf(os.Stderr, "dcpid: unknown mode %q\n", *mode)
-		os.Exit(2)
+		exit(2)
 	}
 
 	cfg := dcpi.Config{
@@ -79,7 +105,7 @@ func main() {
 		plan, err := daemon.ParseFaultPlan(*fault)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dcpid: %v\n", err)
-			os.Exit(2)
+			exit(2)
 		}
 		cfg.Fault = plan
 	}
@@ -88,7 +114,7 @@ func main() {
 			var pid uint32
 			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &pid); err != nil {
 				fmt.Fprintf(os.Stderr, "dcpid: bad -perpid entry %q\n", f)
-				os.Exit(2)
+				exit(2)
 			}
 			cfg.PerProcessPIDs = append(cfg.PerProcessPIDs, pid)
 		}
@@ -106,7 +132,7 @@ func main() {
 	r, err := dcpi.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcpid: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	st := r.Machine.Stats()
@@ -157,18 +183,20 @@ func main() {
 		}
 	}
 	if *statsOut != "" {
+		obs.PublishRuntimeMemStats(cfg.Obs.Registry)
 		if err := cfg.Obs.Registry.WriteFile(*statsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "dcpid: writing %s: %v\n", *statsOut, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "dcpid: wrote metrics to %s\n", *statsOut)
 	}
 	if *traceOut != "" {
 		if err := cfg.Obs.Tracer.WriteFile(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "dcpid: writing %s: %v\n", *traceOut, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "dcpid: wrote %d trace events to %s (open in ui.perfetto.dev)\n",
 			cfg.Obs.Tracer.Len(), *traceOut)
 	}
+	exit(0)
 }

@@ -29,6 +29,7 @@ import (
 
 	"dcpi/internal/eval"
 	"dcpi/internal/obs"
+	"dcpi/internal/pipeline"
 	"dcpi/internal/runner"
 )
 
@@ -50,8 +51,35 @@ func main() {
 		jobs     = flag.Int("j", 0, "concurrent simulation workers (default GOMAXPROCS)")
 		metrics  = flag.String("metrics-out", "", "write evaluation-engine self-measurements (runner cache, queue wait, run wall time) as metrics JSON to this file")
 		traceOut = flag.String("trace-out", "", "write the runner/experiment event trace (Chrome trace format) to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of this run to this file")
+		memProf  = flag.String("memprofile", "", "write a runtime/pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	// The profiler profiles itself: -cpuprofile/-memprofile capture where
+	// dcpieval's own cycles and allocations go (see docs/PERFORMANCE.md).
+	// exit flushes both profiles on every path out of main.
+	stopCPU := func() {}
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpieval: %v\n", err)
+			os.Exit(1)
+		}
+		stopCPU = stop
+	}
+	exit := func(code int) {
+		stopCPU()
+		if *memProf != "" {
+			if err := obs.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintf(os.Stderr, "dcpieval: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+		os.Exit(code)
+	}
 
 	var hooks obs.Hooks
 	if *metrics != "" {
@@ -226,7 +254,7 @@ func main() {
 
 	if len(sections) == 0 {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	// Run every section concurrently — simulations are bounded by the
@@ -258,7 +286,7 @@ func main() {
 		os.Stdout.Write(st.buf.Bytes())
 		if st.err != nil {
 			fmt.Fprintf(os.Stderr, "dcpieval: %s: %v\n", sections[i].name, st.err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	sims, dups := sched.Stats()
@@ -268,9 +296,19 @@ func main() {
 	}
 	if *metrics != "" {
 		sched.PublishMetrics()
+		// Steady-state allocation view of the run itself: Go runtime
+		// counters plus the block-schedule memo effectiveness. Dividing
+		// runtime.mallocs by machine.instructions gives allocs per
+		// simulated op (the figure the zero-allocation hot path drives
+		// toward zero; see docs/PERFORMANCE.md).
+		obs.PublishRuntimeMemStats(hooks.Registry)
+		hits, misses, entries := pipeline.SchedCacheStats()
+		hooks.Registry.Gauge("pipeline.schedcache.hits").Set(float64(hits))
+		hooks.Registry.Gauge("pipeline.schedcache.misses").Set(float64(misses))
+		hooks.Registry.Gauge("pipeline.schedcache.entries").Set(float64(entries))
 		if err := hooks.Registry.WriteFile(*metrics); err != nil {
 			fmt.Fprintf(os.Stderr, "dcpieval: writing %s: %v\n", *metrics, err)
-			os.Exit(1)
+			exit(1)
 		}
 		// Final machine-readable cache-stats line (satellite of the metrics
 		// file, for pipelines that scrape stderr rather than read files).
@@ -290,11 +328,12 @@ func main() {
 	if *traceOut != "" {
 		if err := hooks.Tracer.WriteFile(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "dcpieval: writing %s: %v\n", *traceOut, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "dcpieval: wrote %d trace events to %s (open in ui.perfetto.dev)\n",
 			hooks.Tracer.Len(), *traceOut)
 	}
+	exit(0)
 }
 
 // figWriter suppresses one of the two combined figures when only the other

@@ -1,0 +1,56 @@
+package dcpibench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenTable2Digest is the byte-identical determinism guard for the
+// evaluation pipeline: the simulator's hot path may be rearranged for
+// speed (pre-decoded metadata, memoized schedules, pooled buffers), but
+// `dcpieval -table 2` stdout must never change by a single byte. The
+// committed digest in testdata/golden_table2.sha256 locks the output; a
+// mismatch means an "optimization" changed simulation semantics.
+//
+// To regenerate after an intentional output change:
+//
+//	go build -o /tmp/dcpieval ./cmd/dcpieval
+//	/tmp/dcpieval -table 2 -runs 2 -scale 0.12 | sha256sum
+//
+// and update testdata/golden_table2.sha256 (and eval_output.txt, captured
+// at default -runs/-scale, alongside it).
+func TestGoldenTable2Digest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden digest run is slow")
+	}
+	wantRaw, err := os.ReadFile(filepath.Join("testdata", "golden_table2.sha256"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Fields(string(wantRaw))[0]
+
+	bin := filepath.Join(t.TempDir(), "dcpieval")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/dcpieval")
+	cmd.Env = os.Environ()
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build dcpieval: %v\n%s", err, msg)
+	}
+
+	out, err := exec.Command(bin, "-table", "2", "-runs", "2", "-scale", "0.12").Output()
+	if err != nil {
+		t.Fatalf("dcpieval -table 2: %v", err)
+	}
+	sum := sha256.Sum256(out)
+	got := hex.EncodeToString(sum[:])
+	if got != want {
+		dump := filepath.Join(t.TempDir(), "table2.out")
+		os.WriteFile(dump, out, 0o644)
+		t.Errorf("dcpieval -table 2 stdout digest changed:\n  got  %s\n  want %s\noutput saved to %s\n(see the test comment for how to regenerate if the change is intentional)",
+			got, want, dump)
+	}
+}

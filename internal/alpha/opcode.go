@@ -114,6 +114,10 @@ const (
 	opMax // sentinel
 )
 
+// NumOps is the number of opcode values, for building per-op lookup tables
+// (e.g. pipeline.Tables) indexed directly by Op.
+const NumOps = int(opMax)
+
 // Class groups opcodes by issue behaviour.
 type Class uint8
 

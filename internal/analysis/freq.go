@@ -129,7 +129,10 @@ func (pa *ProcAnalysis) schedule(code []alpha.Inst) {
 	}
 	for bi := range pa.Graph.Blocks {
 		b := &pa.Graph.Blocks[bi]
-		sched := pa.Model.ScheduleBlock(code[b.Start:b.End])
+		// Memoized: the same blocks are rescheduled for every analyzed run
+		// of the same image, and the schedule depends only on the model and
+		// the block's code. The shared result is copied below (values only).
+		sched := pa.Model.ScheduleBlockCached(code[b.Start:b.End])
 		for j, s := range sched {
 			ia := &pa.Insts[b.Start+j]
 			ia.M = s.M

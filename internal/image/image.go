@@ -55,12 +55,32 @@ type Image struct {
 	// ID is a unique identifier assigned by the loader when the image is
 	// registered, used in loadmap notifications (paper §4.3.2).
 	ID uint32
+
+	// meta is the pre-decoded static metadata table, one entry per
+	// instruction, built once at load time so the simulator's per-cycle
+	// loop indexes a flat array instead of re-decoding operands.
+	meta []alpha.InstMeta
 }
 
 // New builds an image from assembled code. Symbols must already be sorted by
 // offset (the assembler guarantees this).
 func New(name, path string, kind Kind, asm *alpha.Assembly) *Image {
-	return &Image{Name: name, Path: path, Kind: kind, Code: asm.Code, Symbols: asm.Symbols, Lines: asm.Lines}
+	return &Image{
+		Name: name, Path: path, Kind: kind,
+		Code: asm.Code, Symbols: asm.Symbols, Lines: asm.Lines,
+		meta: alpha.DecodeMeta(asm.Code),
+	}
+}
+
+// MetaTable returns the image's pre-decoded instruction metadata, indexed
+// like Code. Images built by New carry the table from construction; for a
+// hand-assembled Image literal the first call builds it (not safe to race
+// with concurrent first calls — construct via New for shared images).
+func (im *Image) MetaTable() []alpha.InstMeta {
+	if im.meta == nil && len(im.Code) > 0 {
+		im.meta = alpha.DecodeMeta(im.Code)
+	}
+	return im.meta
 }
 
 // LineOf returns the source line of the instruction at byte offset off, or

@@ -21,8 +21,21 @@ func (s *Sparse) page(vpage uint64, create bool) *[PageSize]byte {
 	return p
 }
 
-// Load reads size bytes at addr, little-endian.
+// Load reads size bytes at addr, little-endian. Accesses contained in one
+// page (every aligned access) take a single-map-lookup fast path; only
+// page-straddling accesses fall back to the byte loop.
 func (s *Sparse) Load(addr uint64, size int) uint64 {
+	if off := addr & (PageSize - 1); off+uint64(size) <= PageSize {
+		p := s.pages[PageOf(addr)]
+		if p == nil {
+			return 0
+		}
+		var v uint64
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(p[off+uint64(i)])
+		}
+		return v
+	}
 	var v uint64
 	for i := 0; i < size; i++ {
 		a := addr + uint64(i)
@@ -33,8 +46,16 @@ func (s *Sparse) Load(addr uint64, size int) uint64 {
 	return v
 }
 
-// Store writes the low size bytes of val at addr, little-endian.
+// Store writes the low size bytes of val at addr, little-endian. Like Load,
+// within-page accesses resolve the page once.
 func (s *Sparse) Store(addr uint64, size int, val uint64) {
+	if off := addr & (PageSize - 1); off+uint64(size) <= PageSize {
+		p := s.page(PageOf(addr), true)
+		for i := 0; i < size; i++ {
+			p[off+uint64(i)] = byte(val >> (8 * i))
+		}
+		return
+	}
 	for i := 0; i < size; i++ {
 		a := addr + uint64(i)
 		p := s.page(PageOf(a), true)

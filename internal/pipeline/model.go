@@ -113,6 +113,27 @@ func (m Model) FUse(op alpha.Op) (FU, int64) {
 	return FUNone, 0
 }
 
+// Tables is a Model flattened into per-opcode arrays, so the simulator's
+// per-cycle loop resolves latency and functional-unit use with one indexed
+// load instead of re-walking the Class switches for every dynamic
+// instruction. Build once per Model (NewTables) and share freely; the
+// tables are immutable after construction.
+type Tables struct {
+	Lat    [alpha.NumOps]int64 // result latency (Model.Latency)
+	FU     [alpha.NumOps]FU    // long-occupancy unit (Model.FUse)
+	FUBusy [alpha.NumOps]int64 // unit occupancy (Model.FUse)
+}
+
+// NewTables flattens m into per-opcode arrays.
+func NewTables(m Model) *Tables {
+	t := &Tables{}
+	for op := 0; op < alpha.NumOps; op++ {
+		t.Lat[op] = m.Latency(alpha.Op(op))
+		t.FU[op], t.FUBusy[op] = m.FUse(alpha.Op(op))
+	}
+	return t
+}
+
 // issuesSolo reports whether op always issues alone (and ends the group).
 func issuesSolo(op alpha.Op) bool {
 	switch op {
@@ -135,7 +156,15 @@ func issuesSolo(op alpha.Op) bool {
 //   - b must not read a result a produces this cycle, nor write a register
 //     a writes (checked by dependsOn).
 func CanPair(a, b alpha.Inst) bool {
-	return ClassPairable(a, b) && !dependsOn(a, b)
+	am, bm := a.Meta(), b.Meta()
+	return CanPairMeta(a, b, &am, &bm)
+}
+
+// CanPairMeta is CanPair with the operand metadata supplied by the caller
+// (typically from an image's pre-decoded table), so the simulator's
+// dual-issue probe never re-decodes or allocates.
+func CanPairMeta(a, b alpha.Inst, am, bm *alpha.InstMeta) bool {
+	return ClassPairable(a, b) && !dependsOnMeta(am, bm)
 }
 
 // ClassPairable applies only the slotting (class) rules, ignoring register
@@ -175,19 +204,19 @@ type regKey struct {
 
 func key(o alpha.Operand) regKey { return regKey{o.Reg, o.FP} }
 
-// dependsOn reports whether b reads or rewrites a's destination register.
-func dependsOn(a, b alpha.Inst) bool {
-	dest, ok := a.Dest()
-	if !ok {
+// dependsOnMeta reports whether b reads or rewrites a's destination
+// register, consulting only pre-decoded metadata.
+func dependsOnMeta(am, bm *alpha.InstMeta) bool {
+	if !am.HasDst {
 		return false
 	}
-	dk := key(dest)
-	for _, s := range b.Sources() {
+	dk := key(am.Dst)
+	for _, s := range bm.Sources() {
 		if key(s) == dk {
 			return true
 		}
 	}
-	if bd, ok := b.Dest(); ok && key(bd) == dk {
+	if bm.HasDst && key(bm.Dst) == dk {
 		return true // WAW in one cycle not allowed
 	}
 	return false

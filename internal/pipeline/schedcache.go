@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dcpi/internal/alpha"
+)
+
+// Static block schedules are pure functions of (model, instructions), and
+// the same blocks are rescheduled constantly: every AnalyzeProc call walks
+// the same procedure bodies, the accuracy experiments analyze every image
+// once per run, and the fidelity tests re-analyze identical code under many
+// seeds. ScheduleBlockCached memoizes ScheduleBlock behind a content-keyed
+// lookup so that work happens once per distinct block.
+//
+// Returned schedules are shared: callers must treat the slice and the
+// Stalls slices inside it as read-only. (The analysis copies StaticStall
+// values out before rebasing culprit indices, so this holds today.)
+
+// instKeyBytes is the packed size of one instruction in a cache key: Op,
+// Ra, Rb, Rc, Lit, UseLit, Pal(2), Disp(4).
+const instKeyBytes = 12
+
+// schedCacheMaxEntries bounds the per-model cache; distinct blocks in a
+// process are naturally few (workload images are fixed), so the bound only
+// guards against pathological callers. On overflow the model's cache
+// resets.
+const schedCacheMaxEntries = 1 << 16
+
+// schedCache is keyed first by Model (a flat struct of int64s, comparable),
+// then by the packed instruction words. The two-level shape lets the hit
+// path use a direct map[string] index on a []byte conversion, which the
+// compiler compiles without copying the key.
+var (
+	schedMu    sync.RWMutex
+	schedCache = map[Model]map[string][]SchedInst{}
+
+	schedHits   atomic.Uint64
+	schedMisses atomic.Uint64
+)
+
+// packCode serializes code into buf (grown as needed) for use as a map key.
+func packCode(buf []byte, code []alpha.Inst) []byte {
+	for _, in := range code {
+		buf = append(buf,
+			byte(in.Op), in.Ra, in.Rb, in.Rc, in.Lit, boolByte(in.UseLit),
+			byte(in.Pal), byte(in.Pal>>8),
+			byte(in.Disp), byte(in.Disp>>8), byte(in.Disp>>16), byte(in.Disp>>24))
+	}
+	return buf
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// keyBufPool recycles pack buffers so cache hits allocate only the lookup.
+var keyBufPool = sync.Pool{
+	New: func() any { return make([]byte, 0, 256*instKeyBytes) },
+}
+
+// ScheduleBlockCached is ScheduleBlock behind the package-level memo table.
+// The returned schedule is shared and must be treated as read-only.
+func (m Model) ScheduleBlockCached(code []alpha.Inst) []SchedInst {
+	buf := keyBufPool.Get().([]byte)
+	buf = packCode(buf[:0], code)
+
+	schedMu.RLock()
+	sched, ok := schedCache[m][string(buf)] // key copy elided on lookup
+	schedMu.RUnlock()
+	if ok {
+		keyBufPool.Put(buf)
+		schedHits.Add(1)
+		return sched
+	}
+
+	schedMisses.Add(1)
+	sched = m.ScheduleBlock(code)
+	k := string(buf) // copies buf; safe to recycle
+	keyBufPool.Put(buf)
+
+	schedMu.Lock()
+	inner := schedCache[m]
+	if inner == nil || len(inner) >= schedCacheMaxEntries {
+		inner = map[string][]SchedInst{}
+		schedCache[m] = inner
+	}
+	// A racing goroutine may have inserted the same key; keep the first
+	// entry so every caller shares one schedule.
+	if prior, ok := inner[k]; ok {
+		sched = prior
+	} else {
+		inner[k] = sched
+	}
+	schedMu.Unlock()
+	return sched
+}
+
+// SchedCacheStats reports the memo table's cumulative hit/miss counts and
+// current size (exported into the obs registry by the tools).
+func SchedCacheStats() (hits, misses uint64, entries int) {
+	schedMu.RLock()
+	for _, inner := range schedCache {
+		entries += len(inner)
+	}
+	schedMu.RUnlock()
+	return schedHits.Load(), schedMisses.Load(), entries
+}

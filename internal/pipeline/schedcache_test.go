@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dcpi/internal/alpha"
+)
+
+// TestScheduleBlockCachedEquivalence: the memoized entry point must return
+// schedules deep-equal to fresh ScheduleBlock computations, for multiple
+// models (the model is part of the cache key) and on repeated calls.
+func TestScheduleBlockCachedEquivalence(t *testing.T) {
+	blocks := [][]alpha.Inst{
+		alpha.MustAssemble(figure2Block).Code,
+		alpha.MustAssemble(`
+main:
+	addq t0, 1, t0
+	ldq t1, 0(t3)
+	xor t1, t0, t2
+	mulq t2, t2, t2
+	bne t2, main
+`).Code,
+		{}, // empty block
+		{{Op: alpha.OpADDQ, Ra: 1, Rb: 2, Rc: 3}},
+	}
+	slow := Default()
+	slow.MulLat = 40
+	models := []Model{Default(), slow}
+	for _, m := range models {
+		for i, code := range blocks {
+			want := m.ScheduleBlock(code)
+			for pass := 0; pass < 2; pass++ {
+				got := m.ScheduleBlockCached(code)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("model %+v block %d pass %d: cached schedule differs", m, i, pass)
+				}
+			}
+		}
+	}
+	hits, misses, entries := SchedCacheStats()
+	if hits == 0 || misses == 0 || entries == 0 {
+		t.Errorf("cache stats hits=%d misses=%d entries=%d: expected all nonzero after repeated lookups",
+			hits, misses, entries)
+	}
+}
+
+// TestScheduleBlockCachedConcurrent hammers one block from many
+// goroutines; under -race this proves the cache's locking discipline, and
+// the deep-equal check proves shared results are safe to hand out.
+func TestScheduleBlockCachedConcurrent(t *testing.T) {
+	code := alpha.MustAssemble(figure2Block).Code
+	m := Default()
+	want := m.ScheduleBlock(code)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := m.ScheduleBlockCached(code); !reflect.DeepEqual(got, want) {
+					t.Error("concurrent cached schedule differs")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestTablesMatchModel: the flattened per-opcode timing tables must agree
+// with the Model methods they replace in the hot loop.
+func TestTablesMatchModel(t *testing.T) {
+	slow := Default()
+	slow.L2Lat = 99
+	slow.DivLat = 123
+	for _, m := range []Model{Default(), slow} {
+		tab := NewTables(m)
+		for op := 0; op < alpha.NumOps; op++ {
+			o := alpha.Op(op)
+			if got, want := tab.Lat[op], m.Latency(o); got != want {
+				t.Fatalf("%v: Lat=%d, Model.Latency=%d", o, got, want)
+			}
+			fu, busy := m.FUse(o)
+			if tab.FU[op] != fu || tab.FUBusy[op] != busy {
+				t.Fatalf("%v: FU=%v/%d, Model.FUse=%v/%d", o, tab.FU[op], tab.FUBusy[op], fu, busy)
+			}
+		}
+	}
+}
+
+// TestCanPairMetaEquivalence checks the metadata-driven pairing predicate
+// against a brute-force oracle built from the allocating Sources/Dest API.
+func TestCanPairMetaEquivalence(t *testing.T) {
+	insts := []alpha.Inst{
+		{Op: alpha.OpADDQ, Ra: 1, Rb: 2, Rc: 3},
+		{Op: alpha.OpADDQ, Ra: 3, Rb: 2, Rc: 4}, // RAW on r3
+		{Op: alpha.OpADDQ, Ra: 5, Rb: 6, Rc: 3}, // WAW on r3
+		{Op: alpha.OpLDQ, Ra: 7, Rb: 30},
+		{Op: alpha.OpSTQ, Ra: 7, Rb: 30},
+		{Op: alpha.OpBNE, Ra: 3, Disp: -2},
+		{Op: alpha.OpADDT, Ra: 1, Rb: 2, Rc: 3},
+		{Op: alpha.OpMULQ, Ra: 1, Rb: 2, Rc: 9},
+		{Op: alpha.OpJSR, Ra: 26, Rb: 27},
+		{Op: alpha.OpADDQ, Ra: 31, Rb: 31, Rc: 31},
+	}
+	oracle := func(a, b alpha.Inst) bool {
+		if !ClassPairable(a, b) {
+			return false
+		}
+		d, ok := a.Dest()
+		if !ok {
+			return true
+		}
+		for _, s := range b.Sources() {
+			if s.Reg == d.Reg && s.FP == d.FP {
+				return false
+			}
+		}
+		if bd, ok := b.Dest(); ok && bd.Reg == d.Reg && bd.FP == d.FP {
+			return false
+		}
+		return true
+	}
+	for _, a := range insts {
+		for _, b := range insts {
+			am, bm := a.Meta(), b.Meta()
+			if got, want := CanPairMeta(a, b, &am, &bm), oracle(a, b); got != want {
+				t.Errorf("CanPairMeta(%v, %v) = %v, oracle %v", a, b, got, want)
+			}
+			if got, want := CanPair(a, b), oracle(a, b); got != want {
+				t.Errorf("CanPair(%v, %v) = %v, oracle %v", a, b, got, want)
+			}
+		}
+	}
+}

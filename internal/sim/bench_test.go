@@ -43,6 +43,7 @@ main:
 // simulated per second) without profiling.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	m, _ := benchMachine(b, ModeOff, b.N)
+	b.ReportAllocs()
 	b.ResetTimer()
 	m.Run(1 << 60)
 	b.StopTimer()
@@ -55,8 +56,72 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // enabled (no sink costs), isolating the sampling bookkeeping overhead.
 func BenchmarkSimulatorWithSampling(b *testing.B) {
 	m, _ := benchMachine(b, ModeCycles, b.N)
+	b.ReportAllocs()
 	b.ResetTimer()
 	m.Run(1 << 60)
 	b.StopTimer()
 	b.ReportMetric(float64(m.Stats().Samples), "samples")
+}
+
+// BenchmarkStepLoop is the tightest view of the zero-allocation hot path:
+// per-dynamic-instruction cost of step()+tryPair() with profiling off.
+// The steady state must report 0 allocs/op — a nonzero value here means a
+// heap allocation crept back into the inner loop (interface boxing,
+// operand slices, or event buffers) and the bench gate should catch it.
+func BenchmarkStepLoop(b *testing.B) {
+	m, _ := benchMachine(b, ModeOff, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(1 << 60)
+}
+
+// countingSink is the cheapest possible Sink: it counts deliveries so the
+// sample path is exercised end to end (overflow, skew queue, interrupt
+// delivery, sink call) without measuring any consumer.
+type countingSink struct{ n uint64 }
+
+func (s *countingSink) Sample(Sample) int64   { s.n++; return 0 }
+func (s *countingSink) Poll(int, int64) int64 { return 0 }
+
+// BenchmarkSamplePath measures the per-sample delivery cost: CYCLES
+// sampling at an unrealistically dense period (so samples, not steps,
+// dominate) into a trivial sink. Like BenchmarkStepLoop it must stay at
+// 0 allocs/op in steady state — the skewed-event buffer and sample
+// structs are reused, never reallocated.
+func BenchmarkSamplePath(b *testing.B) {
+	kernel, abi := testKernel()
+	l := loader.New(kernel)
+	sink := &countingSink{}
+	m := NewMachine(Options{Loader: l, ABI: abi, Seed: 7, Profile: ProfileConfig{
+		Mode:         ModeCycles,
+		Sink:         sink,
+		CyclesPeriod: PeriodSpec{Base: 64, Spread: 4},
+	}})
+	src := `
+main:
+	lda t0, 0(zero)
+	bis a0, zero, t3
+.loop:
+	addq t0, 1, t0
+	ldq t1, 0(t3)
+	xor t1, t0, t2
+	and t2, 0xff, t2
+	lda t3, 8(t3)
+	cmpult t0, a1, t4
+	bne t4, .loop
+	halt
+`
+	exec := image.New("bench", "/bin/bench", image.KindExecutable, alpha.MustAssemble(src))
+	p, err := l.NewProcess("bench", exec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Regs.WriteI(alpha.RegA0, loader.HeapBase)
+	p.Regs.WriteI(alpha.RegA1, uint64(b.N))
+	m.Spawn(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(1 << 60)
+	b.StopTimer()
+	b.ReportMetric(float64(sink.n)/float64(b.N), "samples/op")
 }

@@ -36,6 +36,10 @@ type CPU struct {
 	id    int
 	m     *Machine
 	model pipeline.Model
+	// tab is the model flattened into per-opcode arrays (latency, FU use),
+	// shared by every CPU of the machine; the per-cycle loop indexes it
+	// instead of re-walking the opcode-class switches.
+	tab *pipeline.Tables
 
 	icache, dcache, board *mem.Cache
 	itb, dtb              *mem.TLB
@@ -90,6 +94,12 @@ type CPU struct {
 	itbMissStalls                         uint64
 	SampleCounts                          [NumEvents]uint64
 	ContextSwitches                       uint64
+
+	// Pre-allocated executor state: xmem adapts the current process's
+	// split address space; xmemI is the one interface value handed to
+	// alpha.Execute, so the hot loop never boxes a new one.
+	xmem  procMem
+	xmemI alpha.Memory
 }
 
 func newCPU(id int, m *Machine) *CPU {
@@ -97,6 +107,7 @@ func newCPU(id int, m *Machine) *CPU {
 		id:     id,
 		m:      m,
 		model:  m.Model,
+		tab:    m.tables,
 		icache: mem.NewCache(icacheCfg),
 		dcache: mem.NewCache(dcacheCfg),
 		board:  mem.NewCache(boardCfg),
@@ -105,7 +116,12 @@ func newCPU(id int, m *Machine) *CPU {
 		wb:     mem.NewWriteBuffer(wbEntries, wbDrainCycles),
 		pred:   mem.NewPredictor(predEntries),
 		rng:    newCarta(m.cfg.Seed + uint32(id)*7919 + 1),
+		// Steady-state scratch, sized once so the sample path never grows
+		// it: skewed holds at most a few miss events per issue group.
+		skewed: make([]Event, 0, 8),
 	}
+	c.xmem = procMem{k: m.KernelMem}
+	c.xmemI = &c.xmem
 	switch m.cfg.Mode {
 	case ModeCycles:
 		c.cycEnabled = true
@@ -352,18 +368,18 @@ func (c *CPU) exactCount(im *image.Image, off uint64, taken, isCond bool) {
 	}
 }
 
-func (c *CPU) commit(inst alpha.Inst, issue, loadExtra int64) {
-	if d, ok := inst.Dest(); ok {
-		c.regReady[ridx(d)] = issue + c.model.Latency(inst.Op) + loadExtra
+func (c *CPU) commit(inst alpha.Inst, meta *alpha.InstMeta, issue, loadExtra int64) {
+	if meta.HasDst {
+		c.regReady[ridx(meta.Dst)] = issue + c.tab.Lat[inst.Op] + loadExtra
 	}
-	if fu, busy := c.model.FUse(inst.Op); fu != pipeline.FUNone {
-		c.fuFree[fu] = issue + busy
+	if fu := c.tab.FU[inst.Op]; fu != pipeline.FUNone {
+		c.fuFree[fu] = issue + c.tab.FUBusy[inst.Op]
 	}
 }
 
 // controlFlow applies branch-prediction effects and fetch redirects.
-func (c *CPU) controlFlow(p *loader.Process, inst alpha.Inst, pc uint64, out alpha.Outcome, issue int64) {
-	if inst.Op.IsCondBranch() {
+func (c *CPU) controlFlow(p *loader.Process, meta *alpha.InstMeta, pc uint64, out alpha.Outcome, issue int64) {
+	if meta.CondBranch {
 		if c.pred.Update(pc, out.Taken) {
 			c.countEvent(EvBranchMP, p.PID, pc)
 			c.fetchReadyAt = issue + 1 + c.model.MispredictPenalty
@@ -429,11 +445,13 @@ func (c *CPU) step() bool {
 		c.fault(p)
 		return true
 	}
-	inst := im.Code[off/alpha.InstBytes]
+	idx := off / alpha.InstBytes
+	inst := im.Code[idx]
 	if inst.Op == alpha.OpInvalid {
 		c.fault(p)
 		return true
 	}
+	meta := &im.MetaTable()[idx]
 
 	h := c.clock
 
@@ -459,20 +477,20 @@ func (c *CPU) step() bool {
 	earliest += c.fetch(p, im, off, pc)
 
 	// Operand and functional-unit readiness.
-	for _, s := range inst.Sources() {
+	for _, s := range meta.Sources() {
 		if t := c.regReady[ridx(s)]; t > earliest {
 			earliest = t
 		}
 	}
-	if fu, _ := c.model.FUse(inst.Op); fu != pipeline.FUNone {
+	if fu := c.tab.FU[inst.Op]; fu != pipeline.FUNone {
 		if t := c.fuFree[fu]; t > earliest {
 			earliest = t
 		}
 	}
 
 	// Architectural execution.
-	pmem := procMem{p, c.m.KernelMem}
-	out := alpha.Execute(inst, pc, &p.Regs, pmem)
+	c.xmem.p = p
+	out := alpha.Execute(inst, pc, &p.Regs, c.xmemI)
 	if out.Fault != nil {
 		c.fault(p)
 		return true
@@ -496,15 +514,15 @@ func (c *CPU) step() bool {
 	delivered := c.deliverCycles(issue+1, p.PID, pc)
 	c.groups++
 	c.instructions++
-	c.exactCount(im, off, out.Taken, inst.Op.IsCondBranch())
+	c.exactCount(im, off, out.Taken, meta.CondBranch)
 
-	c.commit(inst, issue, loadExtra)
-	c.controlFlow(p, inst, pc, out, issue)
+	c.commit(inst, meta, issue, loadExtra)
+	c.controlFlow(p, meta, pc, out, issue)
 	p.PC = out.NextPC
 
 	// Instruction interpretation (§7): a sampled conditional branch is
 	// decoded by the handler and its direction recorded as an edge sample.
-	if delivered > 0 && c.m.cfg.InterpretBranches && inst.Op.IsCondBranch() {
+	if delivered > 0 && c.m.cfg.InterpretBranches && meta.CondBranch {
 		c.emitEdge(p.PID, pc, out.NextPC)
 	}
 
@@ -515,7 +533,7 @@ func (c *CPU) step() bool {
 		c.exit(p)
 	default:
 		if !out.Taken && p.State == loader.ProcRunnable {
-			c.tryPair(p, inst, issue)
+			c.tryPair(p, inst, meta, issue)
 		}
 	}
 
@@ -550,14 +568,19 @@ func (c *CPU) step() bool {
 // feasibility: the partner's fetch must already be resident, its operands
 // and functional unit ready, and its memory access must not need a TLB fill
 // or a full write buffer.
-func (c *CPU) tryPair(p *loader.Process, head alpha.Inst, issue int64) {
+func (c *CPU) tryPair(p *loader.Process, head alpha.Inst, headMeta *alpha.InstMeta, issue int64) {
 	pc2 := p.PC
 	im2, off2, ok := p.Lookup(pc2)
 	if !ok {
 		return
 	}
-	inst2 := im2.Code[off2/alpha.InstBytes]
-	if inst2.Op == alpha.OpInvalid || !pipeline.CanPair(head, inst2) {
+	idx2 := off2 / alpha.InstBytes
+	inst2 := im2.Code[idx2]
+	if inst2.Op == alpha.OpInvalid {
+		return
+	}
+	meta2 := &im2.MetaTable()[idx2]
+	if !pipeline.CanPairMeta(head, inst2, headMeta, meta2) {
 		return
 	}
 
@@ -574,23 +597,23 @@ func (c *CPU) tryPair(p *loader.Process, head alpha.Inst, issue int64) {
 	}
 
 	// Operand and FU readiness at the shared issue cycle.
-	for _, s := range inst2.Sources() {
+	for _, s := range meta2.Sources() {
 		if c.regReady[ridx(s)] > issue {
 			return
 		}
 	}
-	if fu, _ := c.model.FUse(inst2.Op); fu != pipeline.FUNone && c.fuFree[fu] > issue {
+	if fu := c.tab.FU[inst2.Op]; fu != pipeline.FUNone && c.fuFree[fu] > issue {
 		return
 	}
 
 	// Memory feasibility, computed without architectural effects.
-	if inst2.Op.IsLoad() || inst2.Op.IsStore() {
+	if meta2.Load || meta2.Store {
 		addr := p.Regs.ReadI(inst2.Rb) + uint64(int64(inst2.Disp))
 		asn := dataASN(p.PID, addr)
 		if !c.dtb.Probe(asn, mem.PageOf(addr)) {
 			return
 		}
-		if inst2.Op.IsStore() {
+		if meta2.Store {
 			phys := c.m.PageMap.Translate(asn, addr)
 			if c.wb.Full(c.dcache.LineOf(phys), issue) {
 				return
@@ -598,9 +621,8 @@ func (c *CPU) tryPair(p *loader.Process, head alpha.Inst, issue int64) {
 		}
 	}
 
-	// Commit the pair.
-	pmem := procMem{p, c.m.KernelMem}
-	out2 := alpha.Execute(inst2, pc2, &p.Regs, pmem)
+	// Commit the pair (xmem.p was retargeted by step for this process).
+	out2 := alpha.Execute(inst2, pc2, &p.Regs, c.xmemI)
 	if out2.Fault != nil {
 		c.fault(p)
 		return
@@ -614,9 +636,9 @@ func (c *CPU) tryPair(p *loader.Process, head alpha.Inst, issue int64) {
 		loadExtra2 = le + d // any residual delay folds into result latency
 	}
 	c.instructions++
-	c.exactCount(im2, off2, out2.Taken, inst2.Op.IsCondBranch())
-	c.commit(inst2, issue, loadExtra2)
-	c.controlFlow(p, inst2, pc2, out2, issue)
+	c.exactCount(im2, off2, out2.Taken, meta2.CondBranch)
+	c.commit(inst2, meta2, issue, loadExtra2)
+	c.controlFlow(p, meta2, pc2, out2, issue)
 	p.PC = out2.NextPC
 }
 

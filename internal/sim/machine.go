@@ -65,6 +65,7 @@ type Machine struct {
 	Exact     *Counts
 
 	cfg           ProfileConfig
+	tables        *pipeline.Tables
 	quantum       int64
 	timerInterval int64
 	nextCPU       int
@@ -103,6 +104,7 @@ func NewMachine(opts Options) *Machine {
 		PageMap:       mem.NewPageMapper(physPages, opts.Seed),
 		ABI:           opts.ABI,
 		cfg:           opts.Profile.withDefaults(),
+		tables:        pipeline.NewTables(model),
 		quantum:       quantum,
 		timerInterval: timer,
 	}
@@ -226,20 +228,23 @@ func (s Stats) String() string {
 }
 
 // procMem adapts a process's split address space (user memory below
-// KernelBase, kernel memory above) to the alpha.Memory interface.
+// KernelBase, kernel memory above) to the alpha.Memory interface. Each CPU
+// owns one procMem and retargets its p field on every issue group, so the
+// executor sees a stable *procMem interface value and the per-instruction
+// interface boxing (one heap allocation per Execute call) disappears.
 type procMem struct {
 	p *loader.Process
 	k *mem.Sparse
 }
 
-func (pm procMem) Load(addr uint64, size int) uint64 {
+func (pm *procMem) Load(addr uint64, size int) uint64 {
 	if addr >= loader.KernelBase {
 		return pm.k.Load(addr, size)
 	}
 	return pm.p.Mem.Load(addr, size)
 }
 
-func (pm procMem) Store(addr uint64, size int, val uint64) {
+func (pm *procMem) Store(addr uint64, size int, val uint64) {
 	if addr >= loader.KernelBase {
 		pm.k.Store(addr, size, val)
 		return

@@ -3,15 +3,32 @@
 #
 # Runs the benchmark suite (every paper table/figure as a benchmark, plus
 # the driver and simulator micro-benchmarks) and the race-detector tests
-# for the packages the parallel evaluation engine touches. Compare the
-# JSON it writes against the committed BENCH_baseline.json (captured on
-# the seed revision, same flags) to spot regressions.
+# for the packages the parallel evaluation engine touches, then diffs the
+# fresh results against the committed BENCH_baseline.json with
+# scripts/benchjson -compare. A slowdown or allocation growth past the
+# threshold exits non-zero.
 #
-# Usage:  ./scripts/bench.sh [out.json]
+# Usage:
+#	./scripts/bench.sh [out.json]           # run + auto-compare vs baseline
+#	./scripts/bench.sh -compare old.json new.json
+#	                                        # just diff two existing files
+#
+# Environment:
+#	BENCH_BASELINE   baseline file for auto-compare (default BENCH_baseline.json)
+#	BENCH_THRESHOLD  allowed growth fraction before failing (default 0.15)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+threshold="${BENCH_THRESHOLD:-0.15}"
+
+if [ "${1:-}" = "-compare" ]; then
+	[ $# -eq 3 ] || { echo "usage: bench.sh -compare old.json new.json" >&2; exit 2; }
+	exec go run ./scripts/benchjson -compare -threshold "$threshold" "$2" "$3"
+fi
+
 out="${1:-BENCH_current.json}"
+baseline="${BENCH_BASELINE:-BENCH_baseline.json}"
 
 echo "== go test -race ./internal/runner ./internal/eval" >&2
 go test -race -count=1 ./internal/runner ./internal/eval
@@ -22,4 +39,11 @@ trap 'rm -f "$tmp"' EXIT
 go test -run '^$' -bench=. -benchmem . ./internal/driver ./internal/sim | tee "$tmp" >&2
 
 go run ./scripts/benchjson < "$tmp" > "$out"
-echo "== wrote $out (baseline: BENCH_baseline.json)" >&2
+echo "== wrote $out" >&2
+
+if [ -f "$baseline" ]; then
+	echo "== compare vs $baseline (threshold $threshold)" >&2
+	go run ./scripts/benchjson -compare -threshold "$threshold" "$baseline" "$out"
+else
+	echo "== no baseline ($baseline) — skipping compare" >&2
+fi

@@ -1,17 +1,26 @@
 // Command benchjson converts `go test -bench` text output (read from
 // stdin) into the JSON shape committed as BENCH_baseline.json, so per-PR
-// benchmark runs can be diffed against the baseline mechanically.
+// benchmark runs can be diffed against the baseline mechanically — and,
+// with -compare, performs that diff itself as a regression gate.
 //
 // Usage:
 //
 //	go test -run '^$' -bench=. -benchmem ./... | go run ./scripts/benchjson
+//	go run ./scripts/benchjson -compare old.json new.json
+//	go run ./scripts/benchjson -compare -threshold 0.25 old.json new.json
+//
+// Compare mode prints a per-benchmark table of ns/op and allocs/op deltas
+// and exits non-zero when any benchmark slows down (or allocates more) by
+// more than the threshold fraction. Improvements never fail the gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -40,6 +49,17 @@ type Output struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files (old new) instead of converting stdin")
+	threshold := flag.Float64("threshold", 0.15, "compare mode: fail when ns/op or allocs/op grows by more than this fraction")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
 	var out Output
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -105,4 +125,105 @@ func parseLine(pkg, line string) (Benchmark, bool) {
 		}
 	}
 	return b, b.NsPerOp > 0
+}
+
+// benchKey identifies one benchmark across files: package + name with any
+// GOMAXPROCS suffix ("-8") stripped, so runs from machines with different
+// core counts still line up.
+func benchKey(b Benchmark) string {
+	name := b.Name
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return b.Package + "." + name
+}
+
+func loadResults(path string) (map[string]Benchmark, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out Output
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Benchmark, len(out.Results))
+	var order []string
+	for _, b := range out.Results {
+		k := benchKey(b)
+		if _, dup := m[k]; !dup {
+			order = append(order, k)
+		}
+		m[k] = b
+	}
+	return m, order, nil
+}
+
+// pct formats a relative change as a signed percentage.
+func pct(old, new float64) string {
+	if old == 0 {
+		return "   n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+// runCompare diffs two benchmark JSON files and returns the process exit
+// code: 0 when nothing regressed past the threshold, 1 otherwise.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldM, _, err := loadResults(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newM, newOrder, err := loadResults(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+
+	fmt.Printf("%-44s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
+	regressions := 0
+	for _, k := range newOrder {
+		nb := newM[k]
+		ob, ok := oldM[k]
+		if !ok {
+			fmt.Printf("%-44s %14s %14.0f %8s %12s %12d %8s\n",
+				nb.Name, "-", nb.NsPerOp, "new", "-", nb.AllocsPerOp, "new")
+			continue
+		}
+		flag := ""
+		if ob.NsPerOp > 0 && nb.NsPerOp > ob.NsPerOp*(1+threshold) {
+			flag = "  REGRESSION(time)"
+			regressions++
+		}
+		if ob.AllocsPerOp > 0 && float64(nb.AllocsPerOp) > float64(ob.AllocsPerOp)*(1+threshold) {
+			flag += "  REGRESSION(allocs)"
+			regressions++
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %8s %12d %12d %8s%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, pct(ob.NsPerOp, nb.NsPerOp),
+			ob.AllocsPerOp, nb.AllocsPerOp,
+			pct(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp)), flag)
+		delete(oldM, k)
+	}
+	missing := make([]string, 0, len(oldM))
+	for k := range oldM {
+		missing = append(missing, k)
+	}
+	sort.Strings(missing)
+	for _, k := range missing {
+		ob := oldM[k]
+		fmt.Printf("%-44s %14.0f %14s %8s %12d %12s %8s  (missing from new run)\n",
+			ob.Name, ob.NsPerOp, "-", "", ob.AllocsPerOp, "-", "")
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) past %.0f%% threshold\n",
+			regressions, 100*threshold)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no regressions past %.0f%% threshold\n", 100*threshold)
+	return 0
 }

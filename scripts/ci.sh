@@ -3,6 +3,11 @@
 # under the race detector. Run it before every PR; it must exit 0.
 #
 # Usage:  ./scripts/ci.sh
+#
+# Set BENCH=1 to also run the benchmark suite and fail on regressions
+# against BENCH_baseline.json (see scripts/bench.sh); off by default
+# because the full bench run adds ~10 minutes and timing thresholds are
+# noisy on shared machines.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -41,5 +46,10 @@ grep -q "conservation" "$tmp/stall.out"
 	-fault crash-merge=2,merge-profiles=1 >"$tmp/crash.out"
 grep -q " crashes" "$tmp/crash.out"
 ! grep -q "VIOLATED" "$tmp/crash.out"
+
+if [ "${BENCH:-0}" = "1" ]; then
+	echo "== benchmark regression gate (BENCH=1)" >&2
+	./scripts/bench.sh "$tmp/bench.json"
+fi
 
 echo "== ci.sh: all checks passed" >&2
