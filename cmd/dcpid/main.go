@@ -44,6 +44,7 @@ func main() {
 		overflow = flag.Int("overflow", 0, "driver overflow-buffer capacity in entries (0 = default 8192)")
 		drainInt = flag.Int64("drain-interval", 0, "daemon drain interval in cycles (0 = default 2M)")
 		mergeInt = flag.Int64("merge-interval", 0, "daemon disk-merge interval in cycles (0 = default 4M)")
+		simcpus  = flag.String("simcpus", "0", "simulation parallelism: 0/1 sequential, N goroutines, or \"auto\" (budget-limited); output is byte-identical either way")
 		cpuProf  = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of this run to this file")
 		memProf  = flag.String("memprofile", "", "write a runtime/pprof heap profile at exit to this file")
 	)
@@ -100,6 +101,12 @@ func main() {
 		DriverOverflow: *overflow,
 		DrainInterval:  *drainInt,
 		MergeInterval:  *mergeInt,
+	}
+	if n, err := dcpi.ParseSimCPUs(*simcpus); err != nil {
+		fmt.Fprintf(os.Stderr, "dcpid: %v\n", err)
+		exit(2)
+	} else {
+		cfg.SimCPUs = n
 	}
 	if *fault != "" {
 		plan, err := daemon.ParseFaultPlan(*fault)

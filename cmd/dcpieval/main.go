@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 
+	"dcpi/internal/dcpi"
 	"dcpi/internal/eval"
 	"dcpi/internal/obs"
 	"dcpi/internal/pipeline"
@@ -49,6 +50,7 @@ func main() {
 		runs     = flag.Int("runs", 0, "runs per configuration (default 5)")
 		scale    = flag.Float64("scale", 0, "workload scale (default 0.25)")
 		jobs     = flag.Int("j", 0, "concurrent simulation workers (default GOMAXPROCS)")
+		simcpus  = flag.String("simcpus", "0", "per-run simulation parallelism: 0/1 sequential, N goroutines, or \"auto\" (budget-limited); output is byte-identical either way")
 		metrics  = flag.String("metrics-out", "", "write evaluation-engine self-measurements (runner cache, queue wait, run wall time) as metrics JSON to this file")
 		traceOut = flag.String("trace-out", "", "write the runner/experiment event trace (Chrome trace format) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of this run to this file")
@@ -93,6 +95,12 @@ func main() {
 
 	sched := runner.New(*jobs)
 	sched.Obs = hooks
+	if n, err := dcpi.ParseSimCPUs(*simcpus); err != nil {
+		fmt.Fprintf(os.Stderr, "dcpieval: %v\n", err)
+		exit(2)
+	} else {
+		sched.SimCPUs = n
+	}
 	o := eval.Options{Runs: *runs, Scale: *scale, Runner: sched, Obs: hooks}
 
 	want := func(t, f int, abl string) bool {

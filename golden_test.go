@@ -25,6 +25,19 @@ import (
 // and update testdata/golden_table2.sha256 (and eval_output.txt, captured
 // at default -runs/-scale, alongside it).
 func TestGoldenTable2Digest(t *testing.T) {
+	goldenTable2(t)
+}
+
+// TestGoldenTable2DigestParallel runs the same golden check with the
+// simulated CPUs fanned out over goroutines (-simcpus 4): parallel
+// simulation must reproduce the committed digest bit for bit. Together
+// with the sequential run above, this pins the PR 5 contract — CPU-level
+// parallelism is an execution strategy, not a semantic change.
+func TestGoldenTable2DigestParallel(t *testing.T) {
+	goldenTable2(t, "-simcpus", "4")
+}
+
+func goldenTable2(t *testing.T, extraArgs ...string) {
 	if testing.Short() {
 		t.Skip("golden digest run is slow")
 	}
@@ -41,16 +54,17 @@ func TestGoldenTable2Digest(t *testing.T) {
 		t.Fatalf("build dcpieval: %v\n%s", err, msg)
 	}
 
-	out, err := exec.Command(bin, "-table", "2", "-runs", "2", "-scale", "0.12").Output()
+	args := append([]string{"-table", "2", "-runs", "2", "-scale", "0.12"}, extraArgs...)
+	out, err := exec.Command(bin, args...).Output()
 	if err != nil {
-		t.Fatalf("dcpieval -table 2: %v", err)
+		t.Fatalf("dcpieval %s: %v", strings.Join(args, " "), err)
 	}
 	sum := sha256.Sum256(out)
 	got := hex.EncodeToString(sum[:])
 	if got != want {
 		dump := filepath.Join(t.TempDir(), "table2.out")
 		os.WriteFile(dump, out, 0o644)
-		t.Errorf("dcpieval -table 2 stdout digest changed:\n  got  %s\n  want %s\noutput saved to %s\n(see the test comment for how to regenerate if the change is intentional)",
-			got, want, dump)
+		t.Errorf("dcpieval %s stdout digest changed:\n  got  %s\n  want %s\noutput saved to %s\n(see the test comment for how to regenerate if the change is intentional)",
+			strings.Join(args, " "), got, want, dump)
 	}
 }

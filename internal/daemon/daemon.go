@@ -9,11 +9,13 @@ package daemon
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dcpi/internal/driver"
 	"dcpi/internal/image"
 	"dcpi/internal/loader"
 	"dcpi/internal/obs"
+	"dcpi/internal/par"
 	"dcpi/internal/profiledb"
 	"dcpi/internal/sim"
 )
@@ -108,21 +110,45 @@ type profKey struct {
 	pid  uint32 // 0 for aggregate profiles
 }
 
-// Daemon is the profiling daemon.
+// shard is the daemon state owned by one simulated CPU's sample stream.
+// Sharding is what makes parallel CPU simulation deterministic: a CPU's
+// drains, processing cost, and in-memory profiles depend only on that CPU's
+// own (deterministic) execution, never on how the host interleaved the
+// other CPUs. Shards fold together — commutative profile merges, in CPU
+// order — at the final flush.
+type shard struct {
+	profiles    map[profKey]*profiledb.Profile
+	pendingCost int64 // processing cycles to charge at this CPU's next poll
+	nextDrain   int64
+	armed       bool // nextDrain initialized (first poll arms, second drains)
+}
+
+func newShard() *shard {
+	return &shard{profiles: make(map[profKey]*profiledb.Profile)}
+}
+
+// Daemon is the profiling daemon. One mutex serializes every entry point
+// (buffer deliveries, polls, notifications, the final flush): the real
+// daemon is a single user-mode process receiving per-CPU streams, and the
+// mutex plus per-CPU shards give the same semantics when the simulated CPUs
+// run on concurrent goroutines. Happens-before story: a CPU goroutine's
+// samples reach the daemon only via its own driver state (single-owner) and
+// these locked entry points; everything cross-CPU (stats, loadmaps, fault
+// state) is only touched under mu.
 type Daemon struct {
 	cfg Config
 	drv *driver.Driver
+
+	mu sync.Mutex
 
 	loadmaps   map[uint32][]mapping // PID -> sorted mappings
 	kernelPath string
 	perProcess map[uint32]bool
 
-	profiles map[profKey]*profiledb.Profile
-
-	pendingCost int64
-	nextDrain   map[int]int64
-	nextMerge   int64
-	exited      []uint32
+	shards    []*shard
+	nextMerge int64
+	exited    []uint32
+	inFlush   bool // Flush is running single-threaded, post-barrier
 
 	// Fault-injection state: a crashed daemon is down until restartAt;
 	// crashAtFired latches the one-shot CrashAt trigger and mergeAttempts
@@ -152,9 +178,7 @@ func New(cfg Config, drv *driver.Driver) *Daemon {
 		cfg:        cfg.withDefaults(),
 		drv:        drv,
 		loadmaps:   make(map[uint32][]mapping),
-		profiles:   make(map[profKey]*profiledb.Profile),
 		perProcess: make(map[uint32]bool),
-		nextDrain:  make(map[int]int64),
 	}
 	for _, pid := range d.cfg.PerProcessPIDs {
 		d.perProcess[pid] = true
@@ -173,8 +197,19 @@ func New(cfg Config, drv *driver.Driver) *Daemon {
 	return d
 }
 
+// shard returns cpu's state, growing the table on demand (the daemon does
+// not know the machine size up front; CPU ids are small and dense).
+func (d *Daemon) shard(cpu int) *shard {
+	for cpu >= len(d.shards) {
+		d.shards = append(d.shards, newShard())
+	}
+	return d.shards[cpu]
+}
+
 // HandleNotification records a loadmap event (wire this to loader.Notify).
 func (d *Daemon) HandleNotification(n loader.Notification) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.stats.Notifications++
 	if n.Kind == image.KindKernel {
 		d.kernelPath = n.Path
@@ -191,7 +226,7 @@ func (d *Daemon) HandleNotification(n loader.Notification) {
 	d.trackPeak()
 }
 
-// classify maps (pid, pc) to (image path, offset).
+// classify maps (pid, pc) to (image path, offset). Caller holds mu.
 func (d *Daemon) classify(pid uint32, pc uint64) (string, uint64, bool) {
 	maps := d.loadmaps[pid]
 	i := sort.Search(len(maps), func(i int) bool { return maps[i].base > pc })
@@ -214,6 +249,8 @@ func (d *Daemon) classify(pid uint32, pc uint64) (string, uint64, bool) {
 // the daemon is stalled, down, or lagging behind its drain schedule; the
 // driver parks the buffer and retries.
 func (d *Daemon) onBufferFull(cpu int, clock int64, entries []driver.Entry) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.down || d.cfg.Fault.stalledAt(clock) || d.lagging(cpu, clock) {
 		d.stats.Deferred++
 		return false
@@ -233,14 +270,15 @@ func (d *Daemon) lagging(cpu int, clock int64) bool {
 	if lat <= 0 {
 		return false
 	}
-	next, ok := d.nextDrain[cpu]
-	return ok && clock >= next-lat
+	sh := d.shard(cpu)
+	return sh.armed && clock >= sh.nextDrain-lat
 }
 
 // processBatch wraps process with the observability batch accounting: one
 // trace slice per delivered batch, spanning the modeled processing cost.
+// Caller holds mu.
 func (d *Daemon) processBatch(cpu int, clock int64, kind string, entries []driver.Entry) {
-	d.process(entries)
+	d.process(cpu, entries)
 	if !d.obsOn {
 		return
 	}
@@ -252,20 +290,22 @@ func (d *Daemon) processBatch(cpu int, clock int64, kind string, entries []drive
 		int64(len(entries))*d.cfg.CostPerEntry,
 		map[string]any{"entries": len(entries)})
 	d.tracer.Counter("daemon", "daemon_memory", obs.PIDDaemon, clock,
-		map[string]float64{"bytes": float64(d.MemoryBytes())})
+		map[string]float64{"bytes": float64(d.memoryBytesLocked())})
 }
 
-// process merges driver entries into the in-memory profiles.
-func (d *Daemon) process(entries []driver.Entry) {
+// process merges cpu's driver entries into that CPU's profile shard.
+// Caller holds mu.
+func (d *Daemon) process(cpu int, entries []driver.Entry) {
+	sh := d.shard(cpu)
 	for _, e := range entries {
 		d.stats.Entries++
 		d.stats.Samples += uint64(e.Count)
-		d.pendingCost += d.cfg.CostPerEntry
+		sh.pendingCost += d.cfg.CostPerEntry
 
 		path, off, ok := d.classify(e.PID, e.PC)
 		if !ok {
 			d.stats.Unknown += uint64(e.Count)
-			d.profile(profKey{UnknownImage, e.Event, 0}).Add(e.PC, uint64(e.Count))
+			d.profile(sh, profKey{UnknownImage, e.Event, 0}).Add(e.PC, uint64(e.Count))
 			continue
 		}
 		if e.Event == sim.EvEdge {
@@ -277,15 +317,15 @@ func (d *Daemon) process(entries []driver.Entry) {
 				d.stats.Unknown += uint64(e.Count)
 				continue
 			}
-			d.profile(profKey{path, e.Event, 0}).Add(PackEdge(off, off2), uint64(e.Count))
+			d.profile(sh, profKey{path, e.Event, 0}).Add(PackEdge(off, off2), uint64(e.Count))
 			continue
 		}
-		d.profile(profKey{path, e.Event, 0}).Add(off, uint64(e.Count))
+		d.profile(sh, profKey{path, e.Event, 0}).Add(off, uint64(e.Count))
 		if d.perProcess[e.PID] {
-			d.profile(profKey{path, e.Event, e.PID}).Add(off, uint64(e.Count))
+			d.profile(sh, profKey{path, e.Event, e.PID}).Add(off, uint64(e.Count))
 		}
 	}
-	d.trackPeak()
+	d.trackPeakCPU(cpu)
 }
 
 // PackEdge packs an intra-image (from, to) offset pair into one profile
@@ -295,15 +335,15 @@ func PackEdge(from, to uint64) uint64 { return from<<32 | to }
 // UnpackEdge splits a packed edge key.
 func UnpackEdge(key uint64) (from, to uint64) { return key >> 32, key & 0xffffffff }
 
-func (d *Daemon) profile(k profKey) *profiledb.Profile {
-	p, ok := d.profiles[k]
+func (d *Daemon) profile(sh *shard, k profKey) *profiledb.Profile {
+	p, ok := sh.profiles[k]
 	if !ok {
 		name := k.path
 		if k.pid != 0 {
 			name = fmt.Sprintf("%s#%d", k.path, k.pid)
 		}
 		p = profiledb.NewProfile(name, k.ev)
-		d.profiles[k] = p
+		sh.profiles[k] = p
 	}
 	return p
 }
@@ -315,6 +355,8 @@ func (d *Daemon) profile(k profKey) *profiledb.Profile {
 // stays down until its restart, and the CrashAt trigger fires on the first
 // poll past its cycle.
 func (d *Daemon) Poll(cpu int, clock int64) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if clock > d.lastClock {
 		d.lastClock = clock
 	}
@@ -326,35 +368,57 @@ func (d *Daemon) Poll(cpu int, clock int64) int64 {
 	}
 	if f := d.cfg.Fault; f.CrashAt > 0 && !d.crashAtFired && clock >= f.CrashAt {
 		d.crashAtFired = true
-		d.crash(clock, "fault:crash_at")
+		d.crash(clock, "fault:crash_at", nil)
 		return 0
 	}
 	if d.cfg.Fault.stalledAt(clock) {
 		return 0
 	}
-	if next, ok := d.nextDrain[cpu]; !ok || clock >= next {
-		if ok {
+	sh := d.shard(cpu)
+	if !sh.armed || clock >= sh.nextDrain {
+		if sh.armed {
 			d.stats.Drains++
 			d.processBatch(cpu, clock, "process:drain", d.drv.FlushCPUAt(cpu, clock))
 		}
-		d.nextDrain[cpu] = clock + d.cfg.DrainInterval + d.cfg.Fault.DrainLatency
+		sh.nextDrain = clock + d.cfg.DrainInterval + d.cfg.Fault.DrainLatency
+		sh.armed = true
 	}
 	if cpu == 0 && d.cfg.DB != nil && clock >= d.nextMerge {
 		if d.nextMerge != 0 {
-			crashed, err := d.mergeToDisk(clock)
+			// Periodic merges write only CPU 0's shard: the merge is driven
+			// by CPU 0's polls, and writing other CPUs' live shards would
+			// make disk state depend on how far the host happened to run
+			// them. (Sequentially this matches the seed exactly: CPU 0 runs
+			// first, so the global map held only CPU 0's data at merge time.)
+			detached := sh.profiles
+			sh.profiles = make(map[profKey]*profiledb.Profile)
+			crashed, err := d.mergeToDisk(clock, detached)
 			if crashed {
 				return 0
 			}
 			if err == nil {
 				d.stats.Merges++
+			} else {
+				d.reattach(sh, detached) // keep unwritten profiles for retry
 			}
 		}
 		d.nextMerge = clock + d.cfg.MergeInterval
 	}
-	cost := d.pendingCost
-	d.pendingCost = 0
+	cost := sh.pendingCost
+	sh.pendingCost = 0
 	d.stats.CostCycles += cost
 	return cost
+}
+
+// reattach folds profiles that failed to reach disk back into sh.
+func (d *Daemon) reattach(sh *shard, m map[profKey]*profiledb.Profile) {
+	for k, p := range m {
+		if q, ok := sh.profiles[k]; ok {
+			q.Merge(p) //nolint:errcheck // same key ⇒ same image/event
+		} else {
+			sh.profiles[k] = p
+		}
+	}
 }
 
 // crash models the daemon process dying: every in-memory profile is lost —
@@ -362,15 +426,22 @@ func (d *Daemon) Poll(cpu int, clock int64) int64 {
 // and the daemon stays down until restartAt. The driver keeps collecting
 // into its buffers; deliveries are deferred, and its own loss accounting
 // takes over when they fill.
-func (d *Daemon) crash(clock int64, cause string) {
+// inflight is the detached map of a merge in progress, if any; its unwritten
+// profiles die with the process too.
+func (d *Daemon) crash(clock int64, cause string, inflight map[profKey]*profiledb.Profile) {
 	d.stats.Crashes++
 	var dropped uint64
-	for _, p := range d.profiles {
+	for _, p := range inflight {
 		dropped += p.Total()
 	}
+	for _, sh := range d.shards {
+		for _, p := range sh.profiles {
+			dropped += p.Total()
+		}
+		sh.profiles = make(map[profKey]*profiledb.Profile)
+		sh.pendingCost = 0
+	}
 	d.stats.CrashDropped += dropped
-	d.profiles = make(map[profKey]*profiledb.Profile)
-	d.pendingCost = 0
 	d.down = true
 	delay := d.cfg.Fault.RestartDelay
 	if delay <= 0 {
@@ -389,7 +460,9 @@ func (d *Daemon) crash(clock int64, cause string) {
 func (d *Daemon) restart(clock int64) {
 	d.down = false
 	d.stats.Restarts++
-	d.nextDrain = make(map[int]int64)
+	for _, sh := range d.shards {
+		sh.armed = false
+	}
 	if d.cfg.DB != nil {
 		d.cfg.DB.Recover() //nolint:errcheck // best-effort; unreadable files stay quarantine candidates
 	}
@@ -404,6 +477,10 @@ func (d *Daemon) restart(clock int64) {
 // restarted first — the operator restarting the dead process — which runs
 // the database recovery pass before merging resumes.
 func (d *Daemon) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inFlush = true
+	defer func() { d.inFlush = false }()
 	if d.down {
 		d.restart(d.lastClock)
 	}
@@ -413,19 +490,24 @@ func (d *Daemon) Flush() error {
 			d.processBatch(cpu, d.lastClock, "process:final_flush", d.drv.FlushCPUAt(cpu, d.lastClock))
 		}
 	}
-	d.stats.CostCycles += d.pendingCost
-	d.pendingCost = 0
+	for _, sh := range d.shards {
+		d.stats.CostCycles += sh.pendingCost
+		sh.pendingCost = 0
+	}
 	d.reapExited()
 	if d.cfg.DB == nil {
 		return nil
 	}
-	crashed, err := d.mergeToDisk(d.lastClock)
+	combined := d.detachAll()
+	crashed, err := d.mergeToDisk(d.lastClock, combined)
 	if crashed {
 		// The injected crash hit the final merge. Restart and re-merge:
 		// the crash dropped (and counted) the unwritten profiles, so this
 		// leaves the database consistent for readers.
 		d.restart(d.lastClock)
-		_, err = d.mergeToDisk(d.lastClock)
+		_, err = d.mergeToDisk(d.lastClock, d.detachAll())
+	} else if err != nil {
+		d.reattach(d.shard(0), combined)
 	}
 	if err == nil {
 		d.stats.Merges++
@@ -433,19 +515,44 @@ func (d *Daemon) Flush() error {
 	return err
 }
 
+// detachAll folds every shard's profiles into one map — the commutative
+// profile merge that reunites per-CPU streams — and leaves the shards empty.
+func (d *Daemon) detachAll() map[profKey]*profiledb.Profile {
+	combined := make(map[profKey]*profiledb.Profile)
+	for _, sh := range d.shards {
+		for k, p := range sh.profiles {
+			if q, ok := combined[k]; ok {
+				q.Merge(p) //nolint:errcheck // same key ⇒ same image/event
+			} else {
+				combined[k] = p
+			}
+		}
+		sh.profiles = make(map[profKey]*profiledb.Profile)
+	}
+	return combined
+}
+
 // MergeToDisk writes every in-memory profile into the database and drops
 // the in-memory copies (the daemon's periodic disk merge — the epoch-flush
 // stage of the pipeline trace).
 func (d *Daemon) MergeToDisk() error {
-	_, err := d.mergeToDisk(d.lastClock)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	combined := d.detachAll()
+	_, err := d.mergeToDisk(d.lastClock, combined)
+	if err != nil {
+		d.reattach(d.shard(0), combined)
+	}
 	return err
 }
 
-// mergeToDisk is MergeToDisk with fault injection: when the plan's
-// CrashAtMerge matches this attempt, the merge writes CrashMergeProfiles
-// profiles intact, tears the next write mid-file, and crashes the daemon.
-// Profiles merge in sorted order so the injected tear is deterministic.
-func (d *Daemon) mergeToDisk(clock int64) (crashed bool, err error) {
+// mergeToDisk writes the detached profiles map into the database, deleting
+// each profile from the map as it lands; entries left behind on error are
+// the caller's to reattach. Fault injection: when the plan's CrashAtMerge
+// matches this attempt, the merge writes CrashMergeProfiles profiles intact,
+// tears the next write mid-file, and crashes the daemon. Profiles merge in
+// sorted order so the injected tear is deterministic.
+func (d *Daemon) mergeToDisk(clock int64, profiles map[profKey]*profiledb.Profile) (crashed bool, err error) {
 	if d.cfg.DB == nil {
 		return false, fmt.Errorf("daemon: no database configured")
 	}
@@ -454,8 +561,8 @@ func (d *Daemon) mergeToDisk(clock int64) (crashed bool, err error) {
 	if f := d.cfg.Fault; f.CrashAtMerge > 0 && d.mergeAttempts == f.CrashAtMerge {
 		injectAt = f.CrashMergeProfiles
 	}
-	keys := make([]profKey, 0, len(d.profiles))
-	for k := range d.profiles {
+	keys := make([]profKey, 0, len(profiles))
+	for k := range profiles {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -469,21 +576,29 @@ func (d *Daemon) mergeToDisk(clock int64) (crashed bool, err error) {
 		return a.pid < b.pid
 	})
 	n := len(keys)
-	for i, k := range keys {
-		p := d.profiles[k]
-		if i == injectAt {
-			// Torn write: the crash interrupts this profile mid-file, also
-			// destroying whatever the file held from earlier merges. Both
-			// losses are counted so recorded == merged + lost still holds.
-			destroyed, _ := d.cfg.DB.WriteTorn(p)
-			d.stats.CrashDropped += destroyed
-			d.crash(clock, "fault:crash_merge")
-			return true, nil
+	if injectAt < 0 {
+		err = d.updateAll(keys, profiles)
+	} else {
+		for i, k := range keys {
+			p := profiles[k]
+			if i == injectAt {
+				// Torn write: the crash interrupts this profile mid-file,
+				// also destroying whatever the file held from earlier
+				// merges. Both losses are counted so recorded == merged +
+				// lost still holds.
+				destroyed, _ := d.cfg.DB.WriteTorn(p)
+				d.stats.CrashDropped += destroyed
+				d.crash(clock, "fault:crash_merge", profiles)
+				return true, nil
+			}
+			if err := d.cfg.DB.Update(p); err != nil {
+				return false, err
+			}
+			delete(profiles, k)
 		}
-		if err := d.cfg.DB.Update(p); err != nil {
-			return false, err
-		}
-		delete(d.profiles, k)
+	}
+	if err != nil {
+		return false, err
 	}
 	if d.obsOn {
 		d.tracer.Instant("db", "epoch_flush", obs.PIDDB, 0, clock,
@@ -492,10 +607,75 @@ func (d *Daemon) mergeToDisk(clock int64) (crashed bool, err error) {
 	return false, nil
 }
 
-// Profiles returns the in-memory profiles, sorted by image then event.
+// updateAll writes the keyed profiles to the database, fanning writes out
+// over spare budget slots when more than one profile is pending. Distinct
+// keys map to distinct database files and db.Update is an atomic
+// read-merge-rename per file, so concurrent epoch merges are safe; the
+// result — and the returned error, first in sorted-key order — is
+// independent of scheduling. Only reached fault-free (injected tears need
+// the strict sequential order).
+func (d *Daemon) updateAll(keys []profKey, profiles map[profKey]*profiledb.Profile) error {
+	extra := 0
+	if len(keys) > 1 {
+		extra = par.Default().TryExtra(len(keys) - 1)
+		defer par.Default().Release(extra)
+	}
+	if extra == 0 {
+		for _, k := range keys {
+			if err := d.cfg.DB.Update(profiles[k]); err != nil {
+				return err
+			}
+			delete(profiles, k)
+		}
+		return nil
+	}
+	errs := make([]error, len(keys))
+	work := make(chan int, len(keys))
+	for i := range keys {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < extra+1; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				errs[i] = d.cfg.DB.Update(profiles[keys[i]])
+			}
+		}()
+	}
+	wg.Wait()
+	var first error
+	for i, k := range keys {
+		if errs[i] == nil {
+			delete(profiles, k)
+		} else if first == nil {
+			first = errs[i]
+		}
+	}
+	return first
+}
+
+// Profiles returns the in-memory profiles, sorted by image then event. A
+// key split across CPU shards is returned as one merged clone, so callers
+// see the same single-profile-per-key view the sequential daemon had.
 func (d *Daemon) Profiles() []*profiledb.Profile {
-	out := make([]*profiledb.Profile, 0, len(d.profiles))
-	for _, p := range d.profiles {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	merged := make(map[profKey]*profiledb.Profile)
+	for _, sh := range d.shards {
+		for k, p := range sh.profiles {
+			q, ok := merged[k]
+			if !ok {
+				q = profiledb.NewProfile(p.ImagePath, p.Event)
+				merged[k] = q
+			}
+			q.Merge(p) //nolint:errcheck // same key ⇒ same image/event
+		}
+	}
+	out := make([]*profiledb.Profile, 0, len(merged))
+	for _, p := range merged {
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -507,8 +687,13 @@ func (d *Daemon) Profiles() []*profiledb.Profile {
 	return out
 }
 
-// Stats returns a copy of the daemon statistics.
-func (d *Daemon) Stats() Stats { return d.stats }
+// Stats returns a copy of the daemon statistics. Safe while CPUs run: the
+// mutex guarantees a consistent snapshot, never a half-updated struct.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // Memory accounting for Table 5: approximate resident bytes of the daemon's
 // data structures.
@@ -520,21 +705,95 @@ const (
 
 // MemoryBytes estimates current resident data bytes.
 func (d *Daemon) MemoryBytes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.memoryBytesLocked()
+}
+
+// memoryBytesLocked models the real daemon's single hash table: a profile
+// key split across CPU shards counts once, with its offset sets unioned —
+// otherwise sharding would inflate the Table 5 estimate by one profile
+// header (and any shared offsets) per extra CPU that touched the image.
+func (d *Daemon) memoryBytesLocked() int {
+	total := d.loadmapBytes()
+	populated := 0
+	for _, sh := range d.shards {
+		if len(sh.profiles) > 0 {
+			populated++
+		}
+	}
+	if populated <= 1 {
+		for _, sh := range d.shards {
+			total += sh.profileBytes()
+		}
+		return total
+	}
+	union := make(map[profKey]map[uint64]struct{})
+	for _, sh := range d.shards {
+		for k, p := range sh.profiles {
+			offs, ok := union[k]
+			if !ok {
+				offs = make(map[uint64]struct{}, len(p.Counts))
+				union[k] = offs
+			}
+			for off := range p.Counts {
+				offs[off] = struct{}{}
+			}
+		}
+	}
+	for _, offs := range union {
+		total += bytesPerProfile + len(offs)*bytesPerProfileEntry
+	}
+	return total
+}
+
+func (d *Daemon) loadmapBytes() int {
 	total := 0
 	for _, maps := range d.loadmaps {
 		total += len(maps) * bytesPerMapping
 	}
-	for _, p := range d.profiles {
+	return total
+}
+
+func (sh *shard) profileBytes() int {
+	total := 0
+	for _, p := range sh.profiles {
 		total += bytesPerProfile + len(p.Counts)*bytesPerProfileEntry
 	}
 	return total
 }
 
 // PeakMemoryBytes returns the high-water mark of MemoryBytes.
-func (d *Daemon) PeakMemoryBytes() int { return d.peakBytes }
+func (d *Daemon) PeakMemoryBytes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peakBytes
+}
 
+// trackPeak samples global memory. Only called from deterministic points:
+// loadmap notifications (setup) and the single-threaded final flush.
 func (d *Daemon) trackPeak() {
-	if b := d.MemoryBytes(); b > d.peakBytes {
+	if b := d.memoryBytesLocked(); b > d.peakBytes {
+		d.peakBytes = b
+	}
+}
+
+// trackPeakCPU samples memory after cpu processed a batch. Mid-run it looks
+// only at loadmaps plus CPU 0's shard — global memory at that instant
+// depends on how far the host happened to run the other CPUs, and the peak
+// must not. Other CPUs' mid-run contribution is still captured: their
+// shards only grow until the final flush, whose last batch (tracked
+// globally via the inFlush path) therefore dominates any mid-run global
+// value they could have produced.
+func (d *Daemon) trackPeakCPU(cpu int) {
+	if d.inFlush {
+		d.trackPeak()
+		return
+	}
+	if cpu != 0 {
+		return
+	}
+	if b := d.loadmapBytes() + d.shard(0).profileBytes(); b > d.peakBytes {
 		d.peakBytes = b
 	}
 }
@@ -542,19 +801,23 @@ func (d *Daemon) trackPeak() {
 // ReapProcess discards loadmap state for a terminated process (the paper's
 // periodic reaping of terminated processes' data structures).
 func (d *Daemon) ReapProcess(pid uint32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	delete(d.loadmaps, pid)
 }
 
 // NoteExit marks a process as terminated; its loadmap is reaped at the next
 // full flush (after any samples still in driver buffers are classified).
 func (d *Daemon) NoteExit(pid uint32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.exited = append(d.exited, pid)
 }
 
-// reapExited drops loadmaps of processes that exited.
+// reapExited drops loadmaps of processes that exited. Caller holds mu.
 func (d *Daemon) reapExited() {
 	for _, pid := range d.exited {
-		d.ReapProcess(pid)
+		delete(d.loadmaps, pid)
 	}
 	d.exited = nil
 }
@@ -566,6 +829,8 @@ func (d *Daemon) PublishMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	s := d.stats
 	reg.Counter("daemon.entries").Add(s.Entries)
 	reg.Counter("daemon.samples").Add(s.Samples)
@@ -581,6 +846,6 @@ func (d *Daemon) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("daemon.cost_cycles").Add(uint64(s.CostCycles))
 	reg.Gauge("daemon.unknown_rate").Set(s.UnknownRate())
 	reg.Gauge("daemon.cycles_per_sample").Set(s.CostPerSample())
-	reg.Gauge("daemon.memory_bytes").Set(float64(d.MemoryBytes()))
-	reg.Gauge("daemon.peak_memory_bytes").Set(float64(d.PeakMemoryBytes()))
+	reg.Gauge("daemon.memory_bytes").Set(float64(d.memoryBytesLocked()))
+	reg.Gauge("daemon.peak_memory_bytes").Set(float64(d.peakBytes))
 }

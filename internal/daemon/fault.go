@@ -10,6 +10,7 @@ package daemon
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -198,6 +199,9 @@ func parseCycles(s string) (int64, error) {
 	n, err := strconv.ParseInt(s, 10, 64)
 	if err != nil || n < 0 {
 		return 0, fmt.Errorf("fault: bad cycle count %q", s)
+	}
+	if n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("fault: cycle count %q overflows", s)
 	}
 	return n * mult, nil
 }

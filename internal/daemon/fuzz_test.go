@@ -1,0 +1,39 @@
+package daemon
+
+import "testing"
+
+// FuzzParseFaultPlan checks the -fault spec parser: it must never panic,
+// and any spec it accepts must render to a canonical String() that
+// reparses to the same plan (String is the runner's dedup key for fault
+// configurations, so parse→print must be a fixed point).
+func FuzzParseFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"stall=1M-3M,drain-latency=500K,crash-merge=1",
+		"crash=2M,restart=100K",
+		"stall=5M-6M,stall=0-2m",
+		"crash-merge=2,merge-profiles=3",
+		"drain-latency=1G",
+		"stall=10-5",
+		"bogus=1",
+		"crash=-3",
+		"stall=9223372036854775807G-2",
+		"=,=,=",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseFaultPlan(spec)
+		if err != nil {
+			return // rejected cleanly — fine
+		}
+		canon := p.String()
+		q, err := ParseFaultPlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q rejected: %v", canon, spec, err)
+		}
+		if again := q.String(); again != canon {
+			t.Errorf("String not a fixed point: %q -> %q -> %q", spec, canon, again)
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"dcpi/internal/driver"
 	"dcpi/internal/loader"
 	"dcpi/internal/obs"
+	"dcpi/internal/par"
 	"dcpi/internal/pipeline"
 	"dcpi/internal/profiledb"
 	"dcpi/internal/sim"
@@ -45,6 +46,13 @@ type Config struct {
 	MaxCycles int64
 	// NumCPUs overrides the workload's machine size when nonzero.
 	NumCPUs int
+	// SimCPUs controls simulation parallelism: 0 or 1 run the simulated
+	// CPUs sequentially (the default), -1 runs them on goroutines up to the
+	// free worker budget (see internal/par), and N > 1 forces up to N
+	// goroutines regardless of the budget. Every setting produces
+	// byte-identical results (see DESIGN.md), so this is an execution-
+	// strategy knob, not part of the run's identity.
+	SimCPUs int
 	// PerProcessPIDs requests separate per-process profiles.
 	PerProcessPIDs []uint32
 	// TraceSamples records the raw sample stream in Result.Trace (used by
@@ -102,15 +110,18 @@ type Result struct {
 }
 
 // collector adapts the driver+daemon pair to the machine's sample sink.
+// The trace is buffered per CPU — each simulated CPU appends only to its
+// own slice, so tracing stays race-free and deterministic when the CPUs run
+// on goroutines — and concatenated in CPU order after the run.
 type collector struct {
-	drv   *driver.Driver
-	dmn   *daemon.Daemon
-	trace *[]sim.Sample
+	drv    *driver.Driver
+	dmn    *daemon.Daemon
+	traces [][]sim.Sample // nil when not tracing
 }
 
 func (c *collector) Sample(s sim.Sample) int64 {
-	if c.trace != nil {
-		*c.trace = append(*c.trace, s)
+	if c.traces != nil {
+		c.traces[s.CPU] = append(c.traces[s.CPU], s)
 	}
 	if s.Event == sim.EvEdge {
 		return c.drv.RecordEdgeAt(s.CPU, s.PID, s.PC, s.PC2, s.Clock)
@@ -120,6 +131,20 @@ func (c *collector) Sample(s sim.Sample) int64 {
 
 func (c *collector) Poll(cpu int, clock int64) int64 {
 	return c.dmn.Poll(cpu, clock)
+}
+
+// ParseSimCPUs parses a -simcpus flag value into Config.SimCPUs: "auto"
+// means budget-limited parallel simulation (-1), and an integer N forces up
+// to N simulation goroutines (0 and 1 mean sequential).
+func ParseSimCPUs(s string) (int, error) {
+	if s == "auto" {
+		return -1, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 0 {
+		return 0, fmt.Errorf("bad -simcpus value %q (want \"auto\" or a non-negative integer)", s)
+	}
+	return n, nil
 }
 
 // Run executes one profiled workload run.
@@ -194,11 +219,11 @@ func Run(cfg Config) (*Result, error) {
 			MetaSamples:       cfg.MetaSamples,
 		},
 		CollectExact: cfg.CollectExact,
+		SimWorkers:   cfg.SimCPUs,
 	})
 
-	var trace []sim.Sample
 	if cfg.TraceSamples && collectorTrace != nil {
-		collectorTrace.trace = &trace
+		collectorTrace.traces = make([][]sim.Sample, ncpu)
 	}
 
 	ctx := &workload.Ctx{Loader: l, Machine: m, Scale: cfg.Scale}
@@ -210,7 +235,19 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.MaxCycles > 0 {
 		maxCycles = cfg.MaxCycles
 	}
+	// This run occupies one worker slot for its own goroutine; the machine
+	// borrows extra slots for per-CPU fan-out only from what remains, so
+	// run-level (-j) and CPU-level (-simcpus) parallelism never multiply.
+	par.Default().Acquire(1)
 	wall := m.Run(maxCycles)
+	par.Default().Release(1)
+
+	var trace []sim.Sample
+	if collectorTrace != nil && collectorTrace.traces != nil {
+		for _, t := range collectorTrace.traces {
+			trace = append(trace, t...)
+		}
+	}
 
 	res := &Result{
 		Config:  cfg,

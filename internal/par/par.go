@@ -1,0 +1,119 @@
+// Package par holds the process-wide simulation worker budget: a single
+// pool of host-CPU "slots" shared by every layer that wants to fan work out
+// across goroutines. Two layers compete for host parallelism:
+//
+//   - internal/runner schedules whole simulated runs concurrently
+//     (dcpieval's -j run-level workers), and
+//   - internal/sim can run each simulated CPU of one machine on its own
+//     goroutine (dcpieval/dcpid's -simcpus).
+//
+// Without coordination the two multiply: -j 8 runs of 8-CPU machines would
+// spawn 64 simulation goroutines on an 8-core host. The budget prevents
+// that nested oversubscription: each in-flight run reserves one slot for
+// its own goroutine, and a machine in auto mode (-simcpus auto) only adds
+// per-CPU goroutines while free slots remain. Acquisition is non-blocking
+// on both sides, so there is no lock ordering between the runner's pool
+// and the machine barrier — a machine that finds the budget exhausted
+// simply runs its CPUs sequentially, which is always correct (parallel and
+// sequential simulation produce byte-identical output; see DESIGN.md).
+package par
+
+import (
+	"runtime"
+	"sync"
+
+	"dcpi/internal/obs"
+)
+
+// Budget is a fixed pool of worker slots. The zero value is unusable; use
+// NewBudget or the process-wide Default.
+type Budget struct {
+	mu    sync.Mutex
+	total int
+	used  int
+}
+
+// NewBudget creates a budget of n slots; n <= 0 means runtime.GOMAXPROCS(0).
+func NewBudget(n int) *Budget {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Budget{total: n}
+}
+
+var defaultBudget = NewBudget(0)
+
+// Default returns the process-wide budget, sized to GOMAXPROCS at init.
+func Default() *Budget { return defaultBudget }
+
+// Total returns the slot count.
+func (b *Budget) Total() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Used returns the currently reserved slots (may exceed Total when callers
+// force reservations beyond the budget, e.g. -j larger than GOMAXPROCS).
+func (b *Budget) Used() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Acquire unconditionally reserves n slots, even past Total: run-level
+// parallelism is the caller's explicit choice and is never refused, it just
+// shrinks what TryExtra will hand out. Pair with Release.
+func (b *Budget) Acquire(n int) {
+	if n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.used += n
+	b.mu.Unlock()
+}
+
+// TryExtra reserves up to max additional slots from the free remainder and
+// returns how many it got (possibly zero). It never blocks and never
+// overcommits. Pair with Release for the granted count.
+func (b *Budget) TryExtra(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	free := b.total - b.used
+	if free <= 0 {
+		return 0
+	}
+	if free < max {
+		max = free
+	}
+	b.used += max
+	return max
+}
+
+// Release returns n slots to the pool.
+func (b *Budget) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.used -= n
+	if b.used < 0 {
+		b.used = 0
+	}
+	b.mu.Unlock()
+}
+
+// PublishMetrics writes the budget's current state into reg (nil-safe).
+func (b *Budget) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	b.mu.Lock()
+	total, used := b.total, b.used
+	b.mu.Unlock()
+	reg.Gauge("par.budget_total").Set(float64(total))
+	reg.Gauge("par.budget_used").Set(float64(used))
+}

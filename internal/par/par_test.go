@@ -1,0 +1,79 @@
+package par
+
+import (
+	"sync"
+	"testing"
+
+	"dcpi/internal/obs"
+)
+
+func TestTryExtraNeverOvercommits(t *testing.T) {
+	b := NewBudget(4)
+	if got := b.TryExtra(3); got != 3 {
+		t.Fatalf("TryExtra(3) on empty budget = %d", got)
+	}
+	if got := b.TryExtra(3); got != 1 {
+		t.Fatalf("TryExtra(3) with 1 free = %d", got)
+	}
+	if got := b.TryExtra(1); got != 0 {
+		t.Fatalf("TryExtra on full budget = %d", got)
+	}
+	b.Release(4)
+	if got := b.Used(); got != 0 {
+		t.Fatalf("used after full release = %d", got)
+	}
+}
+
+func TestAcquireMayExceedTotal(t *testing.T) {
+	b := NewBudget(2)
+	b.Acquire(5) // forced run-level parallelism is never refused
+	if got := b.Used(); got != 5 {
+		t.Fatalf("used = %d, want 5", got)
+	}
+	if got := b.TryExtra(1); got != 0 {
+		t.Fatalf("TryExtra past total = %d, want 0", got)
+	}
+	b.Release(7) // over-release clamps at zero
+	if got := b.Used(); got != 0 {
+		t.Fatalf("used after over-release = %d", got)
+	}
+}
+
+func TestBudgetConcurrentAccounting(t *testing.T) {
+	b := NewBudget(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				got := b.TryExtra(2)
+				if got > 0 {
+					b.Release(got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Used(); got != 0 {
+		t.Fatalf("used after balanced churn = %d", got)
+	}
+	if got := b.Total(); got != 8 {
+		t.Fatalf("total = %d", got)
+	}
+}
+
+func TestPublishMetrics(t *testing.T) {
+	b := NewBudget(3)
+	b.Acquire(2)
+	reg := obs.NewRegistry()
+	b.PublishMetrics(reg)
+	b.PublishMetrics(nil) // nil-safe
+	snap := reg.Snapshot()
+	if got := snap.Gauges["par.budget_total"]; got != 3 {
+		t.Errorf("par.budget_total = %v", got)
+	}
+	if got := snap.Gauges["par.budget_used"]; got != 2 {
+		t.Errorf("par.budget_used = %v", got)
+	}
+}

@@ -101,7 +101,15 @@ func decodePayload(r io.Reader, ev byte) (*Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Profile{ImagePath: string(pathBytes), Counts: make(map[uint64]uint64, n)}
+	// The declared pair count sizes the map but must not be trusted for
+	// allocation: a corrupt header could claim 2^60 pairs and make the
+	// pre-allocation itself the failure. Cap the hint; the loop below
+	// still stops at the real data's end.
+	hint := n
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	p := &Profile{ImagePath: string(pathBytes), Counts: make(map[uint64]uint64, hint)}
 	p.Event = eventFromByte(ev)
 	var off uint64
 	for i := uint64(0); i < n; i++ {

@@ -58,6 +58,13 @@ type Runner struct {
 	// time), unlike the collection stack's simulated-clock trace.
 	Obs obs.Hooks
 
+	// SimCPUs, when nonzero, overrides Config.SimCPUs on every submitted
+	// run (dcpieval's -simcpus flag). It is applied here, at the execution
+	// layer, because it changes only how a run executes, never its result —
+	// Key excludes it, so the override cannot split the cache. Set it right
+	// after New, before the first Submit.
+	SimCPUs int
+
 	active atomic.Int64 // workers currently simulating (occupancy track)
 }
 
@@ -91,7 +98,10 @@ func (r *Runner) Workers() int { return cap(r.slots) }
 // Key is the content key of a run: every Config field that influences the
 // simulation. Two configs with equal keys produce identical Results
 // (simulation is deterministic in its configuration), which is what makes
-// deduplication safe.
+// deduplication safe. SimCPUs is deliberately excluded: it is an
+// execution-strategy knob — sequential and parallel simulation produce
+// byte-identical results (see DESIGN.md) — so runs differing only in it
+// can share a cached Result.
 func Key(cfg dcpi.Config) string {
 	return fmt.Sprintf("w=%s|scale=%g|mode=%d|seed=%d|cyc=%d/%d|ev=%d/%d|mux=%d|db=%s|exact=%t|max=%d|ncpu=%d|pids=%v|trace=%t|zero=%t|double=%t|interp=%t|meta=%t|geo=%d/%d|drain=%d/%d|fault=%s",
 		cfg.Workload, cfg.Scale, cfg.Mode, cfg.Seed,
@@ -155,6 +165,9 @@ func (r *Runner) Run(cfg dcpi.Config) (*dcpi.Result, error) {
 
 // execute performs one simulation under the worker-pool bound.
 func (r *Runner) execute(c *call, cfg dcpi.Config) {
+	if r.SimCPUs != 0 {
+		cfg.SimCPUs = r.SimCPUs
+	}
 	submitted := r.Obs.Tracer.Now() // 0 when tracing is off
 	slot := <-r.slots
 	defer func() { r.slots <- slot }()

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"sync/atomic"
+
 	"dcpi/internal/alpha"
 	"dcpi/internal/image"
 	"dcpi/internal/loader"
@@ -95,6 +97,30 @@ type CPU struct {
 	SampleCounts                          [NumEvents]uint64
 	ContextSwitches                       uint64
 
+	// snap is the CPU's latest published statistics snapshot: an immutable
+	// Stats the machine-wide aggregation reads while this CPU runs (the
+	// raw counter fields above have a single writer — the CPU's goroutine —
+	// and are unsafe to read concurrently). Refreshed every snapInterval
+	// issue groups and once more when Run returns.
+	snap          atomic.Pointer[Stats]
+	snapCountdown int64
+
+	// Per-CPU shards of what used to be machine-global state, so CPUs can
+	// run on separate goroutines without cross-CPU coupling:
+	//
+	//	pmap  private page-map view. Translation is a pure (seeded) hash,
+	//	      so every view assigns identical physical pages; the map inside
+	//	      is only memoization.
+	//	kmem  private kernel data memory. Kernel code stores tick counters
+	//	      and staging copies here, but no kernel *value* ever reaches a
+	//	      branch condition or sample — only addresses matter (cache
+	//	      behaviour), and those are identical across CPUs.
+	//	exact private exact-count shard, merged machine-wide (commutative
+	//	      sums, CPU order) after the run barrier.
+	pmap  *mem.PageMapper
+	kmem  *mem.Sparse
+	exact *Counts
+
 	// Pre-allocated executor state: xmem adapts the current process's
 	// split address space; xmemI is the one interface value handed to
 	// alpha.Execute, so the hot loop never boxes a new one.
@@ -118,10 +144,16 @@ func newCPU(id int, m *Machine) *CPU {
 		rng:    newCarta(m.cfg.Seed + uint32(id)*7919 + 1),
 		// Steady-state scratch, sized once so the sample path never grows
 		// it: skewed holds at most a few miss events per issue group.
-		skewed: make([]Event, 0, 8),
+		skewed:        make([]Event, 0, 8),
+		pmap:          mem.NewPageMapper(m.physPages, m.seed),
+		kmem:          mem.NewSparse(),
+		snapCountdown: snapInterval,
 	}
-	c.xmem = procMem{k: m.KernelMem}
+	c.xmem = procMem{k: c.kmem}
 	c.xmemI = &c.xmem
+	if m.Exact != nil {
+		c.exact = newCounts()
+	}
 	switch m.cfg.Mode {
 	case ModeCycles:
 		c.cycEnabled = true
@@ -143,11 +175,42 @@ func newCPU(id int, m *Machine) *CPU {
 	return c
 }
 
-// Clock returns the CPU's current cycle count.
+// Clock returns the CPU's current cycle count (post-run; mid-run readers
+// must use Machine.Stats, which reads the published snapshots).
 func (c *CPU) Clock() int64 { return c.clock }
 
-// Samples returns the number of samples this CPU delivered.
+// Samples returns the number of samples this CPU delivered (post-run).
 func (c *CPU) Samples() uint64 { return c.samples }
+
+// snapInterval is how many issue groups pass between snapshot refreshes:
+// rare enough that the one heap allocation per publish vanishes from the
+// per-step allocation profile, frequent enough that mid-run Stats readers
+// see the counters advance.
+const snapInterval = 8192
+
+// publishSnap publishes an immutable statistics snapshot for concurrent
+// readers (Machine.Stats).
+func (c *CPU) publishSnap() {
+	c.snap.Store(&Stats{
+		Cycles:       c.clock,
+		Instructions: c.instructions,
+		IssueGroups:  c.groups,
+		Samples:      c.samples,
+		ICacheMisses: c.icache.Misses,
+		DCacheMisses: c.dcache.Misses,
+		ITBMisses:    c.itb.Misses,
+		DTBMisses:    c.dtb.Misses,
+		Mispredicts:  c.pred.Mispredicts,
+		WBOverflows:  c.wb.Overflows,
+		Faults:       c.faults,
+	})
+}
+
+// textPhys translates an image-relative text offset through this CPU's
+// page-map view (identical placements on every view; see the pmap field).
+func (c *CPU) textPhys(imageID uint32, off uint64) uint64 {
+	return c.pmap.Translate(textASN(imageID), off)
+}
 
 func ridx(o alpha.Operand) int {
 	if o.FP {
@@ -255,7 +318,7 @@ func (c *CPU) fetch(p *loader.Process, im *image.Image, off, pc uint64) int64 {
 		}
 		c.lastITBPage, c.lastITBASN, c.haveITBPage = vpage, asn, true
 	}
-	phys := c.m.textPhys(im.ID, off)
+	phys := c.textPhys(im.ID, off)
 	line := c.icache.LineOf(phys)
 	if !c.haveFetchLine || line != c.lastFetchLine {
 		c.lastFetchLine, c.haveFetchLine = line, true
@@ -357,10 +420,10 @@ func (c *CPU) updateMux() {
 }
 
 func (c *CPU) exactCount(im *image.Image, off uint64, taken, isCond bool) {
-	if c.m.Exact == nil {
+	if c.exact == nil {
 		return
 	}
-	exec, tk := c.m.Exact.ensure(im)
+	exec, tk := c.exact.ensure(im)
 	i := off / alpha.InstBytes
 	exec[i]++
 	if isCond && taken {
@@ -403,7 +466,7 @@ func (c *CPU) dataAccess(p *loader.Process, pc uint64, out alpha.Outcome, at int
 		issueDelay += c.model.TLBMissPenalty
 		c.countEvent(EvDTBMiss, p.PID, pc)
 	}
-	phys := c.m.PageMap.Translate(asn, out.MemAddr)
+	phys := c.pmap.Translate(asn, out.MemAddr)
 	if out.MemIsStore {
 		issueDelay += c.wb.Store(c.dcache.LineOf(phys), at+issueDelay)
 		return issueDelay, 0
@@ -560,6 +623,13 @@ func (c *CPU) step() bool {
 		c.clock += sink.Poll(c.id, c.clock)
 		c.nextPoll = c.clock + c.m.cfg.PollInterval
 	}
+
+	// Refresh the concurrent-reader snapshot: one pointer store (and one
+	// small allocation) every snapInterval issue groups.
+	if c.snapCountdown--; c.snapCountdown <= 0 {
+		c.snapCountdown = snapInterval
+		c.publishSnap()
+	}
 	return true
 }
 
@@ -591,7 +661,7 @@ func (c *CPU) tryPair(p *loader.Process, head alpha.Inst, headMeta *alpha.InstMe
 		!c.itb.Probe(asn2, vpage2) {
 		return
 	}
-	phys2 := c.m.textPhys(im2.ID, off2)
+	phys2 := c.textPhys(im2.ID, off2)
 	if c.icache.LineOf(phys2) != c.lastFetchLine && !c.icache.Probe(phys2) {
 		return
 	}
@@ -614,7 +684,7 @@ func (c *CPU) tryPair(p *loader.Process, head alpha.Inst, headMeta *alpha.InstMe
 			return
 		}
 		if meta2.Store {
-			phys := c.m.PageMap.Translate(asn, addr)
+			phys := c.pmap.Translate(asn, addr)
 			if c.wb.Full(c.dcache.LineOf(phys), issue) {
 				return
 			}

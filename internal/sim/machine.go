@@ -2,11 +2,15 @@ package sim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"dcpi/internal/image"
 	"dcpi/internal/loader"
 	"dcpi/internal/mem"
 	"dcpi/internal/obs"
+	"dcpi/internal/par"
 	"dcpi/internal/pipeline"
 )
 
@@ -29,6 +33,19 @@ type Options struct {
 	// CollectExact turns on per-instruction execution and branch-direction
 	// counting (the dcpix/pixie role).
 	CollectExact bool
+
+	// SimWorkers controls how many host goroutines Run spreads the
+	// simulated CPUs over. CPUs are architecturally independent (private
+	// caches, TLBs, counters, driver hash tables), so parallel and
+	// sequential execution produce byte-identical results; see the
+	// concurrency-model section of DESIGN.md.
+	//
+	//	 0 or 1  run CPUs sequentially on the caller's goroutine (default)
+	//	-1       auto: take whatever the shared worker budget (internal/par)
+	//	         has free, so nested run-level parallelism never
+	//	         oversubscribes the host
+	//	 n > 1   use min(n, NumCPUs) goroutines unconditionally
+	SimWorkers int
 }
 
 // Counts holds exact execution counts, keyed by image ID.
@@ -54,6 +71,29 @@ func (c *Counts) ensure(im *image.Image) ([]uint64, []uint64) {
 	return e, c.Taken[im.ID]
 }
 
+// merge folds a per-CPU shard into c. Counts are commutative sums, so the
+// merged table is independent of CPU completion order.
+func (c *Counts) merge(other *Counts) {
+	if other == nil {
+		return
+	}
+	for id, exec := range other.Exec {
+		dst, ok := c.Exec[id]
+		if !ok {
+			dst = make([]uint64, len(exec))
+			c.Exec[id] = dst
+			c.Taken[id] = make([]uint64, len(exec))
+		}
+		for i, n := range exec {
+			dst[i] += n
+		}
+		tk := c.Taken[id]
+		for i, n := range other.Taken[id] {
+			tk[i] += n
+		}
+	}
+}
+
 // Machine is the simulated multiprocessor.
 type Machine struct {
 	Model     pipeline.Model
@@ -69,6 +109,22 @@ type Machine struct {
 	quantum       int64
 	timerInterval int64
 	nextCPU       int
+	simWorkers    int
+	physPages     uint64
+	seed          uint64
+
+	// running guards the spawn path: processes are created during workload
+	// setup, before Run, and the scheduler's run queues are not safe to
+	// grow while CPU goroutines execute.
+	running atomic.Bool
+
+	// Post-run parallelism telemetry (see PublishMetrics): how many worker
+	// goroutines the last Run used, the final clock skew between the
+	// fastest and slowest CPU, and how long the merge barrier waited
+	// between the first and last CPU finishing (host wall time).
+	lastWorkers   int
+	cycleSkew     int64
+	mergeWaitNano int64
 }
 
 // NewMachine builds a machine. The loader must already hold the kernel
@@ -107,6 +163,9 @@ func NewMachine(opts Options) *Machine {
 		tables:        pipeline.NewTables(model),
 		quantum:       quantum,
 		timerInterval: timer,
+		simWorkers:    opts.SimWorkers,
+		physPages:     physPages,
+		seed:          opts.Seed,
 	}
 	if opts.CollectExact {
 		m.Exact = newCounts()
@@ -136,31 +195,131 @@ func (m *Machine) textPhys(imageID uint32, off uint64) uint64 {
 }
 
 // Spawn assigns a process to a CPU round-robin and makes it runnable.
+// Processes are spawned during workload setup; spawning onto a machine
+// whose CPUs are executing is a scheduler race and panics.
 func (m *Machine) Spawn(p *loader.Process) *CPU {
+	if m.running.Load() {
+		panic("sim: Spawn while Machine.Run is executing")
+	}
 	c := m.CPUs[m.nextCPU%len(m.CPUs)]
 	m.nextCPU++
 	c.runq = append(c.runq, p)
 	return c
 }
 
-// SpawnOn assigns a process to a specific CPU.
+// SpawnOn assigns a process to a specific CPU (setup-time only, like Spawn).
 func (m *Machine) SpawnOn(cpu int, p *loader.Process) {
+	if m.running.Load() {
+		panic("sim: SpawnOn while Machine.Run is executing")
+	}
 	m.CPUs[cpu].runq = append(m.CPUs[cpu].runq, p)
 }
 
-// Run executes every CPU until its processes finish or it reaches maxCycles.
-// CPUs are independent (private caches); they run sequentially in
-// simulation. It returns the maximum CPU clock (the wall-clock cycles of the
-// run).
+// workers resolves Options.SimWorkers against the machine size and the
+// shared budget. It returns the goroutine count and how many budget slots
+// were borrowed (to release after the run).
+func (m *Machine) workers() (n, borrowed int) {
+	ncpu := len(m.CPUs)
+	switch {
+	case m.simWorkers == 0 || m.simWorkers == 1 || ncpu == 1:
+		return 1, 0
+	case m.simWorkers > 1:
+		if m.simWorkers < ncpu {
+			return m.simWorkers, 0
+		}
+		return ncpu, 0
+	default: // auto: the caller's goroutine plus whatever the budget has free
+		borrowed = par.Default().TryExtra(ncpu - 1)
+		return 1 + borrowed, borrowed
+	}
+}
+
+// Run executes every CPU until its processes finish or it reaches maxCycles,
+// and returns the maximum CPU clock (the wall-clock cycles of the run).
+//
+// CPUs are architecturally independent — private caches, TLBs, write
+// buffers, counters, page-map views, and per-CPU driver/daemon state — so
+// Run can spread them over SimWorkers goroutines with a barrier before the
+// final merge; the interleaving never changes any simulated outcome and the
+// output stays byte-identical to sequential execution (DESIGN.md,
+// "Concurrency model"). With SimWorkers <= 1 the CPUs run sequentially on
+// the caller's goroutine, exactly as before.
 func (m *Machine) Run(maxCycles int64) int64 {
-	var wall int64
-	for _, c := range m.CPUs {
-		c.Run(maxCycles)
+	workers, borrowed := m.workers()
+	defer par.Default().Release(borrowed)
+	m.lastWorkers = workers
+
+	m.running.Store(true)
+	if workers <= 1 {
+		for _, c := range m.CPUs {
+			c.Run(maxCycles)
+			c.publishSnap()
+		}
+	} else {
+		m.runParallel(maxCycles, workers)
+	}
+	m.running.Store(false)
+
+	// Deterministic merge, in CPU order: exact-count shards fold into the
+	// machine-wide table (commutative sums), and the final clock skew is
+	// recorded for the parallelism gauges.
+	var wall, minClock int64
+	for i, c := range m.CPUs {
+		if m.Exact != nil {
+			m.Exact.merge(c.exact)
+			c.exact = newCounts() // shard is folded in; don't double-count on a re-Run
+		}
 		if c.clock > wall {
 			wall = c.clock
 		}
+		if i == 0 || c.clock < minClock {
+			minClock = c.clock
+		}
 	}
+	m.cycleSkew = wall - minClock
 	return wall
+}
+
+// runParallel fans the CPUs out over a worker pool and waits at the barrier.
+// CPU-to-goroutine assignment is work-stealing (and therefore host-timing
+// dependent); that is safe precisely because no cross-CPU coupling remains —
+// every shared structure a CPU touches mid-run is either sharded per CPU or
+// explicitly synchronized (the daemon's mutex, the observability sinks).
+func (m *Machine) runParallel(maxCycles int64, workers int) {
+	// Pre-build every image's lazily-decoded metadata table while still
+	// single-threaded, so CPU goroutines only ever read them.
+	for _, im := range m.Loader.Images() {
+		im.MetaTable()
+	}
+
+	work := make(chan *CPU, len(m.CPUs))
+	for _, c := range m.CPUs {
+		work <- c
+	}
+	close(work)
+
+	var (
+		wg          sync.WaitGroup
+		firstDoneNS atomic.Int64
+	)
+	start := time.Now()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				c.Run(maxCycles)
+				c.publishSnap()
+			}
+			firstDoneNS.CompareAndSwap(0, time.Since(start).Nanoseconds())
+		}()
+	}
+	wg.Wait()
+	// Merge wait: how long the barrier sat between the first worker going
+	// idle and the last one finishing (stragglers stall the merge).
+	if f := firstDoneNS.Load(); f > 0 {
+		m.mergeWaitNano = time.Since(start).Nanoseconds() - f
+	}
 }
 
 // Stats aggregates machine-wide statistics.
@@ -178,23 +337,31 @@ type Stats struct {
 	Faults       uint64
 }
 
-// Stats sums statistics over all CPUs.
+// Stats sums statistics over all CPUs. It is safe to call while Run is
+// executing: each CPU periodically publishes an immutable snapshot of its
+// counters (and a final one when it finishes), and Stats reads only those
+// snapshots — a consistent, slightly-stale view mid-run, and the exact
+// totals once Run has returned.
 func (m *Machine) Stats() Stats {
 	var s Stats
 	for _, c := range m.CPUs {
-		if c.clock > s.Cycles {
-			s.Cycles = c.clock
+		cs := c.snap.Load()
+		if cs == nil {
+			continue
 		}
-		s.Instructions += c.instructions
-		s.IssueGroups += c.groups
-		s.Samples += c.samples
-		s.ICacheMisses += c.icache.Misses
-		s.DCacheMisses += c.dcache.Misses
-		s.ITBMisses += c.itb.Misses
-		s.DTBMisses += c.dtb.Misses
-		s.Mispredicts += c.pred.Mispredicts
-		s.WBOverflows += c.wb.Overflows
-		s.Faults += c.faults
+		if cs.Cycles > s.Cycles {
+			s.Cycles = cs.Cycles
+		}
+		s.Instructions += cs.Instructions
+		s.IssueGroups += cs.IssueGroups
+		s.Samples += cs.Samples
+		s.ICacheMisses += cs.ICacheMisses
+		s.DCacheMisses += cs.DCacheMisses
+		s.ITBMisses += cs.ITBMisses
+		s.DTBMisses += cs.DTBMisses
+		s.Mispredicts += cs.Mispredicts
+		s.WBOverflows += cs.WBOverflows
+		s.Faults += cs.Faults
 	}
 	return s
 }
@@ -219,6 +386,13 @@ func (m *Machine) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("machine.wb_overflows").Add(s.WBOverflows)
 	reg.Counter("machine.faults").Add(s.Faults)
 	reg.Gauge("machine.num_cpus").Set(float64(len(m.CPUs)))
+	// Parallel-simulation telemetry: goroutine slots used by the last Run,
+	// the final cycle skew between fastest and slowest CPU, and the host
+	// time the merge barrier spent waiting on stragglers.
+	reg.Gauge("sim.workers").Set(float64(m.lastWorkers))
+	reg.Gauge("sim.cycle_skew_cycles").Set(float64(m.cycleSkew))
+	reg.Gauge("sim.merge_wait_us").Set(float64(m.mergeWaitNano) / 1e3)
+	par.Default().PublishMetrics(reg)
 }
 
 func (s Stats) String() string {

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"dcpi/internal/alpha"
+	"dcpi/internal/image"
+	"dcpi/internal/loader"
+)
+
+// spawnEight builds a 4-CPU machine with eight sum processes (the
+// TestMultiCPU workload) under the given extra options.
+func spawnEight(t *testing.T, opts Options) (*Machine, []*loader.Process) {
+	t.Helper()
+	kernel, abi := testKernel()
+	l := loader.New(kernel)
+	opts.Loader = l
+	opts.ABI = abi
+	if opts.NumCPUs == 0 {
+		opts.NumCPUs = 4
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 9
+	}
+	m := NewMachine(opts)
+	var procs []*loader.Process
+	for i := 0; i < 8; i++ {
+		exec := image.New("p", "/bin/p", image.KindExecutable, alpha.MustAssemble(sumProgram))
+		p, err := l.NewProcess("p", exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Spawn(p)
+		procs = append(procs, p)
+	}
+	return m, procs
+}
+
+// TestParallelRunMatchesSequential is the machine-level determinism check:
+// fanning the CPUs out over goroutines must leave the aggregate statistics
+// and exact execution counts identical to a sequential run.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	run := func(workers int) (Stats, *Counts, int64) {
+		m, procs := spawnEight(t, Options{CollectExact: true, SimWorkers: workers})
+		wall := m.Run(1 << 30)
+		for i, p := range procs {
+			if p.State != loader.ProcExited {
+				t.Fatalf("workers=%d: proc %d state = %v", workers, i, p.State)
+			}
+		}
+		return m.Stats(), m.Exact, wall
+	}
+	seqStats, seqExact, seqWall := run(0)
+	for _, workers := range []int{2, 4, -1} {
+		parStats, parExact, parWall := run(workers)
+		if parStats != seqStats {
+			t.Errorf("workers=%d stats:\nsequential %+v\nparallel   %+v", workers, seqStats, parStats)
+		}
+		if parWall != seqWall {
+			t.Errorf("workers=%d wall = %d, sequential %d", workers, parWall, seqWall)
+		}
+		for img, seq := range seqExact.Exec {
+			par := parExact.Exec[img]
+			for i := range seq {
+				if seq[i] != par[i] {
+					t.Fatalf("workers=%d image %d inst %d: exec %d != %d", workers, img, i, par[i], seq[i])
+				}
+			}
+		}
+		for img, seq := range seqExact.Taken {
+			par := parExact.Taken[img]
+			for i := range seq {
+				if seq[i] != par[i] {
+					t.Fatalf("workers=%d image %d inst %d: taken %d != %d", workers, img, i, par[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStatsWhileRunning reads Machine.Stats concurrently with a parallel
+// Run. The snapshots must be consistent (race detector enforces the
+// access discipline) and the final read must equal the exact totals.
+func TestStatsWhileRunning(t *testing.T) {
+	m, _ := spawnEight(t, Options{SimWorkers: 4})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev Stats
+		for {
+			s := m.Stats()
+			if s.Instructions < prev.Instructions || s.Cycles < prev.Cycles {
+				t.Errorf("stats went backwards: %+v then %+v", prev, s)
+				return
+			}
+			prev = s
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	m.Run(1 << 30)
+	close(stop)
+	wg.Wait()
+
+	// Post-run, the snapshot-summed view is the exact total: compare
+	// against a fresh sequential run of the same configuration.
+	ref, _ := spawnEight(t, Options{SimWorkers: 0})
+	ref.Run(1 << 30)
+	if got, want := m.Stats(), ref.Stats(); got != want {
+		t.Errorf("final stats %+v, want %+v", got, want)
+	}
+}
+
+// spawnerSink tries to Spawn from inside the run; the machine must refuse
+// (panic) rather than corrupt scheduler state shared across goroutines.
+type spawnerSink struct {
+	t *testing.T
+	m *Machine
+	p *loader.Process
+
+	fired bool
+}
+
+func (s *spawnerSink) Sample(Sample) int64 {
+	if !s.fired {
+		s.fired = true
+		defer func() {
+			if recover() == nil {
+				s.t.Error("Spawn during Run did not panic")
+			}
+		}()
+		s.m.Spawn(s.p)
+	}
+	return 0
+}
+
+func (s *spawnerSink) Poll(int, int64) int64 { return 0 }
+
+func TestSpawnWhileRunningPanics(t *testing.T) {
+	kernel, abi := testKernel()
+	l := loader.New(kernel)
+	sink := &spawnerSink{t: t}
+	m := NewMachine(Options{Loader: l, ABI: abi, Seed: 3, Profile: ProfileConfig{
+		Mode:         ModeCycles,
+		Sink:         sink,
+		CyclesPeriod: PeriodSpec{Base: 500, Spread: 64},
+	}})
+	exec := image.New("p", "/bin/p", image.KindExecutable, alpha.MustAssemble(sumProgram))
+	p, err := l.NewProcess("p", exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Spawn(p)
+	late, err := l.NewProcess("late", image.New("late", "/bin/late", image.KindExecutable, alpha.MustAssemble(sumProgram)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.m, sink.p = m, late
+	m.Run(1 << 30)
+	if !sink.fired {
+		t.Fatal("sink never sampled; the guard was not exercised")
+	}
+}
+
+// TestSimWorkersClamped: asking for more goroutines than simulated CPUs
+// must clamp rather than spin up idle workers.
+func TestSimWorkersClamped(t *testing.T) {
+	m, _ := spawnEight(t, Options{NumCPUs: 2, SimWorkers: 16})
+	m.Run(1 << 30)
+	if m.lastWorkers != 2 {
+		t.Errorf("lastWorkers = %d, want clamp to 2 CPUs", m.lastWorkers)
+	}
+}

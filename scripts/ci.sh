@@ -47,6 +47,27 @@ grep -q "conservation" "$tmp/stall.out"
 grep -q " crashes" "$tmp/crash.out"
 ! grep -q "VIOLATED" "$tmp/crash.out"
 
+echo "== parallel-simulation determinism smoke (dcpid -simcpus)" >&2
+# The same multiprocessor run, sequential vs goroutine-per-CPU, must
+# produce byte-identical output and database files (see DESIGN.md).
+"$tmp/dcpid" -workload altavista -mode cycles -db "$tmp/db-seq" \
+	-scale 0.1 -seed 7 >"$tmp/seq.out"
+"$tmp/dcpid" -workload altavista -mode cycles -db "$tmp/db-par" \
+	-scale 0.1 -seed 7 -simcpus 4 >"$tmp/par.out"
+sed 's|db-seq|DB|' "$tmp/seq.out" >"$tmp/seq.norm"
+sed 's|db-par|DB|' "$tmp/par.out" >"$tmp/par.norm"
+diff "$tmp/seq.norm" "$tmp/par.norm"
+for f in "$tmp"/db-seq/epoch-0001/*; do
+	cmp "$f" "$tmp/db-par/epoch-0001/$(basename "$f")"
+done
+
+echo "== fuzz smoke (short deadline per target)" >&2
+# Each target replays its committed corpus plus a few seconds of fresh
+# coverage-guided input; crashes fail the gate.
+go test ./internal/profiledb/ -run '^$' -fuzz FuzzProfileDecode -fuzztime 5s
+go test ./internal/alpha/ -run '^$' -fuzz FuzzInstDecode -fuzztime 5s
+go test ./internal/daemon/ -run '^$' -fuzz FuzzParseFaultPlan -fuzztime 5s
+
 if [ "${BENCH:-0}" = "1" ]; then
 	echo "== benchmark regression gate (BENCH=1)" >&2
 	./scripts/bench.sh "$tmp/bench.json"
