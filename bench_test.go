@@ -252,11 +252,11 @@ func BenchmarkRunnerCacheEffectiveness(b *testing.B) {
 		if _, err := eval.Table3(o); err != nil {
 			b.Fatal(err)
 		}
-		sims, dups := sched.Stats()
-		b.ReportMetric(float64(sims), "sims-run")
-		b.ReportMetric(float64(dups), "cache-hits")
-		if sims+dups > 0 {
-			b.ReportMetric(100*float64(dups)/float64(sims+dups), "dedup-%")
+		st := sched.Stats()
+		b.ReportMetric(float64(st.Simulated), "sims-run")
+		b.ReportMetric(float64(st.MemHits), "cache-hits")
+		if st.Simulated+st.MemHits > 0 {
+			b.ReportMetric(100*float64(st.MemHits)/float64(st.Simulated+st.MemHits), "dedup-%")
 		}
 	}
 }

@@ -10,13 +10,21 @@
 //	dcpieval -all -j 8           # ... with eight simulation workers
 //	dcpieval -all -metrics-out m.json -trace-out t.json
 //	                             # ... plus self-observability artifacts
+//	dcpieval -all -cache-dir ~/.cache/dcpi
+//	                             # persistent run cache: the second
+//	                             # invocation skips every simulation
+//	dcpieval -all -shard 1/4     # simulate only shard 1 of 4, archiving
+//	                             # results to dcpieval-shard-1-of-4.shard
+//	dcpieval -all -merge-shards 'dcpieval-shard-*.shard'
+//	                             # fold shard archives into full output
 //
 // Flags -runs and -scale trade time for confidence. All experiments share
 // one simulation runner (internal/runner): sections run concurrently, -j
 // bounds how many machine simulations execute at once (default GOMAXPROCS),
 // and identical run configurations across sections are simulated exactly
 // once. Sections stream to stdout in their fixed order as they complete, so
-// long sweeps show progress; output is byte-identical for every -j value.
+// long sweeps show progress; output is byte-identical for every -j value —
+// and for cold, warm-cache, and merged-shard invocations alike.
 package main
 
 import (
@@ -26,11 +34,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"dcpi/internal/dcpi"
 	"dcpi/internal/eval"
 	"dcpi/internal/obs"
 	"dcpi/internal/pipeline"
+	"dcpi/internal/runcache"
 	"dcpi/internal/runner"
 )
 
@@ -55,6 +66,12 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write the runner/experiment event trace (Chrome trace format) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of this run to this file")
 		memProf  = flag.String("memprofile", "", "write a runtime/pprof heap profile at exit to this file")
+		cacheDir = flag.String("cache-dir", os.Getenv("DCPI_CACHE_DIR"),
+			"persistent run-cache directory (default $DCPI_CACHE_DIR); completed runs are stored there and reused by later invocations")
+		cacheMax = flag.Int("cache-max-mb", 2048, "run-cache size cap in MiB before LRU eviction (with -cache-dir)")
+		shard    = flag.String("shard", "", "simulate only shard i of N (format \"i/N\", 1-based) and archive results instead of printing output")
+		shardOut = flag.String("shard-out", "", "shard archive path (default dcpieval-shard-<i>-of-<N>.shard)")
+		merge    = flag.String("merge-shards", "", "comma-separated shard archives (globs allowed) to merge into full output")
 	)
 	flag.Parse()
 
@@ -100,6 +117,49 @@ func main() {
 		exit(2)
 	} else {
 		sched.SimCPUs = n
+	}
+
+	// Persistent cache and sharding share one version stamp: entries are
+	// invalid the moment the simulator's semantics or the snapshot layout
+	// change, so a warm cache can never resurrect stale results.
+	stamp := dcpi.CacheStamp()
+	if *shard != "" && *merge != "" {
+		fmt.Fprintln(os.Stderr, "dcpieval: -shard and -merge-shards are mutually exclusive")
+		exit(2)
+	}
+	shardIdx, shardN, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpieval: %v\n", err)
+		exit(2)
+	}
+	shardMode := shardN > 0
+	if *cacheDir != "" {
+		disk, err := runcache.Open(*cacheDir, runcache.Options{
+			MaxBytes: int64(*cacheMax) << 20,
+			Stamp:    stamp,
+			Obs:      hooks,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpieval: opening run cache: %v\n", err)
+			exit(1)
+		}
+		sched.Disk = disk
+	}
+	var shardEntries []runcache.Entry
+	if shardMode {
+		sched.Shard, sched.NumShards = shardIdx, shardN
+		sched.ShardSink = func(key string, blob []byte) {
+			shardEntries = append(shardEntries, runcache.Entry{Key: key, Blob: blob})
+		}
+	}
+	if *merge != "" {
+		preload, nfiles, err := loadShards(*merge, stamp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpieval: %v\n", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dcpieval: merging %d runs from %d shard archives\n", len(preload), nfiles)
+		sched.Preload = preload
 	}
 	o := eval.Options{Runs: *runs, Scale: *scale, Runner: sched, Obs: hooks}
 
@@ -291,16 +351,39 @@ func main() {
 	}
 	for i, st := range states {
 		<-st.ch
+		if shardMode {
+			// Shard output is rendered from placeholder results for every
+			// out-of-shard run, so it is meaningless: discard it, and treat
+			// section errors as warnings (the merge pass re-simulates any
+			// runs a section failed to reach).
+			if st.err != nil {
+				fmt.Fprintf(os.Stderr, "dcpieval: shard %d/%d: %s: %v (merge will re-simulate missing runs)\n",
+					shardIdx, shardN, sections[i].name, st.err)
+			}
+			continue
+		}
 		os.Stdout.Write(st.buf.Bytes())
 		if st.err != nil {
 			fmt.Fprintf(os.Stderr, "dcpieval: %s: %v\n", sections[i].name, st.err)
 			exit(1)
 		}
 	}
-	sims, dups := sched.Stats()
-	if dups > 0 {
-		fmt.Fprintf(os.Stderr, "dcpieval: %d simulations run, %d duplicate requests served from cache\n",
-			sims, dups)
+	st := sched.Stats()
+	if shardMode {
+		out := *shardOut
+		if out == "" {
+			out = fmt.Sprintf("dcpieval-shard-%d-of-%d.shard", shardIdx, shardN)
+		}
+		if err := runcache.WriteArchive(out, stamp, shardEntries); err != nil {
+			fmt.Fprintf(os.Stderr, "dcpieval: writing shard archive: %v\n", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dcpieval: shard %d/%d: simulated %d of %d runs (%d skipped for other shards), wrote %d results to %s\n",
+			shardIdx, shardN, st.Simulated, st.Requests(), st.ShardSkipped, len(shardEntries), out)
+	}
+	if st.MemHits > 0 || st.DiskHits > 0 {
+		fmt.Fprintf(os.Stderr, "dcpieval: %d simulations run, %d duplicate requests served from memory, %d runs rehydrated from disk\n",
+			st.Simulated, st.MemHits, st.DiskHits)
 	}
 	if *metrics != "" {
 		sched.PublishMetrics()
@@ -320,17 +403,35 @@ func main() {
 		}
 		// Final machine-readable cache-stats line (satellite of the metrics
 		// file, for pipelines that scrape stderr rather than read files).
-		line, _ := json.Marshal(map[string]any{
-			"simulated": sims,
-			"deduped":   dups,
+		// mem_hits counts single-flight dedup within this process,
+		// disk_hits counts runs rehydrated from -cache-dir or preloaded
+		// shard archives, shard_skipped counts runs left to other shards.
+		stats := map[string]any{
+			"simulated":     st.Simulated,
+			"mem_hits":      st.MemHits,
+			"disk_hits":     st.DiskHits,
+			"shard_skipped": st.ShardSkipped,
 			"dedup_rate": func() float64 {
-				if sims+dups == 0 {
+				if st.Simulated+st.MemHits == 0 {
 					return 0
 				}
-				return float64(dups) / float64(sims+dups)
+				return float64(st.MemHits) / float64(st.Simulated+st.MemHits)
+			}(),
+			"hit_rate": func() float64 {
+				if st.Requests() == 0 {
+					return 0
+				}
+				return float64(st.MemHits+st.DiskHits) / float64(st.Requests())
 			}(),
 			"workers": sched.Workers(),
-		})
+		}
+		if sched.Disk != nil {
+			ds := sched.Disk.Stats()
+			stats["cache_dir_bytes"] = sched.Disk.SizeBytes()
+			stats["cache_dir_evictions"] = ds.Evictions
+			stats["cache_dir_quarantined"] = ds.Quarantined
+		}
+		line, _ := json.Marshal(stats)
 		fmt.Fprintf(os.Stderr, "dcpieval-cache-stats %s\n", line)
 	}
 	if *traceOut != "" {
@@ -342,6 +443,54 @@ func main() {
 			hooks.Tracer.Len(), *traceOut)
 	}
 	exit(0)
+}
+
+// parseShard parses "i/N" into (i, N); an empty spec returns (0, 0).
+func parseShard(spec string) (idx, n int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(spec, "%d/%d", &idx, &n); err != nil {
+		return 0, 0, fmt.Errorf("invalid -shard %q (want \"i/N\", e.g. 2/4)", spec)
+	}
+	if n < 1 || idx < 1 || idx > n {
+		return 0, 0, fmt.Errorf("invalid -shard %q: need 1 <= i <= N", spec)
+	}
+	return idx, n, nil
+}
+
+// loadShards reads every archive named by the comma-separated list (each
+// element may be a glob) and returns the union of their entries keyed by
+// content key. Archives must carry this binary's version stamp; later
+// archives win on duplicate keys (the blobs are identical by construction
+// — simulation is deterministic in the key).
+func loadShards(list, stamp string) (map[string][]byte, int, error) {
+	preload := make(map[string][]byte)
+	nfiles := 0
+	for _, pat := range strings.Split(list, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		paths, err := filepath.Glob(pat)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad -merge-shards pattern %q: %v", pat, err)
+		}
+		if len(paths) == 0 {
+			return nil, 0, fmt.Errorf("-merge-shards: no files match %q", pat)
+		}
+		for _, path := range paths {
+			_, entries, err := runcache.ReadArchive(path, stamp)
+			if err != nil {
+				return nil, 0, err
+			}
+			for _, e := range entries {
+				preload[e.Key] = e.Blob
+			}
+			nfiles++
+		}
+	}
+	return preload, nfiles, nil
 }
 
 // figWriter suppresses one of the two combined figures when only the other

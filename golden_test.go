@@ -3,6 +3,7 @@ package dcpibench
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -37,7 +38,51 @@ func TestGoldenTable2DigestParallel(t *testing.T) {
 	goldenTable2(t, "-simcpus", "4")
 }
 
-func goldenTable2(t *testing.T, extraArgs ...string) {
+// TestGoldenTable2DigestWarmCache runs the golden check twice through a
+// persistent run cache: the cold pass populates -cache-dir, the warm pass
+// must rehydrate every run from disk and still reproduce the committed
+// digest bit for bit. This pins the PR 6 contract — a disk-cached result
+// is indistinguishable from a freshly simulated one.
+func TestGoldenTable2DigestWarmCache(t *testing.T) {
+	bin, want := goldenSetup(t)
+	cacheDir := filepath.Join(t.TempDir(), "runcache")
+	goldenCheck(t, bin, want, "-cache-dir", cacheDir) // cold: populates
+	stderr := goldenCheck(t, bin, want, "-cache-dir", cacheDir)
+	if !strings.Contains(stderr, "rehydrated from disk") {
+		t.Errorf("warm pass did not report disk hits; stderr:\n%s", stderr)
+	}
+}
+
+// TestGoldenTable2DigestShardMerge splits the golden sweep across four
+// shard processes and merges their archives: the merged output must match
+// the committed digest, and the merge pass must rehydrate (not simulate)
+// the sharded runs.
+func TestGoldenTable2DigestShardMerge(t *testing.T) {
+	bin, want := goldenSetup(t)
+	dir := t.TempDir()
+	const n = 4
+	var archives []string
+	for i := 1; i <= n; i++ {
+		out := filepath.Join(dir, "shard.bin."+string(rune('0'+i)))
+		archives = append(archives, out)
+		args := append(goldenArgs(), "-shard", fmt.Sprintf("%d/%d", i, n), "-shard-out", out)
+		if msg, err := exec.Command(bin, args...).CombinedOutput(); err != nil {
+			t.Fatalf("shard %d/%d: %v\n%s", i, n, err, msg)
+		}
+	}
+	stderr := goldenCheck(t, bin, want, "-merge-shards", strings.Join(archives, ","))
+	if !strings.Contains(stderr, "rehydrated from disk") {
+		t.Errorf("merge pass did not report rehydrated runs; stderr:\n%s", stderr)
+	}
+}
+
+func goldenArgs() []string {
+	return []string{"-table", "2", "-runs", "2", "-scale", "0.12"}
+}
+
+// goldenSetup builds dcpieval and loads the committed digest.
+func goldenSetup(t *testing.T) (bin, want string) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("golden digest run is slow")
 	}
@@ -45,19 +90,28 @@ func goldenTable2(t *testing.T, extraArgs ...string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := strings.Fields(string(wantRaw))[0]
+	want = strings.Fields(string(wantRaw))[0]
 
-	bin := filepath.Join(t.TempDir(), "dcpieval")
+	bin = filepath.Join(t.TempDir(), "dcpieval")
 	cmd := exec.Command("go", "build", "-o", bin, "./cmd/dcpieval")
 	cmd.Env = os.Environ()
 	if msg, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("build dcpieval: %v\n%s", err, msg)
 	}
+	return bin, want
+}
 
-	args := append([]string{"-table", "2", "-runs", "2", "-scale", "0.12"}, extraArgs...)
-	out, err := exec.Command(bin, args...).Output()
+// goldenCheck runs the golden sweep with extra args, compares the stdout
+// digest against the committed one, and returns stderr.
+func goldenCheck(t *testing.T, bin, want string, extraArgs ...string) string {
+	t.Helper()
+	args := append(goldenArgs(), extraArgs...)
+	cmd := exec.Command(bin, args...)
+	var errBuf strings.Builder
+	cmd.Stderr = &errBuf
+	out, err := cmd.Output()
 	if err != nil {
-		t.Fatalf("dcpieval %s: %v", strings.Join(args, " "), err)
+		t.Fatalf("dcpieval %s: %v\nstderr:\n%s", strings.Join(args, " "), err, errBuf.String())
 	}
 	sum := sha256.Sum256(out)
 	got := hex.EncodeToString(sum[:])
@@ -67,4 +121,10 @@ func goldenTable2(t *testing.T, extraArgs ...string) {
 		t.Errorf("dcpieval %s stdout digest changed:\n  got  %s\n  want %s\noutput saved to %s\n(see the test comment for how to regenerate if the change is intentional)",
 			strings.Join(args, " "), got, want, dump)
 	}
+	return errBuf.String()
+}
+
+func goldenTable2(t *testing.T, extraArgs ...string) {
+	bin, want := goldenSetup(t)
+	goldenCheck(t, bin, want, extraArgs...)
 }

@@ -1,0 +1,75 @@
+// Package atomicio holds the small durable-file primitives shared by the
+// on-disk stores (profiledb's profile/metadata files, runcache's persisted
+// run results): crash-safe whole-file replacement and the varint framing
+// both formats use.
+//
+// The write protocol is the classic temp+fsync+rename sequence: data is
+// written to a temporary file in the target's directory, synced, closed,
+// and renamed over the final name. Readers therefore only ever observe the
+// old content or the complete new content — never a torn file at the final
+// path — which is what lets a crashed writer's leftovers be recovered by
+// deleting stale ".tmp" files and quarantining anything that fails to
+// decode.
+package atomicio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"os"
+)
+
+// WriteFile writes via a temp file in the target's directory, syncing
+// before the rename, so readers only ever see the old content or the
+// complete new content — never a torn file at the final name.
+func WriteFile(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// WriteUvarint appends v in unsigned LEB128 form, checking the write error
+// (bufio.Writer errors are sticky, but callers that sync to disk need the
+// first failure, not a later Flush surprise).
+func WriteUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// WriteVarint appends v in zig-zag signed LEB128 form.
+func WriteVarint(w *bufio.Writer, v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// ReadUvarint mirrors WriteUvarint (a thin wrapper so codecs read and write
+// through one package).
+func ReadUvarint(r io.ByteReader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+// ReadVarint mirrors WriteVarint.
+func ReadVarint(r io.ByteReader) (int64, error) {
+	return binary.ReadVarint(r)
+}

@@ -1,0 +1,90 @@
+package atomicio
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	for _, content := range []string{"first", "second longer content"} {
+		if err := WriteFile(path, func(w io.Writer) error {
+			_, err := w.Write([]byte(content))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Errorf("content = %q, want %q", got, content)
+		}
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Error("temp file left behind after successful write")
+	}
+}
+
+func TestWriteFileFailureLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("boom")
+	if err := WriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Errorf("failed write clobbered target: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Error("temp file left behind after failed write")
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	uvals := []uint64{0, 1, 127, 128, 1 << 32, ^uint64(0)}
+	ivals := []int64{0, -1, 1, -64, 64, 1 << 40, -(1 << 40)}
+	for _, v := range uvals {
+		if err := WriteUvarint(bw, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range ivals {
+		if err := WriteVarint(bw, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bw.Flush()
+	br := bufio.NewReader(&buf)
+	for _, want := range uvals {
+		got, err := ReadUvarint(br)
+		if err != nil || got != want {
+			t.Fatalf("ReadUvarint = %d, %v; want %d", got, err, want)
+		}
+	}
+	for _, want := range ivals {
+		got, err := ReadVarint(br)
+		if err != nil || got != want {
+			t.Fatalf("ReadVarint = %d, %v; want %d", got, err, want)
+		}
+	}
+}

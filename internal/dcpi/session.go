@@ -8,6 +8,7 @@ package dcpi
 
 import (
 	"fmt"
+	"os"
 
 	"dcpi/internal/daemon"
 	"dcpi/internal/driver"
@@ -40,6 +41,15 @@ type Config struct {
 	MuxInterval int64
 	// DBDir, when non-empty, stores profiles on disk there.
 	DBDir string
+	// EphemeralDB gives the run a real on-disk profile database in a
+	// private temporary directory that is deleted when the run finishes:
+	// the simulation behaves exactly like a DBDir run (the daemon merges to
+	// disk on its merge interval, pays the same modeled costs, and the
+	// database's final size is captured in Result.DBDiskBytes), but the
+	// run's identity no longer depends on a caller-chosen path. That makes
+	// disk-measuring experiments (Table 5) cacheable and shardable like
+	// every other run. Ignored when DBDir is set.
+	EphemeralDB bool
 	// CollectExact additionally gathers exact execution counts (dcpix).
 	CollectExact bool
 	// MaxCycles bounds the run; 0 uses the workload's own bound.
@@ -96,17 +106,37 @@ type Config struct {
 }
 
 // Result is a completed run.
+//
+// The value-typed fields below the pointer block are the run's measurement
+// snapshot: everything the evaluation suite reads from a finished run,
+// captured by Run after the final flush. They — not the live Machine/
+// Driver/Daemon pointers — are what the persistent run cache serializes
+// (see snapshot.go), so a Result rehydrated from disk carries the same
+// numbers a fresh simulation would. Analysis consumers (ProcRows,
+// AnalyzeProc, ...) additionally use Loader and Machine.Model, both of
+// which are rebuilt deterministically from the workload definition when a
+// cached result is decoded, the same way OfflineView resolves a database
+// against a workload's images.
 type Result struct {
 	Config   Config
 	Wall     int64 // wall-clock cycles (max over CPUs)
 	Machine  *sim.Machine
 	Loader   *loader.Loader
-	Driver   *driver.Driver
-	Daemon   *daemon.Daemon
-	DB       *profiledb.DB
+	Driver   *driver.Driver // nil for rehydrated results
+	Daemon   *daemon.Daemon // nil for rehydrated results
+	DB       *profiledb.DB  // nil for rehydrated and EphemeralDB results
 	Exact    *sim.Counts
 	Trace    []sim.Sample // raw samples, when Config.TraceSamples
 	profiles []*profiledb.Profile
+
+	// Measurement snapshot (survives serialization; see above).
+	NumCPUs           int          // simulated machine size
+	DriverStats       driver.Stats // aggregate over CPUs, at end of run
+	DriverKernelBytes int          // pinned kernel memory (driver tables)
+	DaemonStats       daemon.Stats
+	DaemonMemBytes    int   // daemon resident data at end of run
+	DaemonPeakBytes   int   // peak daemon resident data
+	DBDiskBytes       int64 // profile-database size (DBDir or EphemeralDB runs)
 }
 
 // collector adapts the driver+daemon pair to the machine's sample sink.
@@ -169,9 +199,22 @@ func Run(cfg Config) (*Result, error) {
 		collectorTrace *collector
 		err            error
 	)
+	// An ephemeral database lives in a private temp directory for exactly
+	// this run: same simulation semantics as a DBDir run, but the path never
+	// becomes part of the run's identity (see Config.EphemeralDB).
+	dbDir := cfg.DBDir
+	var ephemeral string
+	if dbDir == "" && cfg.EphemeralDB && cfg.Mode != sim.ModeOff {
+		ephemeral, err = os.MkdirTemp("", "dcpi-ephdb-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(ephemeral)
+		dbDir = ephemeral
+	}
 	if cfg.Mode != sim.ModeOff {
-		if cfg.DBDir != "" {
-			db, err = profiledb.Open(cfg.DBDir)
+		if dbDir != "" {
+			db, err = profiledb.Open(dbDir)
 			if err != nil {
 				return nil, err
 			}
@@ -299,6 +342,29 @@ func Run(cfg Config) (*Result, error) {
 		if db != nil {
 			db.PublishMetrics(reg)
 		}
+	}
+
+	// Capture the measurement snapshot (the serializable view of the run;
+	// see the Result comment) after every flush and merge has settled.
+	res.NumCPUs = ncpu
+	if drv != nil {
+		res.DriverStats = drv.TotalStats()
+		res.DriverKernelBytes = drv.KernelMemoryBytes()
+	}
+	if dmn != nil {
+		res.DaemonStats = dmn.Stats()
+		res.DaemonMemBytes = dmn.MemoryBytes()
+		res.DaemonPeakBytes = dmn.PeakMemoryBytes()
+	}
+	if db != nil {
+		res.DBDiskBytes, err = db.DiskUsage()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ephemeral != "" {
+		// The directory is deleted on return; don't hand out a dangling DB.
+		res.DB = nil
 	}
 	return res, nil
 }

@@ -1,0 +1,355 @@
+package dcpi
+
+// The persistent run cache (internal/runcache) stores completed runs on
+// disk keyed by their content key (runner.Key). This file is the codec
+// between a *Result and that on-disk blob.
+//
+// A run is serialized as its measurement snapshot: wall cycles, machine
+// size, driver/daemon statistics, exact execution counts, the raw sample
+// trace, and every collected profile (reusing profiledb's delta-varint
+// profile codec). Everything else a Result offers — symbolization, CFGs,
+// the §6 analysis — is a pure function of that snapshot plus the
+// workload's images, and the images are rebuilt deterministically from the
+// workload definition at decode time, exactly the way OfflineView resolves
+// an on-disk database. Decode therefore returns a Result whose accessors
+// (Profiles, ProcRows, AnalyzeProc, Summarize, ...) produce byte-identical
+// output to the freshly simulated run; only the live Machine/Driver/Daemon
+// pointers are absent (the Machine is a non-running shell carrying the
+// model and CPU count).
+//
+// Versioning: SnapshotVersion stamps the blob layout; bump it whenever the
+// encoding below changes. Callers additionally mix SimVersion into the
+// cache's version stamp so persisted results are invalidated wholesale
+// when the simulator's semantics change (new stall model, new workload
+// encoding, ...) even though the configuration key is unchanged.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"dcpi/internal/atomicio"
+	"dcpi/internal/loader"
+	"dcpi/internal/profiledb"
+	"dcpi/internal/sim"
+	"dcpi/internal/workload"
+)
+
+// SnapshotVersion identifies the blob layout written by EncodeSnapshot.
+const SnapshotVersion = 1
+
+// SimVersion names the simulator generation whose results are on disk.
+// Bump it whenever a change alters simulation output for an unchanged
+// configuration (pipeline model, workload definitions, sampling logic);
+// persisted cache entries from older generations then miss instead of
+// resurrecting stale results.
+const SimVersion = "sim-1"
+
+// CacheStamp is the combined version stamp a persistent run cache should
+// be opened with: it invalidates entries on either a blob-layout or a
+// simulator-semantics change.
+func CacheStamp() string {
+	return fmt.Sprintf("%s/snap-%d", SimVersion, SnapshotVersion)
+}
+
+// EncodeSnapshot serializes a completed run's measurement snapshot.
+func EncodeSnapshot(r *Result) ([]byte, error) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	w := &snapWriter{w: bw}
+
+	w.uvarint(SnapshotVersion)
+	w.varint(r.Wall)
+	w.uvarint(uint64(r.NumCPUs))
+
+	// Driver stats (order pinned; see TestSnapshotPinsStatsFields).
+	ds := r.DriverStats
+	w.uvarint(ds.Samples)
+	w.uvarint(ds.Hits)
+	w.uvarint(ds.Misses)
+	w.uvarint(ds.Evictions)
+	w.uvarint(ds.Inserts)
+	w.uvarint(ds.FlushIPIs)
+	w.uvarint(ds.BufSwaps)
+	w.uvarint(ds.Direct)
+	w.uvarint(ds.Lost)
+	w.uvarint(ds.Deferred)
+	w.varint(ds.CostCycles)
+	w.uvarint(uint64(r.DriverKernelBytes))
+
+	// Daemon stats.
+	ms := r.DaemonStats
+	w.uvarint(ms.Entries)
+	w.uvarint(ms.Samples)
+	w.uvarint(ms.Unknown)
+	w.uvarint(ms.Drains)
+	w.uvarint(ms.Merges)
+	w.uvarint(ms.BuffersFull)
+	w.uvarint(ms.Deferred)
+	w.uvarint(ms.Crashes)
+	w.uvarint(ms.Restarts)
+	w.uvarint(ms.CrashDropped)
+	w.varint(ms.CostCycles)
+	w.uvarint(ms.Notifications)
+	w.uvarint(uint64(r.DaemonMemBytes))
+	w.uvarint(uint64(r.DaemonPeakBytes))
+	w.varint(r.DBDiskBytes)
+
+	// Exact execution counts, sorted by image ID for a canonical encoding.
+	if r.Exact == nil {
+		w.uvarint(0)
+	} else {
+		w.uvarint(1)
+		ids := make([]uint32, 0, len(r.Exact.Exec))
+		for id := range r.Exact.Exec {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		w.uvarint(uint64(len(ids)))
+		for _, id := range ids {
+			w.uvarint(uint64(id))
+			exec := r.Exact.Exec[id]
+			taken := r.Exact.Taken[id]
+			w.uvarint(uint64(len(exec)))
+			for _, n := range exec {
+				w.uvarint(n)
+			}
+			w.uvarint(uint64(len(taken)))
+			for _, n := range taken {
+				w.uvarint(n)
+			}
+		}
+	}
+
+	// Raw sample trace (order preserved — ablations replay it).
+	w.uvarint(uint64(len(r.Trace)))
+	for _, s := range r.Trace {
+		w.uvarint(uint64(s.CPU))
+		w.uvarint(uint64(s.PID))
+		w.uvarint(s.PC)
+		w.uvarint(s.PC2)
+		w.uvarint(uint64(s.Event))
+		w.varint(s.Clock)
+	}
+
+	// Profiles, each length-prefixed in profiledb's own self-validating
+	// format, in the order the run produced them.
+	w.uvarint(uint64(len(r.profiles)))
+	for _, p := range r.profiles {
+		var pb bytes.Buffer
+		if err := p.Write(&pb); err != nil {
+			return nil, err
+		}
+		w.uvarint(uint64(pb.Len()))
+		if w.err == nil {
+			_, w.err = bw.Write(pb.Bytes())
+		}
+	}
+
+	if w.err != nil {
+		return nil, w.err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot reconstructs a run from its serialized snapshot. cfg must
+// be the configuration the blob was keyed under (the caller looked the
+// blob up by runner.Key(cfg), so it has the config in hand); the
+// workload's images are rebuilt from it deterministically.
+func DecodeSnapshot(blob []byte, cfg Config) (*Result, error) {
+	r := &snapReader{r: bufio.NewReader(bytes.NewReader(blob))}
+
+	if v := r.uvarint(); r.err == nil && v != SnapshotVersion {
+		return nil, fmt.Errorf("dcpi: snapshot version %d, want %d", v, SnapshotVersion)
+	}
+	res := &Result{Config: cfg}
+	res.Wall = r.varint()
+	res.NumCPUs = int(r.uvarint())
+
+	ds := &res.DriverStats
+	ds.Samples = r.uvarint()
+	ds.Hits = r.uvarint()
+	ds.Misses = r.uvarint()
+	ds.Evictions = r.uvarint()
+	ds.Inserts = r.uvarint()
+	ds.FlushIPIs = r.uvarint()
+	ds.BufSwaps = r.uvarint()
+	ds.Direct = r.uvarint()
+	ds.Lost = r.uvarint()
+	ds.Deferred = r.uvarint()
+	ds.CostCycles = r.varint()
+	res.DriverKernelBytes = int(r.uvarint())
+
+	ms := &res.DaemonStats
+	ms.Entries = r.uvarint()
+	ms.Samples = r.uvarint()
+	ms.Unknown = r.uvarint()
+	ms.Drains = r.uvarint()
+	ms.Merges = r.uvarint()
+	ms.BuffersFull = r.uvarint()
+	ms.Deferred = r.uvarint()
+	ms.Crashes = r.uvarint()
+	ms.Restarts = r.uvarint()
+	ms.CrashDropped = r.uvarint()
+	ms.CostCycles = r.varint()
+	ms.Notifications = r.uvarint()
+	res.DaemonMemBytes = int(r.uvarint())
+	res.DaemonPeakBytes = int(r.uvarint())
+	res.DBDiskBytes = r.varint()
+
+	if r.uvarint() == 1 {
+		exact := &sim.Counts{Exec: map[uint32][]uint64{}, Taken: map[uint32][]uint64{}}
+		nimg := int(r.uvarint())
+		for i := 0; i < nimg && r.err == nil; i++ {
+			id := uint32(r.uvarint())
+			exec := make([]uint64, r.uvarint())
+			for j := range exec {
+				exec[j] = r.uvarint()
+			}
+			taken := make([]uint64, r.uvarint())
+			for j := range taken {
+				taken[j] = r.uvarint()
+			}
+			exact.Exec[id] = exec
+			exact.Taken[id] = taken
+		}
+		res.Exact = exact
+	}
+
+	if n := int(r.uvarint()); n > 0 && r.err == nil {
+		res.Trace = make([]sim.Sample, n)
+		for i := range res.Trace {
+			s := &res.Trace[i]
+			s.CPU = int(r.uvarint())
+			s.PID = uint32(r.uvarint())
+			s.PC = r.uvarint()
+			s.PC2 = r.uvarint()
+			s.Event = sim.Event(r.uvarint())
+			s.Clock = r.varint()
+		}
+	}
+
+	nprof := int(r.uvarint())
+	for i := 0; i < nprof && r.err == nil; i++ {
+		plen := int(r.uvarint())
+		if r.err != nil {
+			break
+		}
+		pb := make([]byte, plen)
+		if _, err := io.ReadFull(r.r, pb); err != nil {
+			r.err = err
+			break
+		}
+		p, err := profiledb.ReadProfile(bytes.NewReader(pb))
+		if err != nil {
+			r.err = err
+			break
+		}
+		res.profiles = append(res.profiles, p)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("dcpi: decoding snapshot: %w", r.err)
+	}
+
+	l, m, err := rebuildImages(cfg, res.NumCPUs)
+	if err != nil {
+		return nil, err
+	}
+	res.Loader = l
+	res.Machine = m
+	return res, nil
+}
+
+// rebuildImages reconstructs the loader and a non-running machine shell
+// for a configuration, mirroring what Run's setup phase produces: same
+// workload, same scale, same machine size, so image IDs, symbols, code,
+// and source lines all match the live run's.
+func rebuildImages(cfg Config, ncpu int) (*loader.Loader, *sim.Machine, error) {
+	spec, ok := workload.Get(cfg.Workload)
+	if !ok {
+		return nil, nil, fmt.Errorf("dcpi: unknown workload %q (have %v)", cfg.Workload, workload.Names())
+	}
+	if ncpu <= 0 {
+		ncpu = spec.NumCPUs
+		if cfg.NumCPUs > 0 {
+			ncpu = cfg.NumCPUs
+		}
+	}
+	kernel, abi := workload.Kernel()
+	l := loader.New(kernel)
+	m := sim.NewMachine(sim.Options{NumCPUs: ncpu, ABI: abi, Loader: l})
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	if err := spec.Setup(&workload.Ctx{Loader: l, Machine: m, Scale: scale}); err != nil {
+		return nil, nil, err
+	}
+	return l, m, nil
+}
+
+// PlaceholderResult builds an empty but structurally complete run for a
+// configuration: real images and machine shell, zero samples, zero stats,
+// empty (non-nil) exact counts. Sharded evaluation (dcpieval -shard) hands
+// these to experiment code for runs belonging to other shards, so sections
+// can keep iterating — and keep submitting their remaining runs — while
+// their rendered output is discarded.
+func PlaceholderResult(cfg Config) (*Result, error) {
+	l, m, err := rebuildImages(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Config:  cfg,
+		Loader:  l,
+		Machine: m,
+		NumCPUs: len(m.CPUs),
+		Exact:   &sim.Counts{Exec: map[uint32][]uint64{}, Taken: map[uint32][]uint64{}},
+	}, nil
+}
+
+// snapWriter/snapReader thread one sticky error through the varint codec.
+type snapWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (s *snapWriter) uvarint(v uint64) {
+	if s.err == nil {
+		s.err = atomicio.WriteUvarint(s.w, v)
+	}
+}
+
+func (s *snapWriter) varint(v int64) {
+	if s.err == nil {
+		s.err = atomicio.WriteVarint(s.w, v)
+	}
+}
+
+type snapReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (s *snapReader) uvarint() uint64 {
+	if s.err != nil {
+		return 0
+	}
+	v, err := atomicio.ReadUvarint(s.r)
+	s.err = err
+	return v
+}
+
+func (s *snapReader) varint() int64 {
+	if s.err != nil {
+		return 0
+	}
+	v, err := atomicio.ReadVarint(s.r)
+	s.err = err
+	return v
+}

@@ -1,0 +1,153 @@
+package dcpi
+
+import (
+	"reflect"
+	"testing"
+
+	"dcpi/internal/daemon"
+	"dcpi/internal/driver"
+	"dcpi/internal/sim"
+)
+
+func snapshotTestConfig() Config {
+	return Config{
+		Workload:     "compress",
+		Scale:        0.02,
+		Mode:         sim.ModeDefault,
+		Seed:         7,
+		CollectExact: true,
+		TraceSamples: true,
+	}
+}
+
+// A decoded snapshot must be indistinguishable from the live run through
+// every accessor the evaluation harness uses: same summary text, same
+// procedure rows, same per-instruction analysis, same stats snapshot.
+func TestSnapshotRoundTrip(t *testing.T) {
+	live, err := Run(snapshotTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := EncodeSnapshot(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := DecodeSnapshot(blob, live.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warm.Wall != live.Wall || warm.NumCPUs != live.NumCPUs {
+		t.Errorf("wall/ncpu = %d/%d, want %d/%d", warm.Wall, warm.NumCPUs, live.Wall, live.NumCPUs)
+	}
+	if warm.DriverStats != live.DriverStats {
+		t.Errorf("driver stats = %+v, want %+v", warm.DriverStats, live.DriverStats)
+	}
+	if warm.DaemonStats != live.DaemonStats {
+		t.Errorf("daemon stats = %+v, want %+v", warm.DaemonStats, live.DaemonStats)
+	}
+	if warm.DaemonMemBytes != live.DaemonMemBytes || warm.DaemonPeakBytes != live.DaemonPeakBytes ||
+		warm.DriverKernelBytes != live.DriverKernelBytes || warm.DBDiskBytes != live.DBDiskBytes {
+		t.Error("memory/disk byte counters did not round-trip")
+	}
+	if !reflect.DeepEqual(warm.Trace, live.Trace) {
+		t.Errorf("trace did not round-trip (%d vs %d samples)", len(warm.Trace), len(live.Trace))
+	}
+	if !reflect.DeepEqual(warm.Exact.Exec, live.Exact.Exec) || !reflect.DeepEqual(warm.Exact.Taken, live.Exact.Taken) {
+		t.Error("exact counts did not round-trip")
+	}
+	if len(warm.Profiles()) != len(live.Profiles()) {
+		t.Fatalf("profiles = %d, want %d", len(warm.Profiles()), len(live.Profiles()))
+	}
+	for i, lp := range live.Profiles() {
+		wp := warm.Profiles()[i]
+		if wp.ImagePath != lp.ImagePath || wp.Event != lp.Event || !reflect.DeepEqual(wp.Counts, lp.Counts) {
+			t.Errorf("profile %d (%s/%v) did not round-trip", i, lp.ImagePath, lp.Event)
+		}
+	}
+
+	// Rendered output paths: summary and procedure rows must match exactly.
+	ls, err := live.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := warm.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ws, ls) {
+		t.Error("Summarize() differs between live and rehydrated result")
+	}
+	if !reflect.DeepEqual(warm.ProcRows(), live.ProcRows()) {
+		t.Error("ProcRows() differs between live and rehydrated result")
+	}
+	rows := live.ProcRows()
+	if len(rows) > 0 {
+		la, err := live.AnalyzeProc(rows[0].ImagePath, rows[0].Procedure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wa, err := warm.AnalyzeProc(rows[0].ImagePath, rows[0].Procedure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wa, la) {
+			t.Errorf("AnalyzeProc(%s) differs between live and rehydrated result", rows[0].Procedure)
+		}
+	}
+}
+
+// An ephemeral-DB run must report the database footprint it would have had
+// with a real DBDir, while leaving nothing behind on disk and keeping the
+// result serializable.
+func TestEphemeralDBMeasuresDiskUsage(t *testing.T) {
+	cfg := snapshotTestConfig()
+	cfg.EphemeralDB = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DBDiskBytes <= 0 {
+		t.Errorf("DBDiskBytes = %d, want > 0", res.DBDiskBytes)
+	}
+	if res.DB != nil {
+		t.Error("ephemeral run leaked a live DB handle")
+	}
+	if len(res.Profiles()) == 0 {
+		t.Error("ephemeral run lost its profiles")
+	}
+	if _, err := EncodeSnapshot(res); err != nil {
+		t.Errorf("ephemeral result not serializable: %v", err)
+	}
+}
+
+// PlaceholderResult must satisfy every accessor a section touches without
+// panicking, since shard mode feeds placeholders through full experiment
+// rendering code.
+func TestPlaceholderResultIsRenderable(t *testing.T) {
+	res, err := PlaceholderResult(snapshotTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Summarize(); err != nil {
+		t.Errorf("Summarize: %v", err)
+	}
+	res.ProcRows()
+	res.ProcSampleMap()
+	res.TotalSamples(sim.EvCycles)
+	if res.Machine == nil || res.Loader == nil {
+		t.Fatal("placeholder missing machine/loader")
+	}
+}
+
+// The snapshot codec hardcodes the field-by-field layout of driver.Stats
+// and daemon.Stats. If either struct gains or loses a field, the encoding
+// silently drops data — so pin the field counts here.
+func TestSnapshotPinsStatsFields(t *testing.T) {
+	if n := reflect.TypeOf(driver.Stats{}).NumField(); n != 11 {
+		t.Errorf("driver.Stats has %d fields, snapshot codec encodes 11: update EncodeSnapshot/DecodeSnapshot and bump SnapshotVersion", n)
+	}
+	if n := reflect.TypeOf(daemon.Stats{}).NumField(); n != 12 {
+		t.Errorf("daemon.Stats has %d fields, snapshot codec encodes 12: update EncodeSnapshot/DecodeSnapshot and bump SnapshotVersion", n)
+	}
+}

@@ -3,7 +3,6 @@ package eval
 import (
 	"fmt"
 	"io"
-	"os"
 
 	"dcpi/internal/dcpi"
 	"dcpi/internal/driver"
@@ -68,8 +67,10 @@ func Table4(o Options) ([]Table4Row, error) {
 }
 
 func costRow(wl string, mode sim.Mode, r *dcpi.Result) Table4Row {
-	ds := r.Driver.TotalStats()
-	dmn := r.Daemon.Stats()
+	// Read the stats snapshot, not the live Driver/Daemon: snapshots are
+	// all a disk-cached (rehydrated) result carries.
+	ds := r.DriverStats
+	dmn := r.DaemonStats
 	cm := driver.DefaultCostModel()
 
 	row := Table4Row{
@@ -122,66 +123,44 @@ type Table5Row struct {
 var Table5Modes = []sim.Mode{sim.ModeCycles, sim.ModeDefault}
 
 // Table5 measures daemon memory and profile-database disk usage. These
-// runs write real on-disk databases (each into its own temporary
-// directory), so the runner schedules them in parallel but never caches
-// them; the directory is deleted as soon as its size has been read.
+// runs write real on-disk databases — in run-private temporary directories
+// the session deletes itself (Config.EphemeralDB) after capturing the
+// final size in Result.DBDiskBytes. Because no caller-chosen path leaks
+// into the run's identity, these runs cache and shard like every other:
+// a warm-cache sweep replays Table 5 from snapshots without touching disk.
 func Table5(o Options) ([]Table5Row, error) {
 	o = o.withDefaults()
 	defer o.span("Table 5")()
-	type dbRun struct {
-		dir     string
-		pending *runner.Pending
-	}
-	var runs []dbRun
-	for _, wl := range o.Workloads {
-		for _, mode := range Table5Modes {
-			dir, err := os.MkdirTemp("", "dcpi-eval-db-")
-			if err != nil {
-				for _, dr := range runs {
-					dr.pending.Wait()
-					os.RemoveAll(dr.dir)
-				}
-				return nil, err
-			}
-			runs = append(runs, dbRun{dir, o.Runner.Submit(dcpi.Config{
-				Workload: wl, Scale: o.Scale, Mode: mode,
-				Seed:  seedFor(o.SeedBase, "table5", wl, 0),
-				DBDir: dir,
-			})})
+	cfg := func(wl string, mode sim.Mode) dcpi.Config {
+		return dcpi.Config{
+			Workload: wl, Scale: o.Scale, Mode: mode,
+			Seed:        seedFor(o.SeedBase, "table5", wl, 0),
+			EphemeralDB: true,
 		}
 	}
-	cleanup := func(from int) {
-		for _, dr := range runs[from:] {
-			dr.pending.Wait()
-			os.RemoveAll(dr.dir)
+	var pending []*runner.Pending
+	for _, wl := range o.Workloads {
+		for _, mode := range Table5Modes {
+			pending = append(pending, o.Runner.Submit(cfg(wl, mode)))
 		}
 	}
 	var rows []Table5Row
 	i := 0
 	for _, wl := range o.Workloads {
 		for _, mode := range Table5Modes {
-			dr := runs[i]
-			r, runErr := dr.pending.Wait()
-			if runErr != nil {
-				os.RemoveAll(dr.dir)
-				cleanup(i + 1)
-				return nil, fmt.Errorf("table5 %s %v: %w", wl, mode, runErr)
-			}
-			disk, derr := r.DB.DiskUsage()
-			os.RemoveAll(dr.dir)
-			if derr != nil {
-				cleanup(i + 1)
-				return nil, derr
-			}
+			r, err := pending[i].Wait()
 			i++
+			if err != nil {
+				return nil, fmt.Errorf("table5 %s %v: %w", wl, mode, err)
+			}
 			rows = append(rows, Table5Row{
 				Workload:     wl,
 				Mode:         mode,
 				UptimeCycles: r.Wall,
-				MemoryBytes:  r.Daemon.MemoryBytes(),
-				PeakBytes:    r.Daemon.PeakMemoryBytes(),
-				DiskBytes:    disk,
-				DriverKernel: r.Driver.KernelMemoryBytes(),
+				MemoryBytes:  r.DaemonMemBytes,
+				PeakBytes:    r.DaemonPeakBytes,
+				DiskBytes:    r.DBDiskBytes,
+				DriverKernel: r.DriverKernelBytes,
 			})
 		}
 	}

@@ -78,7 +78,8 @@ func TestWorkerCountDoesNotChangeResults(t *testing.T) {
 	// runner exists for: Table 3's base runs are Table 2's, and Figure 9
 	// analyzes Figure 8's dense-sampling runs, so the shared runner must
 	// have deduplicated at least those requests.
-	sims, deduped := wide.Runner.Stats()
+	st := wide.Runner.Stats()
+	sims, deduped := st.Simulated, st.MemHits
 	if sims == 0 {
 		t.Fatal("no simulations ran")
 	}

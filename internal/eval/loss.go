@@ -99,8 +99,8 @@ func LossSweep(o Options) (*LossResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("loss sweep: %w", err)
 			}
-			ds := r.Driver.TotalStats()
-			dm := r.Daemon.Stats()
+			ds := r.DriverStats
+			dm := r.DaemonStats
 			row.Recorded += ds.Samples
 			row.Merged += dm.Samples
 			row.Lost += ds.Lost

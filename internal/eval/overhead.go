@@ -40,7 +40,7 @@ func Table2(o Options) ([]Table2Row, error) {
 		var ncpu int
 		for _, r := range results {
 			times = append(times, float64(r.Wall))
-			ncpu = len(r.Machine.CPUs)
+			ncpu = r.NumCPUs
 		}
 		if spec, ok := specFor(wl); ok {
 			desc = spec

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dcpi/internal/atomicio"
 	"dcpi/internal/obs"
 	"dcpi/internal/sim"
 )
@@ -150,10 +151,7 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 }
 
 func writeUvarint(w *bufio.Writer, v uint64) error {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	_, err := w.Write(buf[:n])
-	return err
+	return atomicio.WriteUvarint(w, v)
 }
 
 func writeByteN(w *bufio.Writer, b []byte) error {
@@ -273,30 +271,10 @@ func (db *DB) Update(p *Profile) error {
 	return writeFileAtomic(path, merged.Write)
 }
 
-// writeFileAtomic writes via a temp file in the target's directory, syncing
-// before the rename, so readers only ever see the old content or the
-// complete new content — never a torn file at the final name.
+// writeFileAtomic is atomicio.WriteFile (temp+fsync+rename); it lives in
+// internal/atomicio so the run cache shares the same crash-safety protocol.
 func writeFileAtomic(path string, write func(io.Writer) error) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicio.WriteFile(path, write)
 }
 
 // RecoveryReport summarizes what a recovery pass found.

@@ -1,0 +1,150 @@
+package runcache
+
+// Shard archives: the interchange format between `dcpieval -shard i/N`
+// workers and the `-merge-shards` pass. An archive is a flat, append-only
+// sequence of cache entries — each framed and CRC-protected exactly like
+// an on-disk cache entry — prefixed by a header binding the file to a
+// version stamp. Merging N archives therefore reuses the same integrity
+// checks as the persistent cache: a corrupt or stale entry surfaces as an
+// error at merge time instead of silently skewing the merged tables.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"dcpi/internal/atomicio"
+)
+
+// Entry is one run result in a shard archive.
+type Entry struct {
+	Key  string
+	Blob []byte
+}
+
+// WriteArchive atomically writes entries (sorted by key for reproducible
+// bytes) to path, bound to stamp.
+func WriteArchive(path, stamp string, entries []Entry) error {
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		if _, err := bw.WriteString(archiveMagic); err != nil {
+			return err
+		}
+		if err := atomicio.WriteUvarint(bw, formatVersion); err != nil {
+			return err
+		}
+		if err := atomicio.WriteUvarint(bw, uint64(len(stamp))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(stamp); err != nil {
+			return err
+		}
+		if err := atomicio.WriteUvarint(bw, uint64(len(sorted))); err != nil {
+			return err
+		}
+		for _, e := range sorted {
+			var eb bytes.Buffer
+			if err := encodeEntry(&eb, stamp, e.Key, e.Blob); err != nil {
+				return err
+			}
+			if err := atomicio.WriteUvarint(bw, uint64(eb.Len())); err != nil {
+				return err
+			}
+			if _, err := bw.Write(eb.Bytes()); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	})
+}
+
+// ReadArchive reads a shard archive, verifying every entry's framing and
+// CRC. wantStamp guards against merging shards produced by a different
+// simulator or snapshot generation; pass "" to accept any stamp (the
+// archive's own stamp is still returned and each entry must match it).
+func ReadArchive(path, wantStamp string) (stamp string, entries []Entry, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(raw) < len(archiveMagic) || string(raw[:len(archiveMagic)]) != archiveMagic {
+		return "", nil, fmt.Errorf("runcache: %s: not a shard archive", path)
+	}
+	r := &sliceReader{b: raw[len(archiveMagic):]}
+	if v := r.uvarint(); r.err == nil && v != formatVersion {
+		return "", nil, fmt.Errorf("runcache: %s: archive format version %d, want %d", path, v, formatVersion)
+	}
+	stamp = r.str()
+	if r.err != nil {
+		return "", nil, fmt.Errorf("runcache: %s: %w", path, r.err)
+	}
+	if wantStamp != "" && stamp != wantStamp {
+		return stamp, nil, fmt.Errorf("runcache: %s: stamp %q, want %q (re-run the shard with this binary)", path, stamp, wantStamp)
+	}
+	n := int(r.uvarint())
+	for i := 0; i < n; i++ {
+		elen := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if elen > uint64(len(r.b)) {
+			r.err = fmt.Errorf("truncated entry %d", i)
+			break
+		}
+		eb := r.b[:elen]
+		r.b = r.b[elen:]
+		key, blob, derr := decodeArchiveEntry(eb, stamp)
+		if derr != nil {
+			r.err = fmt.Errorf("entry %d: %w", i, derr)
+			break
+		}
+		entries = append(entries, Entry{Key: key, Blob: blob})
+	}
+	if r.err == nil && len(r.b) != 0 {
+		r.err = fmt.Errorf("%d trailing bytes", len(r.b))
+	}
+	if r.err != nil {
+		return stamp, nil, fmt.Errorf("runcache: %s: %w", path, r.err)
+	}
+	return stamp, entries, nil
+}
+
+// decodeArchiveEntry is decodeEntry without a known key: it verifies CRC,
+// magic, version, and stamp, and returns the embedded key and payload.
+func decodeArchiveEntry(raw []byte, stamp string) (string, []byte, error) {
+	if len(raw) < len(entryMagic)+4 {
+		return "", nil, fmt.Errorf("entry too short (%d bytes)", len(raw))
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return "", nil, fmt.Errorf("CRC mismatch")
+	}
+	if string(body[:len(entryMagic)]) != entryMagic {
+		return "", nil, fmt.Errorf("bad entry magic")
+	}
+	r := &sliceReader{b: body[len(entryMagic):]}
+	if v := r.uvarint(); r.err == nil && v != formatVersion {
+		return "", nil, fmt.Errorf("entry format version %d, want %d", v, formatVersion)
+	}
+	gotStamp := r.str()
+	key := r.str()
+	blob := r.bytes()
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	if gotStamp != stamp {
+		return "", nil, fmt.Errorf("entry stamp %q, want %q", gotStamp, stamp)
+	}
+	if len(r.b) != 0 {
+		return "", nil, fmt.Errorf("%d trailing bytes in entry", len(r.b))
+	}
+	return key, blob, nil
+}

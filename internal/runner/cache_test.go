@@ -1,0 +1,220 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"dcpi/internal/dcpi"
+	"dcpi/internal/runcache"
+	"dcpi/internal/sim"
+)
+
+func testDisk(t *testing.T, dir string) *runcache.Cache {
+	t.Helper()
+	disk, err := runcache.Open(dir, runcache.Options{Stamp: dcpi.CacheStamp()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return disk
+}
+
+// realRun stubs runFn with a tiny real simulation so the result survives
+// the encode/decode round trip the disk tier performs.
+func realRun(r *Runner, calls *atomic.Int64) {
+	r.runFn = func(cfg dcpi.Config) (*dcpi.Result, error) {
+		calls.Add(1)
+		return dcpi.Run(cfg)
+	}
+}
+
+func diskCfg() dcpi.Config {
+	return dcpi.Config{Workload: "compress", Scale: 0.02, Mode: sim.ModeCycles, Seed: 3}
+}
+
+func TestDiskTierServesAcrossRunners(t *testing.T) {
+	dir := t.TempDir()
+	cfg := diskCfg()
+
+	cold := New(2)
+	cold.Disk = testDisk(t, dir)
+	var coldCalls atomic.Int64
+	realRun(cold, &coldCalls)
+	res1, err := cold.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldCalls.Load() != 1 {
+		t.Fatalf("cold run simulated %d times, want 1", coldCalls.Load())
+	}
+
+	// A fresh runner (fresh process, conceptually) over the same directory
+	// must rehydrate instead of simulating.
+	warm := New(2)
+	warm.Disk = testDisk(t, dir)
+	var warmCalls atomic.Int64
+	realRun(warm, &warmCalls)
+	res2, err := warm.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmCalls.Load() != 0 {
+		t.Errorf("warm run simulated %d times, want 0", warmCalls.Load())
+	}
+	if st := warm.Stats(); st.DiskHits != 1 || st.Simulated != 0 {
+		t.Errorf("warm stats = %+v, want 1 disk hit, 0 simulated", st)
+	}
+	if res2.Wall != res1.Wall {
+		t.Errorf("rehydrated Wall = %d, want %d", res2.Wall, res1.Wall)
+	}
+	ls, err := res1.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := res2.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.ActualCPI != ls.ActualCPI || ws.Procedures != ls.Procedures {
+		t.Error("rehydrated summary differs from simulated one")
+	}
+}
+
+func TestCorruptDiskEntryResimulates(t *testing.T) {
+	dir := t.TempDir()
+	cfg := diskCfg()
+
+	cold := New(1)
+	cold.Disk = testDisk(t, dir)
+	var calls atomic.Int64
+	realRun(cold, &calls)
+	if _, err := cold.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in the single cache entry.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.run"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("cache entries = %v, %v; want exactly 1", matches, err)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(matches[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := New(1)
+	warm.Disk = testDisk(t, dir)
+	var warmCalls atomic.Int64
+	realRun(warm, &warmCalls)
+	res, err := warm.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmCalls.Load() != 1 {
+		t.Errorf("corrupt entry served without re-simulation (%d calls)", warmCalls.Load())
+	}
+	if res == nil || res.Wall == 0 {
+		t.Error("re-simulated result is empty")
+	}
+	bad, _ := filepath.Glob(filepath.Join(dir, "*.bad"))
+	if len(bad) != 1 {
+		t.Errorf("corrupt entry not quarantined: %v", bad)
+	}
+}
+
+func TestPreloadServesWithoutDisk(t *testing.T) {
+	cfg := diskCfg()
+	res, err := dcpi.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := dcpi.EncodeSnapshot(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := New(1)
+	r.Preload = map[string][]byte{Key(cfg): blob}
+	var calls atomic.Int64
+	realRun(r, &calls)
+	got, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("preloaded run simulated %d times, want 0", calls.Load())
+	}
+	if got.Wall != res.Wall {
+		t.Errorf("preloaded Wall = %d, want %d", got.Wall, res.Wall)
+	}
+}
+
+func TestShardsPartitionRunSet(t *testing.T) {
+	const numShards = 3
+	cfgs := make([]dcpi.Config, 7)
+	for i := range cfgs {
+		cfgs[i] = dcpi.Config{Workload: "compress", Scale: 0.02, Mode: sim.ModeCycles, Seed: uint64(i + 1)}
+	}
+
+	simulatedBy := make(map[string][]int) // key -> shards that simulated it
+	for shard := 1; shard <= numShards; shard++ {
+		r := New(2)
+		r.Shard, r.NumShards = shard, numShards
+		var sunk []string
+		r.ShardSink = func(key string, blob []byte) { sunk = append(sunk, key) }
+		var calls atomic.Int64
+		realRun(r, &calls)
+		for _, cfg := range cfgs {
+			res, err := r.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res == nil {
+				t.Fatal("nil result from sharded run")
+			}
+		}
+		st := r.Stats()
+		if st.Simulated != len(sunk) {
+			t.Errorf("shard %d: simulated %d but sank %d", shard, st.Simulated, len(sunk))
+		}
+		if st.Simulated+st.ShardSkipped != len(cfgs) {
+			t.Errorf("shard %d: simulated %d + skipped %d != %d runs", shard, st.Simulated, st.ShardSkipped, len(cfgs))
+		}
+		for _, key := range sunk {
+			simulatedBy[key] = append(simulatedBy[key], shard)
+		}
+	}
+
+	// Every run lands on exactly one shard.
+	if len(simulatedBy) != len(cfgs) {
+		t.Errorf("%d distinct keys simulated, want %d", len(simulatedBy), len(cfgs))
+	}
+	for key, shards := range simulatedBy {
+		if len(shards) != 1 {
+			t.Errorf("key %q simulated by shards %v, want exactly one", key, shards)
+		}
+		want := ShardOf(key, numShards)
+		if len(shards) == 1 && shards[0] != want {
+			t.Errorf("key %q simulated by shard %d, ShardOf says %d", key, shards[0], want)
+		}
+	}
+}
+
+func TestShardOfRangeAndDeterminism(t *testing.T) {
+	for _, key := range []string{"", "a", "w=gcc|scale=0.25", "w=compress|seed=9"} {
+		for _, n := range []int{1, 2, 4, 7} {
+			s1, s2 := ShardOf(key, n), ShardOf(key, n)
+			if s1 != s2 {
+				t.Errorf("ShardOf(%q, %d) unstable: %d vs %d", key, n, s1, s2)
+			}
+			if s1 < 1 || s1 > n {
+				t.Errorf("ShardOf(%q, %d) = %d out of range", key, n, s1)
+			}
+		}
+	}
+}

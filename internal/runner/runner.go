@@ -1,5 +1,6 @@
 // Package runner schedules simulated DCPI runs across a bounded worker
-// pool with a content-keyed result cache.
+// pool with a two-tier content-keyed result cache and optional sharded
+// execution.
 //
 // The evaluation suite (internal/eval) repeats complete machine
 // simulations: every table and figure loops over workloads × runs × modes,
@@ -15,6 +16,17 @@
 //   - Identical configurations are deduplicated single-flight style: the
 //     first request simulates, concurrent and later duplicates wait for /
 //     reuse the same *dcpi.Result.
+//   - A persistent second tier (Disk, an *runcache.Cache) survives across
+//     process invocations: before simulating, a run's serialized snapshot
+//     is looked up on disk and rehydrated via dcpi.DecodeSnapshot; after
+//     simulating, the snapshot is written back. A warm cache turns a full
+//     evaluation sweep into pure decode work with byte-identical output.
+//   - Sharded mode (Shard i of NumShards) deterministically partitions the
+//     run set by hashing content keys: runs belonging to other shards are
+//     answered with an inert placeholder result instead of simulating, so
+//     N processes each simulate a disjoint 1/N of the sweep. Simulated
+//     results are streamed to ShardSink for archiving; a merge pass
+//     preloads the archives (Preload) and re-renders all output from them.
 //
 // Results are treated as immutable once Run returns: the simulation is
 // finished, the daemon has flushed, and every accessor on *dcpi.Result
@@ -29,12 +41,14 @@ package runner
 
 import (
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"dcpi/internal/dcpi"
 	"dcpi/internal/obs"
+	"dcpi/internal/runcache"
 )
 
 // Runner is a concurrent simulation scheduler. The zero value is not
@@ -46,10 +60,12 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[string]*call
 
-	statsMu   sync.Mutex
-	simulated int           // runs actually executed
-	deduped   int           // requests served by an identical prior/in-flight run
-	runStart  map[int]int64 // per-slot start timestamp of the running simulation
+	statsMu  sync.Mutex
+	stats    CacheStats
+	runStart map[int]int64 // per-slot start timestamp of the running simulation
+
+	shardMu      sync.Mutex              // serializes ShardSink calls
+	placeholders map[string]*dcpi.Result // memoized inert results for out-of-shard runs
 
 	// Obs attaches the optional self-observability layer: per-run wall
 	// time and queue wait (histograms), cache hit/miss counters, and a
@@ -64,6 +80,29 @@ type Runner struct {
 	// Key excludes it, so the override cannot split the cache. Set it right
 	// after New, before the first Submit.
 	SimCPUs int
+
+	// Disk, when set, is the persistent second cache tier: memory first,
+	// then disk (decoded with dcpi.DecodeSnapshot), then simulate. Entries
+	// that fail to decode are quarantined and re-simulated. Set it right
+	// after New, before the first Submit.
+	Disk *runcache.Cache
+
+	// Preload maps content keys to serialized snapshots consulted before
+	// the disk tier — the merge pass (`dcpieval -merge-shards`) loads shard
+	// archives here. Read-only after the first Submit.
+	Preload map[string][]byte
+
+	// Shard/NumShards enable sharded execution when NumShards > 1: only
+	// runs whose key hashes to shard Shard (1-based, 1 <= Shard <=
+	// NumShards) simulate; the rest complete instantly with an inert
+	// placeholder result so experiment code keeps iterating. Output
+	// rendered from placeholders is meaningless and must be discarded —
+	// dcpieval's shard mode does. Set before the first Submit.
+	Shard, NumShards int
+
+	// ShardSink, when set, receives (key, snapshot) for every cacheable
+	// run this process simulated. Calls are serialized by the runner.
+	ShardSink func(key string, blob []byte)
 
 	active atomic.Int64 // workers currently simulating (occupancy track)
 }
@@ -103,15 +142,25 @@ func (r *Runner) Workers() int { return cap(r.slots) }
 // byte-identical results (see DESIGN.md) — so runs differing only in it
 // can share a cached Result.
 func Key(cfg dcpi.Config) string {
-	return fmt.Sprintf("w=%s|scale=%g|mode=%d|seed=%d|cyc=%d/%d|ev=%d/%d|mux=%d|db=%s|exact=%t|max=%d|ncpu=%d|pids=%v|trace=%t|zero=%t|double=%t|interp=%t|meta=%t|geo=%d/%d|drain=%d/%d|fault=%s",
+	return fmt.Sprintf("w=%s|scale=%g|mode=%d|seed=%d|cyc=%d/%d|ev=%d/%d|mux=%d|db=%s|ephdb=%t|exact=%t|max=%d|ncpu=%d|pids=%v|trace=%t|zero=%t|double=%t|interp=%t|meta=%t|geo=%d/%d|drain=%d/%d|fault=%s",
 		cfg.Workload, cfg.Scale, cfg.Mode, cfg.Seed,
 		cfg.CyclesPeriod.Base, cfg.CyclesPeriod.Spread,
 		cfg.EventPeriod.Base, cfg.EventPeriod.Spread,
-		cfg.MuxInterval, cfg.DBDir, cfg.CollectExact, cfg.MaxCycles,
+		cfg.MuxInterval, cfg.DBDir, cfg.EphemeralDB, cfg.CollectExact, cfg.MaxCycles,
 		cfg.NumCPUs, cfg.PerProcessPIDs, cfg.TraceSamples,
 		cfg.ZeroCostCollection, cfg.DoubleSample, cfg.InterpretBranches,
 		cfg.MetaSamples, cfg.DriverBuckets, cfg.DriverOverflow,
 		cfg.DrainInterval, cfg.MergeInterval, cfg.Fault)
+}
+
+// ShardOf deterministically maps a content key to a shard in [1, n]. Every
+// process of an N-way sharded sweep computes the same partition, with no
+// coordination, because the hash input is the run's semantic identity —
+// not submission order, worker count, or timing.
+func ShardOf(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()%uint32(n)) + 1
 }
 
 // Pending is a submitted run; Wait blocks until it completes.
@@ -135,7 +184,10 @@ func (r *Runner) Submit(cfg dcpi.Config) *Pending {
 	if !cacheable {
 		c := &call{done: make(chan struct{})}
 		r.noteSimulated()
-		go r.execute(c, cfg)
+		go func() {
+			defer close(c.done)
+			r.execute(c, cfg)
+		}()
 		return &Pending{c: c}
 	}
 
@@ -143,7 +195,7 @@ func (r *Runner) Submit(cfg dcpi.Config) *Pending {
 	r.mu.Lock()
 	if c, ok := r.cache[key]; ok {
 		r.mu.Unlock()
-		r.noteDeduped()
+		r.noteMemHit()
 		if tr := r.Obs.Tracer; tr != nil {
 			tr.Instant("runner", "cache_hit", obs.PIDRunner, 0, tr.Now(),
 				map[string]any{"workload": cfg.Workload, "mode": cfg.Mode.String()})
@@ -153,8 +205,7 @@ func (r *Runner) Submit(cfg dcpi.Config) *Pending {
 	c := &call{done: make(chan struct{})}
 	r.cache[key] = c
 	r.mu.Unlock()
-	r.noteSimulated()
-	go r.execute(c, cfg)
+	go r.executeCached(c, cfg, key)
 	return &Pending{c: c}
 }
 
@@ -163,7 +214,84 @@ func (r *Runner) Run(cfg dcpi.Config) (*dcpi.Result, error) {
 	return r.Submit(cfg).Wait()
 }
 
-// execute performs one simulation under the worker-pool bound.
+// executeCached resolves a cacheable run through the remaining tiers (the
+// memory tier already missed): shard filter, preloaded shard archives,
+// persistent disk cache, and finally simulation.
+func (r *Runner) executeCached(c *call, cfg dcpi.Config, key string) {
+	defer close(c.done)
+
+	// Out-of-shard runs complete instantly with an inert placeholder.
+	if r.NumShards > 1 && ShardOf(key, r.NumShards) != r.Shard {
+		c.res, c.err = r.placeholder(cfg)
+		r.noteShardSkipped(cfg)
+		return
+	}
+
+	if blob, ok := r.Preload[key]; ok {
+		if res, err := dcpi.DecodeSnapshot(blob, cfg); err == nil {
+			c.res = res
+			r.noteDiskHit(cfg)
+			return
+		}
+		// Archives are CRC-verified at read time, so a decode failure
+		// means version skew or a bug; re-simulate rather than fail.
+	}
+
+	if r.Disk != nil {
+		if blob, ok := r.Disk.Get(key); ok {
+			if res, err := dcpi.DecodeSnapshot(blob, cfg); err == nil {
+				c.res = res
+				r.noteDiskHit(cfg)
+				return
+			}
+			// Framing was intact but the payload wasn't decodable:
+			// quarantine the entry and fall through to simulation.
+			r.Disk.Quarantine(key)
+		}
+	}
+
+	r.noteSimulated()
+	r.execute(c, cfg)
+	if c.err != nil || (r.Disk == nil && r.ShardSink == nil) {
+		return
+	}
+	blob, err := dcpi.EncodeSnapshot(c.res)
+	if err != nil {
+		return // persisting is best-effort; the in-memory result stands
+	}
+	if r.Disk != nil {
+		r.Disk.Put(key, blob)
+	}
+	if r.ShardSink != nil {
+		r.shardMu.Lock()
+		r.ShardSink(key, blob)
+		r.shardMu.Unlock()
+	}
+}
+
+// placeholder returns the memoized inert result for a configuration's
+// workload shape (placeholders carry no measurements, so any two configs
+// with the same workload, scale, and CPU count can share one).
+func (r *Runner) placeholder(cfg dcpi.Config) (*dcpi.Result, error) {
+	pkey := fmt.Sprintf("%s|%g|%d", cfg.Workload, cfg.Scale, cfg.NumCPUs)
+	r.shardMu.Lock()
+	defer r.shardMu.Unlock()
+	if res, ok := r.placeholders[pkey]; ok {
+		return res, nil
+	}
+	res, err := dcpi.PlaceholderResult(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if r.placeholders == nil {
+		r.placeholders = make(map[string]*dcpi.Result)
+	}
+	r.placeholders[pkey] = res
+	return res, nil
+}
+
+// execute performs one simulation under the worker-pool bound. The caller
+// owns c.done.
 func (r *Runner) execute(c *call, cfg dcpi.Config) {
 	if r.SimCPUs != 0 {
 		cfg.SimCPUs = r.SimCPUs
@@ -177,7 +305,6 @@ func (r *Runner) execute(c *call, cfg dcpi.Config) {
 		defer r.finishRun(cfg, slot)
 	}
 	c.res, c.err = r.runFn(cfg)
-	close(c.done)
 }
 
 // observeRun records the start of a simulation: queue wait, occupancy, and
@@ -224,39 +351,82 @@ func queueWaitBuckets() []float64 { return obs.ExpBuckets(100, 2.2, 14) }
 // runWallBuckets spans 1ms .. ~1000s.
 func runWallBuckets() []float64 { return obs.ExpBuckets(1000, 2.7, 14) }
 
-// Stats reports how many runs were simulated and how many requests were
-// served by deduplication against an identical run.
-func (r *Runner) Stats() (simulated, deduped int) {
+// CacheStats breaks down how submitted runs were resolved: actually
+// simulated, served from the in-memory single-flight cache, rehydrated
+// from the persistent disk tier (or a preloaded shard archive), or skipped
+// because they belong to another shard.
+type CacheStats struct {
+	Simulated    int
+	MemHits      int
+	DiskHits     int
+	ShardSkipped int
+}
+
+// Requests is the total number of submissions the stats cover.
+func (s CacheStats) Requests() int {
+	return s.Simulated + s.MemHits + s.DiskHits + s.ShardSkipped
+}
+
+// Stats reports how submitted runs were resolved across the cache tiers.
+func (r *Runner) Stats() CacheStats {
 	r.statsMu.Lock()
 	defer r.statsMu.Unlock()
-	return r.simulated, r.deduped
+	return r.stats
 }
 
 func (r *Runner) noteSimulated() {
 	r.statsMu.Lock()
-	r.simulated++
+	r.stats.Simulated++
 	r.statsMu.Unlock()
 	r.Obs.Registry.Counter("runner.simulated").Inc() // nil-safe
 }
 
-func (r *Runner) noteDeduped() {
+func (r *Runner) noteMemHit() {
 	r.statsMu.Lock()
-	r.deduped++
+	r.stats.MemHits++
 	r.statsMu.Unlock()
 	r.Obs.Registry.Counter("runner.deduped").Inc() // nil-safe
 }
 
+func (r *Runner) noteDiskHit(cfg dcpi.Config) {
+	r.statsMu.Lock()
+	r.stats.DiskHits++
+	r.statsMu.Unlock()
+	r.Obs.Registry.Counter("runner.disk_hits").Inc() // nil-safe
+	if tr := r.Obs.Tracer; tr != nil {
+		tr.Instant("runner", "disk_hit", obs.PIDRunner, 0, tr.Now(),
+			map[string]any{"workload": cfg.Workload, "mode": cfg.Mode.String()})
+	}
+}
+
+func (r *Runner) noteShardSkipped(cfg dcpi.Config) {
+	r.statsMu.Lock()
+	r.stats.ShardSkipped++
+	r.statsMu.Unlock()
+	r.Obs.Registry.Counter("runner.shard_skipped").Inc() // nil-safe
+	if tr := r.Obs.Tracer; tr != nil {
+		tr.Instant("runner", "shard_skip", obs.PIDRunner, 0, tr.Now(),
+			map[string]any{"workload": cfg.Workload, "mode": cfg.Mode.String()})
+	}
+}
+
 // PublishMetrics writes the runner's end-of-sweep summary gauges into
 // Obs.Registry (dedup rate, worker bound); counters and histograms are
-// maintained live.
+// maintained live. The disk tier's own gauges publish via Disk.
 func (r *Runner) PublishMetrics() {
 	reg := r.Obs.Registry
 	if reg == nil {
 		return
 	}
-	sims, dups := r.Stats()
+	s := r.Stats()
 	reg.Gauge("runner.workers").Set(float64(r.Workers()))
-	if total := sims + dups; total > 0 {
-		reg.Gauge("runner.dedup_rate").Set(float64(dups) / float64(total))
+	if total := s.Simulated + s.MemHits; total > 0 {
+		reg.Gauge("runner.dedup_rate").Set(float64(s.MemHits) / float64(total))
+	}
+	if total := s.Requests(); total > 0 {
+		reg.Gauge("runner.cache_hit_rate").Set(float64(s.MemHits+s.DiskHits) / float64(total))
+	}
+	if r.Disk != nil {
+		r.Disk.PublishMetrics()
 	}
 }

@@ -51,7 +51,8 @@ func TestDuplicateConfigsSimulateOnce(t *testing.T) {
 			t.Errorf("request %d got a different *Result than request 0", i)
 		}
 	}
-	sims, deduped := r.Stats()
+	st := r.Stats()
+	sims, deduped := st.Simulated, st.MemHits
 	if sims != 1 || deduped != requests-1 {
 		t.Errorf("Stats() = %d simulated, %d deduped; want 1, %d", sims, deduped, requests-1)
 	}
@@ -182,7 +183,8 @@ func TestRealSimulation(t *testing.T) {
 	if fresh.Wall != ra.Wall {
 		t.Errorf("cached wall %d != fresh wall %d (simulation not deterministic?)", ra.Wall, fresh.Wall)
 	}
-	sims, deduped := r.Stats()
+	st := r.Stats()
+	sims, deduped := st.Simulated, st.MemHits
 	if sims != 1 || deduped != 1 {
 		t.Errorf("Stats() = %d, %d; want 1, 1", sims, deduped)
 	}

@@ -136,16 +136,22 @@ func TestCLIObservability(t *testing.T) {
 		t.Fatalf("no dcpieval-cache-stats line on stderr:\n%s", stderr.String())
 	}
 	var stats struct {
-		Simulated int     `json:"simulated"`
-		Deduped   int     `json:"deduped"`
-		DedupRate float64 `json:"dedup_rate"`
-		Workers   int     `json:"workers"`
+		Simulated    int     `json:"simulated"`
+		MemHits      int     `json:"mem_hits"`
+		DiskHits     int     `json:"disk_hits"`
+		ShardSkipped int     `json:"shard_skipped"`
+		DedupRate    float64 `json:"dedup_rate"`
+		HitRate      float64 `json:"hit_rate"`
+		Workers      int     `json:"workers"`
 	}
 	if err := json.Unmarshal([]byte(statsLine), &stats); err != nil {
 		t.Fatalf("cache-stats line is not JSON: %v\n%s", err, statsLine)
 	}
 	if stats.Simulated == 0 || stats.Workers == 0 {
 		t.Errorf("cache-stats line implausible: %+v", stats)
+	}
+	if stats.DiskHits != 0 || stats.ShardSkipped != 0 {
+		t.Errorf("cache-stats reports disk/shard activity without -cache-dir/-shard: %+v", stats)
 	}
 }
 

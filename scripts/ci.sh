@@ -61,6 +61,29 @@ for f in "$tmp"/db-seq/epoch-0001/*; do
 	cmp "$f" "$tmp/db-par/epoch-0001/$(basename "$f")"
 done
 
+echo "== run-cache cold/warm smoke (dcpieval -cache-dir)" >&2
+# Second pass over a persistent cache must resolve at least one run from
+# disk, simulate nothing, and keep stdout byte-identical to the cold pass.
+go build -o "$tmp/dcpieval" ./cmd/dcpieval
+"$tmp/dcpieval" -fig 7 -runs 1 -scale 0.1 -cache-dir "$tmp/runcache" \
+	>"$tmp/cold.out" 2>/dev/null
+"$tmp/dcpieval" -fig 7 -runs 1 -scale 0.1 -cache-dir "$tmp/runcache" \
+	-metrics-out "$tmp/warm-metrics.json" >"$tmp/warm.out" 2>"$tmp/warm.err"
+cmp "$tmp/cold.out" "$tmp/warm.out"
+grep "dcpieval-cache-stats" "$tmp/warm.err" | grep -q '"simulated":0'
+! grep "dcpieval-cache-stats" "$tmp/warm.err" | grep -q '"disk_hits":0,'
+
+echo "== sharded-evaluation smoke (dcpieval -shard / -merge-shards)" >&2
+# Two shard passes plus a merge must reproduce the unsharded output byte
+# for byte (missing runs, if any, are re-simulated by the merge).
+"$tmp/dcpieval" -fig 7 -runs 1 -scale 0.1 -shard 1/2 \
+	-shard-out "$tmp/s1.shard" 2>/dev/null
+"$tmp/dcpieval" -fig 7 -runs 1 -scale 0.1 -shard 2/2 \
+	-shard-out "$tmp/s2.shard" 2>/dev/null
+"$tmp/dcpieval" -fig 7 -runs 1 -scale 0.1 \
+	-merge-shards "$tmp/s1.shard,$tmp/s2.shard" >"$tmp/merged.out" 2>/dev/null
+cmp "$tmp/cold.out" "$tmp/merged.out"
+
 echo "== fuzz smoke (short deadline per target)" >&2
 # Each target replays its committed corpus plus a few seconds of fresh
 # coverage-guided input; crashes fail the gate.
