@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+
+	"dcpi/internal/collect"
+	"dcpi/internal/sim"
+	"dcpi/internal/tsdb"
+)
+
+// queryMain answers fleet queries from a local store (-tsdb, opened
+// read-only) or a running dcpicollect's API (-server). Output is
+// deterministic text keyed by epochs, never wall-clock time.
+func queryMain(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "dcpicollect query: want a kind: range, top, or delta")
+		return 2
+	}
+	kind := args[0]
+	fs := flag.NewFlagSet("dcpicollect query "+kind, flag.ExitOnError)
+	var (
+		dbDir  = fs.String("tsdb", "", "query this store directory directly (read-only)")
+		server = fs.String("server", "", "query a running dcpicollect at this base URL")
+		image  = fs.String("image", "", "image path (range)")
+		event  = fs.String("event", "cycles", "event type")
+		from   = fs.Uint64("from", 0, "first epoch (inclusive; 0 = open)")
+		to     = fs.Uint64("to", 0, "last epoch (inclusive; 0 = open)")
+		last   = fs.Uint64("last", 0, "newest K epochs (overrides -from/-to)")
+		n      = fs.Int("n", 10, "row limit (top, delta)")
+		a      = fs.String("a", "", "before window F-T (delta)")
+		b      = fs.String("b", "", "after window F-T (delta)")
+	)
+	fs.Parse(args[1:])
+	if (*dbDir == "") == (*server == "") {
+		fmt.Fprintln(os.Stderr, "dcpicollect query: want exactly one of -tsdb or -server")
+		return 2
+	}
+
+	var err error
+	switch kind {
+	case "range":
+		err = queryRange(*dbDir, *server, *image, *event, *from, *to, *last)
+	case "top":
+		err = queryTop(*dbDir, *server, *event, *from, *to, *last, *n)
+	case "delta":
+		err = queryDelta(*dbDir, *server, *event, *a, *b, *n)
+	default:
+		err = fmt.Errorf("unknown query kind %q (want range, top, or delta)", kind)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpicollect query: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func openRO(dir string) (*tsdb.DB, error) {
+	return tsdb.Open(dir, tsdb.Options{ReadOnly: true})
+}
+
+// getAPI fetches one API path from the server into v.
+func getAPI(server, path string, v any) error {
+	resp, err := http.Get(server + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// resolve turns CLI range flags into the API's query parameters.
+func rangeParams(image, event string, from, to, last uint64) string {
+	q := url.Values{}
+	if image != "" {
+		q.Set("image", image)
+	}
+	q.Set("event", event)
+	if last > 0 {
+		q.Set("last", fmt.Sprint(last))
+	} else {
+		if from > 0 {
+			q.Set("from", fmt.Sprint(from))
+		}
+		if to > 0 {
+			q.Set("to", fmt.Sprint(to))
+		}
+	}
+	return q.Encode()
+}
+
+func localWindow(db *tsdb.DB, from, to, last uint64) (uint64, uint64) {
+	if last > 0 {
+		return collect.LastWindow(db, last)
+	}
+	return from, to
+}
+
+func queryRange(dbDir, server, image, event string, from, to, last uint64) error {
+	if image == "" {
+		return fmt.Errorf("range: missing -image")
+	}
+	var resp collect.RangeResponse
+	if server != "" {
+		if err := getAPI(server, "/query/range?"+rangeParams(image, event, from, to, last), &resp); err != nil {
+			return err
+		}
+	} else {
+		db, err := openRO(dbDir)
+		if err != nil {
+			return err
+		}
+		ev, err := sim.ParseEvent(event)
+		if err != nil {
+			return err
+		}
+		from, to = localWindow(db, from, to, last)
+		resp = collect.RangeResponse{
+			Image: image, Event: ev.String(), FromEpoch: from, ToEpoch: to,
+			Rows: tsdb.RangeQuery(db, image, ev, from, to),
+		}
+	}
+	renderRange(resp)
+	return nil
+}
+
+func renderRange(resp collect.RangeResponse) {
+	fmt.Printf("%s %s, epochs %d-%d\n", resp.Image, resp.Event, resp.FromEpoch, resp.ToEpoch)
+	fmt.Printf("%7s %9s %12s %15s %15s %8s %7s\n",
+		"epoch", "machines", "samples", "cycles", "insts", "cpi", "share%")
+	for _, r := range resp.Rows {
+		cpi := "-"
+		if r.CPI > 0 {
+			cpi = fmt.Sprintf("%.3f", r.CPI)
+		}
+		fmt.Printf("%7d %9d %12d %15.0f %15d %8s %6.2f%%\n",
+			r.Epoch, r.Machines, r.Samples, r.Cycles, r.Insts, cpi, r.SharePct)
+	}
+}
+
+func queryTop(dbDir, server, event string, from, to, last uint64, n int) error {
+	var resp collect.TopResponse
+	if server != "" {
+		q := rangeParams("", event, from, to, last)
+		if err := getAPI(server, fmt.Sprintf("/query/top?%s&n=%d", q, n), &resp); err != nil {
+			return err
+		}
+	} else {
+		db, err := openRO(dbDir)
+		if err != nil {
+			return err
+		}
+		ev, err := sim.ParseEvent(event)
+		if err != nil {
+			return err
+		}
+		from, to = localWindow(db, from, to, last)
+		resp = collect.TopResponse{
+			Event: ev.String(), FromEpoch: from, ToEpoch: to,
+			Rows: tsdb.TopImages(db, ev, from, to, n),
+		}
+	}
+	renderTop(resp)
+	return nil
+}
+
+func renderTop(resp collect.TopResponse) {
+	fmt.Printf("top images by %s, epochs %d-%d\n", resp.Event, resp.FromEpoch, resp.ToEpoch)
+	fmt.Printf("%4s %15s %12s %7s  %s\n", "rank", "cycles", "samples", "share%", "image")
+	for i, r := range resp.Rows {
+		fmt.Printf("%4d %15.0f %12d %6.2f%%  %s\n", i+1, r.Cycles, r.Samples, r.SharePct, r.Image)
+	}
+}
+
+func queryDelta(dbDir, server, event, a, b string, n int) error {
+	if a == "" || b == "" {
+		return fmt.Errorf("delta: want -a F-T and -b F-T")
+	}
+	var resp collect.DeltaResponse
+	if server != "" {
+		q := url.Values{}
+		q.Set("event", event)
+		q.Set("a", a)
+		q.Set("b", b)
+		q.Set("n", fmt.Sprint(n))
+		if err := getAPI(server, "/query/delta?"+q.Encode(), &resp); err != nil {
+			return err
+		}
+	} else {
+		db, err := openRO(dbDir)
+		if err != nil {
+			return err
+		}
+		ev, err := sim.ParseEvent(event)
+		if err != nil {
+			return err
+		}
+		aFrom, aTo, err := collect.ParseWindow(a)
+		if err != nil {
+			return fmt.Errorf("window a: %v", err)
+		}
+		bFrom, bTo, err := collect.ParseWindow(b)
+		if err != nil {
+			return fmt.Errorf("window b: %v", err)
+		}
+		resp = collect.DeltaResponse{
+			Event: ev.String(), AFrom: aFrom, ATo: aTo, BFrom: bFrom, BTo: bTo,
+			Rows: collect.ToDeltaRows(tsdb.TopDeltas(db, ev, aFrom, aTo, bFrom, bTo, n)),
+		}
+	}
+	renderDelta(resp)
+	return nil
+}
+
+func renderDelta(resp collect.DeltaResponse) {
+	fmt.Printf("%s share deltas, epochs %d-%d vs %d-%d\n",
+		resp.Event, resp.AFrom, resp.ATo, resp.BFrom, resp.BTo)
+	fmt.Printf("%8s %8s %8s  %s\n", "before%", "after%", "delta", "image")
+	for _, r := range resp.Rows {
+		fmt.Printf("%7.2f%% %7.2f%% %+7.2f%%  %s\n", r.BeforePct, r.AfterPct, r.DeltaPct, r.Image)
+	}
+}

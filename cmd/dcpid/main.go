@@ -6,22 +6,37 @@
 //
 //	dcpid -workload x11perf -mode default -db ./dcpidb [-seed 1] [-scale 1]
 //	dcpid -workload x11perf -stats-out metrics.json -trace-out trace.json
+//	dcpid -workload x11perf -epochs 20 -listen 127.0.0.1:9111 -machine m00
 //
 // -stats-out writes the collection stack's self-measurements (the paper's
 // Table 3-5 numbers: handler-cycle histogram, hash miss rate, evictions,
 // daemon cycles/sample, database bytes) as a metrics JSON artifact;
 // -trace-out writes a Chrome-trace-format JSON of the collection pipeline
 // (openable in Perfetto). See docs/OBSERVABILITY.md.
+//
+// -epochs runs the workload repeatedly (seed+i per run), sealing one
+// database epoch per run; -listen serves the database, live stats, and
+// self-metrics over HTTP (internal/expo) during and after the runs, until
+// SIGINT/SIGTERM triggers a graceful shutdown. A dcpicollect scraper
+// pointed at -listen pulls each sealed epoch exactly once.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"dcpi/internal/daemon"
 	"dcpi/internal/dcpi"
+	"dcpi/internal/expo"
 	"dcpi/internal/obs"
 	"dcpi/internal/sim"
 	"dcpi/internal/workload"
@@ -47,6 +62,10 @@ func main() {
 		simcpus  = flag.String("simcpus", "0", "simulation parallelism: 0/1 sequential, N goroutines, or \"auto\" (budget-limited); output is byte-identical either way")
 		cpuProf  = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of this run to this file")
 		memProf  = flag.String("memprofile", "", "write a runtime/pprof heap profile at exit to this file")
+		epochs   = flag.Int("epochs", 1, "number of profiled runs (one sealed database epoch each, seed+i per run)")
+		listen   = flag.String("listen", "", "serve the profile database, live stats, and metrics over HTTP on this address (e.g. 127.0.0.1:9111); keeps serving after the runs until SIGINT/SIGTERM")
+		machine  = flag.String("machine", "local", "machine label reported on the exposition endpoints")
+		exact    = flag.Bool("exact", false, "collect exact per-image instruction counts (stored in epoch metadata; enables fleet CPI queries)")
 	)
 	flag.Parse()
 
@@ -97,6 +116,7 @@ func main() {
 		DBDir:          *dbDir,
 		Seed:           *seed,
 		Scale:          *scale,
+		CollectExact:   *exact,
 		DriverBuckets:  *buckets,
 		DriverOverflow: *overflow,
 		DrainInterval:  *drainInt,
@@ -136,10 +156,99 @@ func main() {
 		cfg.Obs.Tracer = obs.NewTracer(0)
 	}
 
-	r, err := dcpi.Run(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dcpid: %v\n", err)
-		exit(1)
+	if *epochs < 1 {
+		fmt.Fprintln(os.Stderr, "dcpid: -epochs must be >= 1")
+		exit(2)
+	}
+
+	// -listen exposes the profile database, live stats, and self-metrics
+	// while the runs proceed (and afterwards, until interrupted). The stats
+	// snapshot is swapped atomically at epoch boundaries so the handlers
+	// never race the simulation loop.
+	var (
+		snap  atomic.Pointer[expo.StatsSnapshot]
+		srv   *http.Server
+		sigCh chan os.Signal
+	)
+	snap.Store(&expo.StatsSnapshot{Machine: *machine, Workload: *wl, Running: true})
+	if *listen != "" {
+		if cfg.Obs.Registry == nil {
+			cfg.Obs.Registry = obs.NewRegistry()
+		}
+		src := &expo.Source{
+			Machine:  *machine,
+			Workload: *wl,
+			DBDir:    *dbDir,
+			Registry: cfg.Obs.Registry,
+			Stats:    func() expo.StatsSnapshot { return *snap.Load() },
+		}
+		lis, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpid: %v\n", err)
+			exit(1)
+		}
+		srv = &http.Server{Handler: expo.Handler(src)}
+		go srv.Serve(lis)
+		fmt.Fprintf(os.Stderr, "dcpid: serving on http://%s\n", lis.Addr())
+		sigCh = make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	}
+	stopped := false
+	interrupted := func() bool {
+		if stopped || sigCh == nil {
+			return stopped
+		}
+		select {
+		case <-sigCh:
+			stopped = true
+		default:
+		}
+		return stopped
+	}
+
+	var (
+		r            *dcpi.Result
+		wallTotal    int64
+		samplesTotal uint64
+	)
+	for i := 0; i < *epochs; i++ {
+		runCfg := cfg
+		runCfg.Seed = *seed + uint64(i)
+		rr, err := dcpi.Run(runCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpid: %v\n", err)
+			exit(1)
+		}
+		r = rr
+		wallTotal += rr.Wall
+		samplesTotal += rr.DriverStats.Samples
+		s := expo.StatsSnapshot{
+			Machine:      *machine,
+			Workload:     *wl,
+			Epoch:        rr.DB.Epoch(),
+			EpochsDone:   i + 1,
+			Running:      i+1 < *epochs,
+			WallCycles:   wallTotal,
+			Driver:       rr.DriverStats,
+			Daemon:       rr.DaemonStats,
+			LossRate:     rr.DriverStats.LossRate(),
+			SamplesTotal: samplesTotal,
+		}
+		snap.Store(&s)
+		if *epochs > 1 {
+			fmt.Printf("dcpid: epoch %d/%d sealed (%d samples, %d cycles)\n",
+				i+1, *epochs, rr.DriverStats.Samples, rr.Wall)
+		}
+		if i < *epochs-1 {
+			if interrupted() {
+				fmt.Fprintln(os.Stderr, "dcpid: interrupted; stopping after sealed epoch")
+				break
+			}
+			if err := rr.DB.NewEpoch(); err != nil {
+				fmt.Fprintf(os.Stderr, "dcpid: %v\n", err)
+				exit(1)
+			}
+		}
 	}
 
 	st := r.Machine.Stats()
@@ -204,6 +313,26 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "dcpid: wrote %d trace events to %s (open in ui.perfetto.dev)\n",
 			cfg.Obs.Tracer.Len(), *traceOut)
+	}
+	if srv != nil {
+		// Every sealed epoch is already fsynced (atomicio's write-meta-last
+		// protocol), so shutdown only has to stop accepting requests and
+		// let in-flight scrapes finish.
+		final := *snap.Load()
+		final.Running = false
+		snap.Store(&final)
+		if !interrupted() {
+			fmt.Fprintln(os.Stderr, "dcpid: runs complete; serving until interrupted")
+			<-sigCh
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpid: shutdown: %v\n", err)
+			exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "dcpid: shutdown complete")
 	}
 	exit(0)
 }

@@ -11,8 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
+	"dcpi/internal/analysis"
 	"dcpi/internal/dcpi"
 	"dcpi/internal/sim"
 )
@@ -44,34 +44,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	procs := map[string]bool{}
-	for p := range before {
-		procs[p] = true
-	}
-	for p := range after {
-		procs[p] = true
-	}
-
-	type row struct {
-		proc                string
-		beforePct, afterPct float64
-	}
-	var rows []row
-	for p := range procs {
-		rows = append(rows, row{
-			proc:      p,
-			beforePct: 100 * float64(before[p]) / float64(beforeTotal),
-			afterPct:  100 * float64(after[p]) / float64(afterTotal),
-		})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		di := abs(rows[i].afterPct - rows[i].beforePct)
-		dj := abs(rows[j].afterPct - rows[j].beforePct)
-		if di != dj {
-			return di > dj
-		}
-		return rows[i].proc < rows[j].proc
-	})
+	// The ranking itself lives in internal/analysis so the fleet top-delta
+	// query (dcpicollect) and this tool agree on what "changed most" means.
+	rows := analysis.ShareDeltasTotals(before, after, beforeTotal, afterTotal)
 
 	fmt.Printf("Profile comparison: %s (%d samples) vs %s (%d samples)\n\n",
 		flag.Arg(0), beforeTotal, flag.Arg(1), afterTotal)
@@ -80,13 +55,6 @@ func main() {
 		if *n > 0 && i >= *n {
 			break
 		}
-		fmt.Printf("%7.2f%% %7.2f%% %+7.2f%%  %s\n", r.beforePct, r.afterPct, r.afterPct-r.beforePct, r.proc)
+		fmt.Printf("%7.2f%% %7.2f%% %+7.2f%%  %s\n", r.BeforePct, r.AfterPct, r.Delta(), r.Name)
 	}
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

@@ -1,0 +1,185 @@
+package dcpibench
+
+import (
+	"bufio"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestFleetCLI exercises the fleet pipeline end to end the way an
+// operator would: dcpid serving its database over -listen, dcpicollect
+// scraping it into a time-series store, the query CLI reading it back,
+// and SIGINT shutting both binaries down gracefully.
+func TestFleetCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet CLI pipeline is slow")
+	}
+	bin := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	dcpid := build("dcpid")
+	dcpicollect := build("dcpicollect")
+
+	// dcpid: three sealed epochs, exposition on an ephemeral port, keeps
+	// serving after the runs until interrupted.
+	dbDir := filepath.Join(bin, "db")
+	daemon := exec.Command(dcpid,
+		"-workload", "wave5", "-mode", "default", "-db", dbDir,
+		"-scale", "0.15", "-period", "2048", "-seed", "1",
+		"-epochs", "3", "-exact", "-machine", "m00", "-listen", "127.0.0.1:0")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stdout = nil
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	daemonDone := make(chan error, 1)
+
+	// The serving address is announced on stderr.
+	sc := bufio.NewScanner(stderr)
+	var baseURL string
+	lines := make(chan string, 64)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(30 * time.Second)
+	var daemonStderr []string
+waitURL:
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("dcpid exited before announcing address:\n%s", strings.Join(daemonStderr, "\n"))
+			}
+			daemonStderr = append(daemonStderr, line)
+			if rest, found := strings.CutPrefix(line, "dcpid: serving on "); found {
+				baseURL = rest
+				break waitURL
+			}
+		case <-deadline:
+			daemon.Process.Kill()
+			t.Fatalf("dcpid never announced its address:\n%s", strings.Join(daemonStderr, "\n"))
+		}
+	}
+	go func() {
+		for line := range lines {
+			daemonStderr = append(daemonStderr, line)
+		}
+		daemonDone <- daemon.Wait()
+	}()
+
+	// Wait for all three epochs to be sealed and visible over HTTP.
+	waitSealed := func() {
+		for start := time.Now(); time.Since(start) < 60*time.Second; time.Sleep(100 * time.Millisecond) {
+			resp, err := http.Get(baseURL + "/epochs")
+			if err != nil {
+				continue
+			}
+			body := make([]byte, 1<<16)
+			n, _ := resp.Body.Read(body)
+			resp.Body.Close()
+			if strings.Count(string(body[:n]), `"sealed": true`) >= 3 {
+				return
+			}
+		}
+		daemon.Process.Kill()
+		t.Fatal("dcpid never sealed 3 epochs")
+	}
+	waitSealed()
+
+	// Scrape once into a store, then query it back.
+	run := func(prog string, args ...string) string {
+		cmd := exec.Command(prog, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(prog), args, err, out)
+		}
+		return string(out)
+	}
+	storeDir := filepath.Join(bin, "fleetdb")
+	out := run(dcpicollect, "-targets", "m00="+baseURL, "-tsdb", storeDir, "-once")
+	if !strings.Contains(out, "3 epochs") {
+		t.Fatalf("scrape output: %s", out)
+	}
+	out = run(dcpicollect, "query", "range", "-tsdb", storeDir,
+		"-image", "/usr/bin/wave5", "-last", "3")
+	if !strings.Contains(out, "epochs 1-3") || strings.Count(out, "\n") < 5 {
+		t.Fatalf("range query output: %s", out)
+	}
+	// -exact runs store instruction counts, so CPI must be real (not "-").
+	for _, line := range strings.Split(out, "\n")[2:] {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.Contains(line, " - ") {
+			t.Fatalf("range row missing CPI: %q", line)
+		}
+	}
+	out = run(dcpicollect, "query", "top", "-tsdb", storeDir, "-from", "1", "-to", "3")
+	if !strings.Contains(out, "/usr/bin/wave5") {
+		t.Fatalf("top query output: %s", out)
+	}
+
+	// SIGINT: dcpid must shut down cleanly with exit status 0.
+	if err := daemon.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-daemonDone:
+		if err != nil {
+			t.Fatalf("dcpid exit after SIGINT: %v\n%s", err, strings.Join(daemonStderr, "\n"))
+		}
+	case <-time.After(30 * time.Second):
+		daemon.Process.Kill()
+		t.Fatalf("dcpid did not exit on SIGINT:\n%s", strings.Join(daemonStderr, "\n"))
+	}
+	if !strings.Contains(strings.Join(daemonStderr, "\n"), "shutdown complete") {
+		t.Errorf("dcpid stderr missing shutdown message:\n%s", strings.Join(daemonStderr, "\n"))
+	}
+
+	// dcpicollect's scrape loop must also die cleanly on SIGINT.
+	loop := exec.Command(dcpicollect, "-targets", "m00=http://127.0.0.1:1",
+		"-tsdb", filepath.Join(bin, "loopdb"), "-interval", "100ms",
+		"-retries", "0", "-timeout", "200ms")
+	var loopErr strings.Builder
+	loop.Stderr = &loopErr
+	if err := loop.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	if err := loop.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	loopDone := make(chan error, 1)
+	go func() { loopDone <- loop.Wait() }()
+	select {
+	case err := <-loopDone:
+		if err != nil {
+			t.Fatalf("dcpicollect exit after SIGINT: %v\n%s", err, loopErr.String())
+		}
+	case <-time.After(15 * time.Second):
+		loop.Process.Kill()
+		t.Fatalf("dcpicollect did not exit on SIGINT:\n%s", loopErr.String())
+	}
+	if !strings.Contains(loopErr.String(), "shutdown complete") {
+		t.Errorf("dcpicollect stderr missing shutdown message:\n%s", loopErr.String())
+	}
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import "sort"
+
+// DeltaRow is one line of a share-delta comparison between two sample
+// populations: the thing dcpidiff prints for a pair of databases and the
+// fleet top-delta query computes between two time windows. Shares are
+// percentages of each side's own total, so populations of different sizes
+// compare on shape rather than magnitude.
+type DeltaRow struct {
+	Name      string
+	BeforePct float64
+	AfterPct  float64
+}
+
+// Delta returns the signed share change in percentage points.
+func (r DeltaRow) Delta() float64 { return r.AfterPct - r.BeforePct }
+
+// ShareDeltas compares two name→samples maps and returns one row per name
+// appearing on either side, sorted by the magnitude of the share change
+// (ties broken by name, so the order is deterministic). Shares are
+// normalized by each map's own sum; use ShareDeltasTotals when the true
+// population totals are larger than the maps cover (unclassified samples).
+func ShareDeltas(before, after map[string]uint64) []DeltaRow {
+	var beforeTotal, afterTotal uint64
+	for _, n := range before {
+		beforeTotal += n
+	}
+	for _, n := range after {
+		afterTotal += n
+	}
+	return ShareDeltasTotals(before, after, beforeTotal, afterTotal)
+}
+
+// ShareDeltasTotals is ShareDeltas with caller-supplied denominators. A
+// zero total contributes 0% shares rather than dividing by zero.
+func ShareDeltasTotals(before, after map[string]uint64, beforeTotal, afterTotal uint64) []DeltaRow {
+	names := map[string]bool{}
+	for n := range before {
+		names[n] = true
+	}
+	for n := range after {
+		names[n] = true
+	}
+	pct := func(n, total uint64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	rows := make([]DeltaRow, 0, len(names))
+	for n := range names {
+		rows = append(rows, DeltaRow{
+			Name:      n,
+			BeforePct: pct(before[n], beforeTotal),
+			AfterPct:  pct(after[n], afterTotal),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := abs(rows[i].Delta()), abs(rows[j].Delta())
+		if di != dj {
+			return di > dj
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

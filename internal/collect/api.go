@@ -1,0 +1,244 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dcpi/internal/analysis"
+	"dcpi/internal/obs"
+	"dcpi/internal/sim"
+	"dcpi/internal/tsdb"
+)
+
+// APIHandler serves the collector's query surface over db:
+//
+//	/query/range?image=PATH[&event=cycles][&from=A&to=B | &last=K]
+//	/query/top[?event=cycles][&from=A&to=B][&n=N]
+//	/query/delta?a=F-T&b=F-T[&event=cycles][&n=N]
+//	/targets            per-target scrape status (when a collector is attached)
+//	/metrics            the collector's own obs registry, flat text
+//
+// Epoch windows are inclusive; last=K means the K newest epochs fleet-wide.
+func APIHandler(db *tsdb.DB, c *Collector, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query/range", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		image := q.Get("image")
+		if image == "" {
+			http.Error(w, "missing image parameter", http.StatusBadRequest)
+			return
+		}
+		ev, from, to, err := parseCommon(q.Get("event"), q.Get("from"), q.Get("to"), q.Get("last"), db)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, RangeResponse{
+			Image: image, Event: ev.String(), FromEpoch: from, ToEpoch: to,
+			Rows: tsdb.RangeQuery(db, image, ev, from, to),
+		})
+	})
+	mux.HandleFunc("/query/top", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		ev, from, to, err := parseCommon(q.Get("event"), q.Get("from"), q.Get("to"), q.Get("last"), db)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n, err := parseN(q.Get("n"), 10)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, TopResponse{
+			Event: ev.String(), FromEpoch: from, ToEpoch: to,
+			Rows: tsdb.TopImages(db, ev, from, to, n),
+		})
+	})
+	mux.HandleFunc("/query/delta", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		ev, err := parseEvent(q.Get("event"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		aFrom, aTo, err := ParseWindow(q.Get("a"))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("window a: %v", err), http.StatusBadRequest)
+			return
+		}
+		bFrom, bTo, err := ParseWindow(q.Get("b"))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("window b: %v", err), http.StatusBadRequest)
+			return
+		}
+		n, err := parseN(q.Get("n"), 10)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, DeltaResponse{
+			Event: ev.String(), AFrom: aFrom, ATo: aTo, BFrom: bFrom, BTo: bTo,
+			Rows: ToDeltaRows(tsdb.TopDeltas(db, ev, aFrom, aTo, bFrom, bTo, n)),
+		})
+	})
+	mux.HandleFunc("/targets", func(w http.ResponseWriter, r *http.Request) {
+		if c == nil {
+			http.Error(w, "no collector attached", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, c.Statuses())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteFlat(w)
+	})
+	return mux
+}
+
+// RangeResponse is the /query/range reply.
+type RangeResponse struct {
+	Image     string          `json:"image"`
+	Event     string          `json:"event"`
+	FromEpoch uint64          `json:"from_epoch"`
+	ToEpoch   uint64          `json:"to_epoch"`
+	Rows      []tsdb.RangeRow `json:"rows"`
+}
+
+// TopResponse is the /query/top reply.
+type TopResponse struct {
+	Event     string        `json:"event"`
+	FromEpoch uint64        `json:"from_epoch"`
+	ToEpoch   uint64        `json:"to_epoch"`
+	Rows      []tsdb.TopRow `json:"rows"`
+}
+
+// DeltaRow mirrors analysis.DeltaRow with JSON tags and the computed
+// delta, so API consumers need no arithmetic.
+type DeltaRow struct {
+	Image     string  `json:"image"`
+	BeforePct float64 `json:"before_pct"`
+	AfterPct  float64 `json:"after_pct"`
+	DeltaPct  float64 `json:"delta_pct"`
+}
+
+// ToDeltaRows converts analysis share-delta rows to the API's JSON form.
+func ToDeltaRows(rows []analysis.DeltaRow) []DeltaRow {
+	out := make([]DeltaRow, len(rows))
+	for i, r := range rows {
+		out[i] = DeltaRow{Image: r.Name, BeforePct: r.BeforePct, AfterPct: r.AfterPct, DeltaPct: r.Delta()}
+	}
+	return out
+}
+
+// DeltaResponse is the /query/delta reply.
+type DeltaResponse struct {
+	Event string     `json:"event"`
+	AFrom uint64     `json:"a_from"`
+	ATo   uint64     `json:"a_to"`
+	BFrom uint64     `json:"b_from"`
+	BTo   uint64     `json:"b_to"`
+	Rows  []DeltaRow `json:"rows"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func parseEvent(s string) (sim.Event, error) {
+	if s == "" {
+		return sim.EvCycles, nil
+	}
+	return sim.ParseEvent(s)
+}
+
+func parseN(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad n %q", s)
+	}
+	return n, nil
+}
+
+func parseEpoch(s string, def uint64) (uint64, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad epoch %q", s)
+	}
+	return n, nil
+}
+
+// parseCommon resolves the (event, from, to) triple shared by range and
+// top queries. last=K wins over from/to, selecting the K newest epochs
+// present anywhere in the store.
+func parseCommon(evS, fromS, toS, lastS string, db *tsdb.DB) (sim.Event, uint64, uint64, error) {
+	ev, err := parseEvent(evS)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if lastS != "" {
+		k, err := strconv.ParseUint(lastS, 10, 64)
+		if err != nil || k == 0 {
+			return 0, 0, 0, fmt.Errorf("bad last %q", lastS)
+		}
+		from, to := LastWindow(db, k)
+		return ev, from, to, nil
+	}
+	from, err := parseEpoch(fromS, 0)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	to, err := parseEpoch(toS, 0)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return ev, from, to, nil
+}
+
+// LastWindow resolves last=K to the inclusive window covering the K
+// newest epochs present anywhere in the store.
+func LastWindow(db *tsdb.DB, k uint64) (from, to uint64) {
+	max := db.FleetMaxEpoch()
+	from = 1
+	if max > k {
+		from = max - k + 1
+	}
+	return from, max
+}
+
+// ParseWindow parses an inclusive epoch window "F-T" (e.g. "1-100").
+func ParseWindow(s string) (uint64, uint64, error) {
+	a, b, ok := strings.Cut(s, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("want FROM-TO, got %q", s)
+	}
+	from, err := strconv.ParseUint(a, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad from %q", a)
+	}
+	to, err := strconv.ParseUint(b, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad to %q", b)
+	}
+	if from == 0 || to < from {
+		return 0, 0, fmt.Errorf("bad window %q", s)
+	}
+	return from, to, nil
+}

@@ -1,0 +1,79 @@
+package collect
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dcpi/internal/expo"
+	"dcpi/internal/profiledb"
+	"dcpi/internal/sim"
+	"dcpi/internal/tsdb"
+)
+
+// BenchmarkScrapeIngest measures one full scrape: fetch a target's epoch
+// list, pull every sealed epoch's profile payload over HTTP, and append
+// each as a store segment. Per op: 8 epochs x 8 images from one target.
+func BenchmarkScrapeIngest(b *testing.B) {
+	const epochs, images = 8, 8
+	dir := b.TempDir()
+	db, err := profiledb.Open(filepath.Join(dir, "machine"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for e := 1; e <= epochs; e++ {
+		for i := 0; i < images; i++ {
+			p := profiledb.NewProfile(filepath.Join("/usr/bin", "app")+string(rune('a'+i)), sim.EvCycles)
+			for off := uint64(0); off < 64; off += 4 {
+				p.Add(off, uint64(e+i)+off)
+			}
+			if err := db.Update(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.WriteMeta(profiledb.Meta{Workload: "bench", CyclesPeriod: 62000, WallCycles: int64(e) << 20}); err != nil {
+			b.Fatal(err)
+		}
+		if e < epochs {
+			if err := db.NewEpoch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	srv := httptest.NewServer(expo.Handler(&expo.Source{
+		Machine: "m00", Workload: "bench", DBDir: filepath.Join(dir, "machine"),
+	}))
+	defer srv.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		storeDir, err := os.MkdirTemp(dir, "store")
+		if err != nil {
+			b.Fatal(err)
+		}
+		store, err := tsdb.Open(storeDir, tsdb.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := New(Config{
+			Targets: []Target{{Name: "m00", URL: srv.URL}},
+			Timeout: 10 * time.Second,
+			Backoff: time.Millisecond,
+			DB:      store,
+		})
+		b.StartTimer()
+		sum := c.ScrapeOnce(context.Background())
+		if sum.Failed != 0 || sum.EpochsIngested != epochs {
+			b.Fatalf("scrape: %+v", sum)
+		}
+		b.StopTimer()
+		os.RemoveAll(storeDir)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(epochs), "epochs/op")
+	b.ReportMetric(float64(epochs*images), "points/op")
+}

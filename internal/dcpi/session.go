@@ -317,6 +317,7 @@ func Run(cfg Config) (*Result, error) {
 				WallCycles:   wall,
 				Seed:         cfg.Seed,
 				Scale:        cfg.Scale,
+				ImageInsts:   res.ExactImageInsts(),
 			}); err != nil {
 				return nil, err
 			}
@@ -385,6 +386,33 @@ func (r *Result) Profile(imagePath string, ev sim.Event) *profiledb.Profile {
 
 // Model returns the machine model the run used (shared with the analysis).
 func (r *Result) Model() pipeline.Model { return r.Machine.Model }
+
+// ExactImageInsts sums the exact execution counts per image path (nil
+// unless the run collected exact counts). Written into the epoch metadata
+// so fleet-level queries can turn attributed cycles into a true CPI.
+func (r *Result) ExactImageInsts() map[string]uint64 {
+	if r.Exact == nil || r.Loader == nil || len(r.Exact.Exec) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(r.Exact.Exec))
+	for id, exec := range r.Exact.Exec {
+		im, ok := r.Loader.Image(id)
+		if !ok {
+			continue
+		}
+		var n uint64
+		for _, c := range exec {
+			n += c
+		}
+		if n > 0 {
+			out[im.Path] += n
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
 
 // AvgCyclesPeriod returns the mean sampling period of the run.
 func (r *Result) AvgCyclesPeriod() float64 {

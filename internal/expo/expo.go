@@ -1,0 +1,252 @@
+// Package expo is dcpid's HTTP exposition surface: it serves a machine's
+// profile database, live collection-stack statistics, and self-metrics
+// over stdlib net/http so a dcpicollect scraper (or a curious human with
+// curl) can pull them. This is the paper's fleet story made concrete —
+// every machine runs the profiler continuously, and the profiles leave the
+// machine through a cheap pull endpoint rather than an operator's shell.
+//
+// Endpoints:
+//
+//	/epochs           JSON list of profiledb epochs and their seal state
+//	/profiles?epoch=N JSON payload of one epoch's profiles (default: latest
+//	                  sealed; ?full=1 adds per-offset counts)
+//	/stats            driver/daemon/loss counters as JSON
+//	/metrics          the obs registry as flat "name value" text
+//	                  (?format=json for the full snapshot)
+//	/debug/pprof/     Go's own profiler, so the profiler profiles itself
+//
+// All reads go through profiledb.OpenReader, which never mutates the
+// database directory — the daemon can keep appending while scrapes are in
+// flight (see the profiledb read-while-write contract).
+package expo
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+
+	"dcpi/internal/daemon"
+	"dcpi/internal/driver"
+	"dcpi/internal/obs"
+	"dcpi/internal/profiledb"
+	"dcpi/internal/sim"
+)
+
+// StatsSnapshot is the live view served on /stats. dcpid refreshes it at
+// epoch boundaries (and once more at shutdown) through an atomic pointer,
+// so the handler never races the simulation loop.
+type StatsSnapshot struct {
+	Machine      string       `json:"machine"`
+	Workload     string       `json:"workload"`
+	Epoch        int          `json:"epoch"`
+	EpochsDone   int          `json:"epochs_done"`
+	Running      bool         `json:"running"`
+	WallCycles   int64        `json:"wall_cycles"`
+	Driver       driver.Stats `json:"driver"`
+	Daemon       daemon.Stats `json:"daemon"`
+	LossRate     float64      `json:"loss_rate"`
+	SamplesTotal uint64       `json:"samples_total"`
+}
+
+// Source is what one exposed machine provides to the handler.
+type Source struct {
+	Machine  string // fleet label, e.g. "m07"
+	Workload string
+	DBDir    string                // read per-request via profiledb.OpenReader
+	Stats    func() StatsSnapshot  // nil: /stats serves 404
+	Registry *obs.Registry         // nil: /metrics serves an empty body
+	Hook     func(r *http.Request) // optional per-request tap (fault injection in tests)
+}
+
+// EpochInfo is one entry of the /epochs listing.
+type EpochInfo struct {
+	Epoch  int  `json:"epoch"`
+	Sealed bool `json:"sealed"`
+}
+
+// EpochsPayload is the /epochs response.
+type EpochsPayload struct {
+	Machine  string      `json:"machine"`
+	Workload string      `json:"workload"`
+	Epochs   []EpochInfo `json:"epochs"`
+}
+
+// ProfileRecord is one (image, event) profile in a /profiles payload.
+type ProfileRecord struct {
+	Image   string `json:"image"`
+	Event   string `json:"event"`
+	Samples uint64 `json:"samples"`
+	// Insts is the image's exact executed-instruction count from the epoch
+	// metadata (0 when the run did not collect exact counts).
+	Insts uint64 `json:"insts,omitempty"`
+	// Offsets holds the raw (offset, count) pairs when ?full=1.
+	Offsets [][2]uint64 `json:"offsets,omitempty"`
+}
+
+// ProfilesPayload is the /profiles response: one epoch-stamped snapshot of
+// a machine's profile database.
+type ProfilesPayload struct {
+	Machine  string          `json:"machine"`
+	Workload string          `json:"workload"`
+	Epoch    int             `json:"epoch"`
+	Sealed   bool            `json:"sealed"`
+	Meta     *profiledb.Meta `json:"meta,omitempty"`
+	Profiles []ProfileRecord `json:"profiles"`
+}
+
+// Handler builds the exposition mux for one source.
+func Handler(src *Source) http.Handler {
+	mux := http.NewServeMux()
+	wrap := func(h http.HandlerFunc) http.HandlerFunc {
+		if src.Hook == nil {
+			return h
+		}
+		return func(w http.ResponseWriter, r *http.Request) {
+			src.Hook(r)
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("/epochs", wrap(src.serveEpochs))
+	mux.HandleFunc("/profiles", wrap(src.serveProfiles))
+	mux.HandleFunc("/stats", wrap(src.serveStats))
+	mux.HandleFunc("/metrics", wrap(src.serveMetrics))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (src *Source) openReader(w http.ResponseWriter) *profiledb.DB {
+	db, err := profiledb.OpenReader(src.DBDir)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("profile database not ready: %v", err), http.StatusServiceUnavailable)
+		return nil
+	}
+	return db
+}
+
+func (src *Source) serveEpochs(w http.ResponseWriter, r *http.Request) {
+	db, err := profiledb.OpenReader(src.DBDir)
+	payload := EpochsPayload{Machine: src.Machine, Workload: src.Workload, Epochs: []EpochInfo{}}
+	if err == nil {
+		epochs, lerr := db.Epochs()
+		if lerr != nil {
+			http.Error(w, lerr.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, e := range epochs {
+			payload.Epochs = append(payload.Epochs, EpochInfo{Epoch: e, Sealed: db.Sealed(e)})
+		}
+	}
+	writeJSON(w, payload)
+}
+
+func (src *Source) serveProfiles(w http.ResponseWriter, r *http.Request) {
+	db := src.openReader(w)
+	if db == nil {
+		return
+	}
+	epoch := 0
+	if s := r.URL.Query().Get("epoch"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad epoch", http.StatusBadRequest)
+			return
+		}
+		epoch = n
+	} else {
+		// Default to the latest sealed epoch: the newest snapshot whose
+		// contents can no longer change under the reader.
+		epochs, err := db.Epochs()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, e := range epochs {
+			if db.Sealed(e) {
+				epoch = e
+			}
+		}
+		if epoch == 0 {
+			http.Error(w, "no sealed epoch yet", http.StatusServiceUnavailable)
+			return
+		}
+	}
+
+	profiles, err := db.ProfilesAt(epoch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	meta, hasMeta, err := db.MetaAt(epoch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	payload := ProfilesPayload{
+		Machine:  src.Machine,
+		Workload: src.Workload,
+		Epoch:    epoch,
+		Sealed:   hasMeta,
+		Profiles: []ProfileRecord{},
+	}
+	if hasMeta {
+		payload.Meta = &meta
+	}
+	full := r.URL.Query().Get("full") == "1"
+	for _, p := range profiles {
+		rec := ProfileRecord{
+			Image:   p.ImagePath,
+			Event:   p.Event.String(),
+			Samples: p.Total(),
+		}
+		if hasMeta {
+			rec.Insts = meta.ImageInsts[p.ImagePath]
+		}
+		if full {
+			offs := make([]uint64, 0, len(p.Counts))
+			for off := range p.Counts {
+				offs = append(offs, off)
+			}
+			sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+			for _, off := range offs {
+				rec.Offsets = append(rec.Offsets, [2]uint64{off, p.Counts[off]})
+			}
+		}
+		payload.Profiles = append(payload.Profiles, rec)
+	}
+	writeJSON(w, payload)
+}
+
+func (src *Source) serveStats(w http.ResponseWriter, r *http.Request) {
+	if src.Stats == nil {
+		http.Error(w, "no live stats", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, src.Stats())
+}
+
+func (src *Source) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		src.Registry.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	src.Registry.WriteFlat(w)
+}
+
+// ParseEventName converts a /profiles record event back to a sim.Event.
+func ParseEventName(s string) (sim.Event, error) { return sim.ParseEvent(s) }

@@ -1,0 +1,196 @@
+package expo
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dcpi/internal/obs"
+	"dcpi/internal/profiledb"
+	"dcpi/internal/sim"
+)
+
+// buildDB writes two sealed epochs and one unsealed (in-progress) epoch.
+func buildDB(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := profiledb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= 2; e++ {
+		p := profiledb.NewProfile("/usr/bin/app", sim.EvCycles)
+		p.Add(0x40, uint64(100*e))
+		p.Add(0x44, uint64(e))
+		if err := db.Update(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.WriteMeta(profiledb.Meta{
+			Workload:     "app",
+			Mode:         "cycles",
+			CyclesPeriod: 62000,
+			WallCycles:   int64(1000000 * e),
+			ImageInsts:   map[string]uint64{"/usr/bin/app": uint64(5000 * e)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.NewEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epoch 3 exists but is unsealed: profiles, no meta.
+	p := profiledb.NewProfile("/usr/bin/app", sim.EvCycles)
+	p.Add(0x40, 7)
+	if err := db.Update(p); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestExpositionEndpoints(t *testing.T) {
+	dir := buildDB(t)
+	reg := obs.NewRegistry()
+	reg.Counter("test.scrapes").Add(3)
+	src := &Source{
+		Machine:  "m00",
+		Workload: "app",
+		DBDir:    dir,
+		Registry: reg,
+		Stats: func() StatsSnapshot {
+			return StatsSnapshot{Machine: "m00", Workload: "app", Epoch: 3, Running: true}
+		},
+	}
+	srv := httptest.NewServer(Handler(src))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		return resp, sb.String()
+	}
+
+	// /epochs: three epochs, first two sealed.
+	resp, body := get("/epochs")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/epochs: %d %s", resp.StatusCode, body)
+	}
+	var ep EpochsPayload
+	if err := json.Unmarshal([]byte(body), &ep); err != nil {
+		t.Fatal(err)
+	}
+	if len(ep.Epochs) != 3 || !ep.Epochs[0].Sealed || !ep.Epochs[1].Sealed || ep.Epochs[2].Sealed {
+		t.Errorf("/epochs: %+v", ep.Epochs)
+	}
+
+	// /profiles default: latest sealed epoch (2), with meta and insts.
+	resp, body = get("/profiles")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/profiles: %d %s", resp.StatusCode, body)
+	}
+	var pp ProfilesPayload
+	if err := json.Unmarshal([]byte(body), &pp); err != nil {
+		t.Fatal(err)
+	}
+	if pp.Epoch != 2 || !pp.Sealed || pp.Machine != "m00" {
+		t.Errorf("/profiles header: %+v", pp)
+	}
+	if len(pp.Profiles) != 1 || pp.Profiles[0].Samples != 202 || pp.Profiles[0].Insts != 10000 {
+		t.Errorf("/profiles records: %+v", pp.Profiles)
+	}
+	if pp.Meta == nil || pp.Meta.CyclesPeriod != 62000 {
+		t.Errorf("/profiles meta: %+v", pp.Meta)
+	}
+	if pp.Profiles[0].Offsets != nil {
+		t.Error("offsets included without ?full=1")
+	}
+
+	// Explicit epoch + full offsets.
+	_, body = get("/profiles?epoch=1&full=1")
+	if err := json.Unmarshal([]byte(body), &pp); err != nil {
+		t.Fatal(err)
+	}
+	if pp.Epoch != 1 || len(pp.Profiles) != 1 {
+		t.Fatalf("/profiles?epoch=1: %+v", pp)
+	}
+	wantOffs := [][2]uint64{{0x40, 100}, {0x44, 1}}
+	if len(pp.Profiles[0].Offsets) != 2 || pp.Profiles[0].Offsets[0] != wantOffs[0] || pp.Profiles[0].Offsets[1] != wantOffs[1] {
+		t.Errorf("full offsets: %+v", pp.Profiles[0].Offsets)
+	}
+
+	// Unsealed epoch is readable when asked for explicitly, marked so.
+	_, body = get("/profiles?epoch=3")
+	if err := json.Unmarshal([]byte(body), &pp); err != nil {
+		t.Fatal(err)
+	}
+	if pp.Sealed || pp.Profiles[0].Samples != 7 {
+		t.Errorf("unsealed epoch payload: %+v", pp)
+	}
+
+	// /stats round-trips the snapshot.
+	_, body = get("/stats")
+	var st StatsSnapshot
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Machine != "m00" || !st.Running {
+		t.Errorf("/stats: %+v", st)
+	}
+
+	// /metrics flat text includes the counter; JSON form parses.
+	_, body = get("/metrics")
+	if !strings.Contains(body, "test.scrapes 3") {
+		t.Errorf("/metrics flat: %q", body)
+	}
+	resp, body = get("/metrics?format=json")
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics json: %v (%q)", err, body)
+	}
+	if snap.Counters["test.scrapes"] != 3 {
+		t.Errorf("/metrics json counters: %+v", snap.Counters)
+	}
+
+	// /debug/pprof index answers.
+	resp, _ = get("/debug/pprof/")
+	if resp.StatusCode != 200 {
+		t.Errorf("/debug/pprof/: %d", resp.StatusCode)
+	}
+}
+
+func TestExpositionEmptyDB(t *testing.T) {
+	src := &Source{Machine: "m00", DBDir: t.TempDir() + "/nonexistent"}
+	srv := httptest.NewServer(Handler(src))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/profiles on missing db: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/epochs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ep EpochsPayload
+	json.NewDecoder(resp.Body).Decode(&ep)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(ep.Epochs) != 0 {
+		t.Errorf("/epochs on missing db: %d %+v", resp.StatusCode, ep)
+	}
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteFlat renders the registry as sorted "name value" text lines, one
+// metric per line — the exposition format served on /metrics by dcpid and
+// dcpicollect. Counters and gauges emit a single line; histograms emit
+// their count, sum, mean, and quantile summaries under dotted suffixes.
+// The output is deterministic (sorted by name), so it diffs cleanly
+// between scrapes.
+func (r *Registry) WriteFlat(w io.Writer) error {
+	s := r.Snapshot()
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+6*len(s.Histograms))
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s.count %d", name, h.Count),
+			fmt.Sprintf("%s.sum %g", name, h.Sum),
+			fmt.Sprintf("%s.mean %g", name, h.Mean),
+			fmt.Sprintf("%s.p50 %g", name, h.P50),
+			fmt.Sprintf("%s.p90 %g", name, h.P90),
+			fmt.Sprintf("%s.p99 %g", name, h.P99),
+		)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -18,12 +18,22 @@ type Meta struct {
 	WallCycles   int64   `json:"wall_cycles"`
 	Seed         uint64  `json:"seed"`
 	Scale        float64 `json:"scale"`
+	// ImageInsts maps image path to instructions executed in that image
+	// during the epoch, when the run collected exact counts (dcpix).
+	// Fleet-level CPI queries divide attributed cycles by these; the field
+	// is omitted (and CPI unavailable) for sampling-only runs.
+	ImageInsts map[string]uint64 `json:"image_insts,omitempty"`
 }
 
 const metaFile = "epoch.meta"
 
-// WriteMeta stores collection metadata in the current epoch.
+// WriteMeta stores collection metadata in the current epoch. Because it is
+// written once, atomically, after the epoch's final merge, the metadata
+// file doubles as the epoch's seal (see Sealed).
 func (db *DB) WriteMeta(m Meta) error {
+	if db.readOnly {
+		return errReadOnly
+	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -37,7 +47,13 @@ func (db *DB) WriteMeta(m Meta) error {
 // Meta reads the current epoch's collection metadata; ok is false when the
 // epoch has none.
 func (db *DB) Meta() (Meta, bool, error) {
-	data, err := os.ReadFile(filepath.Join(db.epochDir(db.epoch), metaFile))
+	return db.MetaAt(db.epoch)
+}
+
+// MetaAt reads the given epoch's collection metadata; ok is false when the
+// epoch has none (it is unsealed or was collected without a daemon).
+func (db *DB) MetaAt(epoch int) (Meta, bool, error) {
+	data, err := os.ReadFile(filepath.Join(db.epochDir(epoch), metaFile))
 	if errors.Is(err, os.ErrNotExist) {
 		return Meta{}, false, nil
 	}

@@ -163,30 +163,28 @@ func writeByteN(w *bufio.Writer, b []byte) error {
 type DB struct {
 	root        string
 	epoch       int
+	readOnly    bool
 	quarantined int // files quarantined by recovery passes over this DB's lifetime
 }
 
-// Open opens (or creates) a database, resuming the latest epoch. It runs a
-// recovery pass over that epoch, so a database left behind by a crashed
-// writer opens with its intact profiles loadable and any torn file
-// quarantined rather than failing every subsequent read.
+// Open opens (or creates) a database for writing, resuming the latest
+// epoch. It runs a recovery pass over that epoch, so a database left
+// behind by a crashed writer opens with its intact profiles loadable and
+// any torn file quarantined rather than failing every subsequent read.
+//
+// Open assumes it is the only writer: its recovery pass deletes .tmp files
+// and renames undecodable profiles, which would sabotage a live daemon
+// mid-write. Concurrent readers (the HTTP exposition endpoint, dcpicollect
+// scrapes, offline tools pointed at a live database) must use OpenReader,
+// which never mutates the directory.
 func Open(root string) (*DB, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, err
 	}
 	db := &DB{root: root}
-	entries, err := os.ReadDir(root)
+	latest, err := db.latestEpoch()
 	if err != nil {
 		return nil, err
-	}
-	latest := 0
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
-		}
-		if n, ok := parseEpochName(e.Name()); ok && n > latest {
-			latest = n
-		}
 	}
 	if latest == 0 {
 		latest = 1
@@ -199,6 +197,78 @@ func Open(root string) (*DB, error) {
 		return nil, err
 	}
 	return db, nil
+}
+
+// OpenReader opens an existing database read-only, positioned at the
+// latest epoch. It performs no recovery and no directory creation, so it
+// is safe to call on a directory a live daemon is appending to: individual
+// profile files are replaced atomically (temp+fsync+rename), so every read
+// observes either the previous or the new complete content, and the
+// daemon's in-flight .tmp files are left alone. Mutating methods (Update,
+// NewEpoch, WriteMeta, Recover) fail on a reader handle.
+func OpenReader(root string) (*DB, error) {
+	db := &DB{root: root, readOnly: true}
+	latest, err := db.latestEpoch()
+	if err != nil {
+		return nil, err
+	}
+	if latest == 0 {
+		return nil, fmt.Errorf("profiledb: %s has no epochs", root)
+	}
+	db.epoch = latest
+	return db, nil
+}
+
+// errReadOnly is returned by mutating methods on an OpenReader handle.
+var errReadOnly = errors.New("profiledb: database opened read-only")
+
+// latestEpoch scans root for the highest epoch directory (0 if none).
+func (db *DB) latestEpoch() (int, error) {
+	entries, err := os.ReadDir(db.root)
+	if err != nil {
+		return 0, err
+	}
+	latest := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if n, ok := parseEpochName(e.Name()); ok && n > latest {
+			latest = n
+		}
+	}
+	return latest, nil
+}
+
+// Epochs lists every epoch present in the database, ascending. On a
+// database with a live writer the last entry may still be growing; a
+// sealed epoch (see Sealed) is immutable.
+func (db *DB) Epochs() ([]int, error) {
+	entries, err := os.ReadDir(db.root)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if n, ok := parseEpochName(e.Name()); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Sealed reports whether an epoch has been sealed: its collection metadata
+// is on disk. The daemon writes epoch.meta last — after the final flush
+// and merge — so a sealed epoch's profiles never change again. Scrapers
+// use this to ingest each epoch exactly once, without ever observing a
+// half-written one.
+func (db *DB) Sealed(epoch int) bool {
+	_, err := os.Stat(filepath.Join(db.epochDir(epoch), metaFile))
+	return err == nil
 }
 
 // parseEpochName parses an epoch directory name strictly: "epoch-" followed
@@ -233,6 +303,9 @@ func (db *DB) epochDir(epoch int) string {
 
 // NewEpoch starts a fresh epoch; subsequent updates land there.
 func (db *DB) NewEpoch() error {
+	if db.readOnly {
+		return errReadOnly
+	}
 	db.epoch++
 	return os.MkdirAll(db.epochDir(db.epoch), 0o755)
 }
@@ -252,6 +325,9 @@ func (db *DB) Path(imagePath string, ev sim.Event) string {
 // Update merges p into the on-disk profile for its (image, event) in the
 // current epoch.
 func (db *DB) Update(p *Profile) error {
+	if db.readOnly {
+		return errReadOnly
+	}
 	path := db.Path(p.ImagePath, p.Event)
 	merged := p
 	if f, err := os.Open(path); err == nil {
@@ -295,6 +371,9 @@ func (r RecoveryReport) Clean() bool {
 // untouched, so a restarted daemon resumes merging into a consistent epoch.
 func (db *DB) Recover() (RecoveryReport, error) {
 	var rep RecoveryReport
+	if db.readOnly {
+		return rep, errReadOnly
+	}
 	dir := db.epochDir(db.epoch)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -366,7 +445,16 @@ func (db *DB) Load(imagePath string, ev sim.Event) (*Profile, error) {
 
 // Profiles lists every profile in the current epoch.
 func (db *DB) Profiles() ([]*Profile, error) {
-	entries, err := os.ReadDir(db.epochDir(db.epoch))
+	return db.ProfilesAt(db.epoch)
+}
+
+// ProfilesAt lists every profile in the given epoch. Reading an epoch a
+// live daemon is merging into is safe — each file is replaced atomically —
+// but the set of files (and their counts) can differ between two calls;
+// read sealed epochs for stable results.
+func (db *DB) ProfilesAt(epoch int) ([]*Profile, error) {
+	dir := db.epochDir(epoch)
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +463,12 @@ func (db *DB) Profiles() ([]*Profile, error) {
 		if !strings.HasSuffix(e.Name(), ".prof") {
 			continue
 		}
-		f, err := os.Open(filepath.Join(db.epochDir(db.epoch), e.Name()))
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if errors.Is(err, os.ErrNotExist) {
+			// Listed before an atomic replace, gone after: the file was
+			// renamed aside by a writer's recovery. Skip it.
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -393,6 +486,20 @@ func (db *DB) Profiles() ([]*Profile, error) {
 		return out[i].Event < out[j].Event
 	})
 	return out, nil
+}
+
+// LoadAt reads the profile for (imagePath, ev) from the given epoch,
+// returning an empty profile if none exists.
+func (db *DB) LoadAt(epoch int, imagePath string, ev sim.Event) (*Profile, error) {
+	f, err := os.Open(filepath.Join(db.epochDir(epoch), fileName(imagePath, ev)))
+	if errors.Is(err, os.ErrNotExist) {
+		return NewProfile(imagePath, ev), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadProfile(f)
 }
 
 // DiskUsage returns the total bytes of all profile files in all epochs

@@ -1,0 +1,68 @@
+package tsdb
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"dcpi/internal/sim"
+)
+
+// benchStore builds a store shaped like a real fleet scrape: machines x
+// epochs batches, each with several images over two event types.
+func benchStore(b *testing.B, machines, epochs, images int) *DB {
+	b.Helper()
+	db, err := Open(filepath.Join(b.TempDir(), "tsdb"), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for m := 0; m < machines; m++ {
+		for e := 1; e <= epochs; e++ {
+			batch := Batch{
+				Machine:  fmt.Sprintf("m%02d", m),
+				Workload: "bench",
+				Epoch:    uint64(e),
+				Wall:     1 << 20,
+				Period:   62000,
+			}
+			for i := 0; i < images; i++ {
+				img := fmt.Sprintf("/usr/bin/app%d", i)
+				batch.Records = append(batch.Records,
+					Record{Image: img, Event: sim.EvCycles, Samples: uint64(100 + i + e), Insts: uint64(5000 * (i + 1))},
+					Record{Image: img, Event: sim.EvIMiss, Samples: uint64(10 + i)},
+				)
+			}
+			if err := db.Append(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+// BenchmarkRangeQuery measures the fleet-wide per-image range query over
+// a 16-machine x 100-epoch store (the EXPERIMENTS.md demo shape).
+func BenchmarkRangeQuery(b *testing.B) {
+	db := benchStore(b, 16, 100, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := RangeQuery(db, "/usr/bin/app3", sim.EvCycles, 1, 100)
+		if len(rows) != 100 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+	b.ReportMetric(16*100, "points/query")
+}
+
+// BenchmarkTopDeltas measures the two-window share-delta ranking over the
+// same store.
+func BenchmarkTopDeltas(b *testing.B) {
+	db := benchStore(b, 16, 100, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := TopDeltas(db, sim.EvCycles, 1, 50, 51, 100, 10)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package tsdb
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dcpi/internal/sim"
+)
+
+// FuzzTSDBSegmentDecode feeds arbitrary bytes to the segment decoder. The
+// decoder must never panic or over-allocate on corrupt input — a damaged
+// segment has to fail cleanly so Open can quarantine it — and any input it
+// does accept must survive an encode/decode round trip.
+func FuzzTSDBSegmentDecode(f *testing.F) {
+	seed := Batch{
+		Machine:  "m07",
+		Workload: "x11perf",
+		Epoch:    42,
+		Wall:     3_456_789,
+		Period:   62000,
+		Records: []Record{
+			{Image: "/usr/bin/X", Event: sim.EvCycles, Samples: 1234, Insts: 99999},
+			{Image: "/kernel", Event: sim.EvIMiss, Samples: 7},
+			{Image: "", Event: sim.EvDTBMiss, Samples: 0, Insts: 1 << 40},
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeSegment(&buf, &seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:13])        // truncated header
+	f.Add(buf.Bytes()[:20])        // truncated payload
+	f.Add([]byte("not a segment")) // bad magic
+	flipped := append([]byte(nil), buf.Bytes()...)
+	flipped[len(flipped)-1] ^= 0xff // corrupt payload (CRC must catch it)
+	f.Add(flipped)
+	var empty bytes.Buffer
+	if err := EncodeSegment(&empty, &Batch{Machine: "m", Workload: "w"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeSegment(data)
+		if err != nil {
+			return // rejected cleanly — fine
+		}
+		var out bytes.Buffer
+		if err := EncodeSegment(&out, b); err != nil {
+			t.Fatalf("re-encoding accepted segment: %v", err)
+		}
+		q, err := DecodeSegment(out.Bytes())
+		if err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		// Records of length 0 and nil compare unequal under DeepEqual but
+		// are the same segment.
+		if len(b.Records) == 0 {
+			b.Records, q.Records = nil, nil
+		}
+		if !reflect.DeepEqual(q, b) {
+			t.Errorf("round trip changed the batch:\nfirst  %+v\nsecond %+v", b, q)
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package tsdb
+
+import (
+	"sort"
+
+	"dcpi/internal/analysis"
+	"dcpi/internal/sim"
+)
+
+// Matcher selects points. Empty string fields match anything; epochs are
+// an inclusive [From, To] range with To == 0 meaning "no upper bound".
+type Matcher struct {
+	Machine   string
+	Workload  string
+	Image     string
+	Event     sim.Event
+	AnyEvent  bool // when false, Event must match (EvCycles is the zero value)
+	FromEpoch uint64
+	ToEpoch   uint64
+}
+
+func (m Matcher) matches(p Point) bool {
+	if m.Machine != "" && p.Machine != m.Machine {
+		return false
+	}
+	if m.Workload != "" && p.Workload != m.Workload {
+		return false
+	}
+	if m.Image != "" && p.Image != m.Image {
+		return false
+	}
+	if !m.AnyEvent && p.Event != m.Event {
+		return false
+	}
+	if p.Epoch < m.FromEpoch {
+		return false
+	}
+	if m.ToEpoch != 0 && p.Epoch > m.ToEpoch {
+		return false
+	}
+	return true
+}
+
+// Select returns every matching point, ordered by (epoch, machine, image,
+// event) so results are deterministic regardless of scrape order.
+func (db *DB) Select(m Matcher) []Point {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []Point
+	for _, s := range db.segs {
+		for _, p := range s.points {
+			if m.matches(p) {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		if a.Image != b.Image {
+			return a.Image < b.Image
+		}
+		return a.Event < b.Event
+	})
+	return out
+}
+
+// FleetMaxEpoch returns the highest epoch stored for any machine.
+func (db *DB) FleetMaxEpoch() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var max uint64
+	for _, s := range db.segs {
+		for _, p := range s.points {
+			if p.Epoch > max {
+				max = p.Epoch
+			}
+		}
+	}
+	return max
+}
+
+// RangeRow is one epoch of a fleet range query for a single image: the
+// per-epoch aggregate over every machine that reported that epoch.
+type RangeRow struct {
+	Epoch    uint64  `json:"epoch"`
+	Machines int     `json:"machines"`
+	Samples  uint64  `json:"samples"`
+	Cycles   float64 `json:"cycles"`    // samples × per-point period
+	Insts    uint64  `json:"insts"`     // 0 when no machine had exact counts
+	CPI      float64 `json:"cpi"`       // Cycles/Insts; 0 when Insts is 0
+	SharePct float64 `json:"share_pct"` // of all images' attributed cycles that epoch
+}
+
+// RangeQuery answers "CPI of image across the fleet over [from, to]": one
+// row per epoch, aggregating every machine's point for that image and
+// event. Share is the image's slice of all attributed cycles (same event)
+// in the epoch, fleet-wide.
+func RangeQuery(db *DB, image string, ev sim.Event, from, to uint64) []RangeRow {
+	sel := db.Select(Matcher{Image: image, Event: ev, FromEpoch: from, ToEpoch: to})
+	all := db.Select(Matcher{Event: ev, FromEpoch: from, ToEpoch: to})
+
+	totalCycles := map[uint64]float64{}
+	for _, p := range all {
+		totalCycles[p.Epoch] += p.Cycles()
+	}
+
+	byEpoch := map[uint64]*RangeRow{}
+	machines := map[uint64]map[string]bool{}
+	var epochs []uint64
+	for _, p := range sel {
+		r, ok := byEpoch[p.Epoch]
+		if !ok {
+			r = &RangeRow{Epoch: p.Epoch}
+			byEpoch[p.Epoch] = r
+			machines[p.Epoch] = map[string]bool{}
+			epochs = append(epochs, p.Epoch)
+		}
+		if !machines[p.Epoch][p.Machine] {
+			machines[p.Epoch][p.Machine] = true
+			r.Machines++
+		}
+		r.Samples += p.Samples
+		r.Cycles += p.Cycles()
+		r.Insts += p.Insts
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	out := make([]RangeRow, 0, len(epochs))
+	for _, e := range epochs {
+		r := byEpoch[e]
+		if r.Insts > 0 {
+			r.CPI = r.Cycles / float64(r.Insts)
+		}
+		if t := totalCycles[e]; t > 0 {
+			r.SharePct = 100 * r.Cycles / t
+		}
+		out = append(out, *r)
+	}
+	return out
+}
+
+// TopRow is one image of a fleet-wide hot-image ranking.
+type TopRow struct {
+	Image    string  `json:"image"`
+	Samples  uint64  `json:"samples"`
+	Cycles   float64 `json:"cycles"`
+	SharePct float64 `json:"share_pct"`
+}
+
+// TopImages ranks images by attributed cycles over [from, to], fleet-wide.
+func TopImages(db *DB, ev sim.Event, from, to uint64, n int) []TopRow {
+	pts := db.Select(Matcher{Event: ev, FromEpoch: from, ToEpoch: to})
+	agg := map[string]*TopRow{}
+	var total float64
+	for _, p := range pts {
+		r, ok := agg[p.Image]
+		if !ok {
+			r = &TopRow{Image: p.Image}
+			agg[p.Image] = r
+		}
+		r.Samples += p.Samples
+		r.Cycles += p.Cycles()
+		total += p.Cycles()
+	}
+	out := make([]TopRow, 0, len(agg))
+	for _, r := range agg {
+		if total > 0 {
+			r.SharePct = 100 * r.Cycles / total
+		}
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Image < out[j].Image
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TopDeltas ranks images by how much their fleet-wide cycle share moved
+// between window A and window B (both inclusive epoch ranges), reusing the
+// share-delta ranking dcpidiff applies to a pair of databases.
+func TopDeltas(db *DB, ev sim.Event, aFrom, aTo, bFrom, bTo uint64, n int) []analysis.DeltaRow {
+	window := func(from, to uint64) map[string]uint64 {
+		m := map[string]uint64{}
+		for _, p := range db.Select(Matcher{Event: ev, FromEpoch: from, ToEpoch: to}) {
+			m[p.Image] += p.Samples
+		}
+		return m
+	}
+	rows := analysis.ShareDeltas(window(aFrom, aTo), window(bFrom, bTo))
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}

@@ -1,0 +1,496 @@
+// Package tsdb is the fleet-side profile store: a labeled, append-only,
+// on-disk time-series database for the sample totals dcpicollect scrapes
+// from a fleet of dcpid machines. Points are keyed by (machine, workload,
+// image, event) and stamped with the profiledb epoch they came from; one
+// scrape of one (machine, epoch) pair becomes one immutable segment file.
+//
+// The durability story mirrors the repo's other stores: segments are
+// written through internal/atomicio (temp+fsync+rename), framed with a
+// magic, a version, and a CRC32 of the payload, and anything that fails to
+// decode on open is quarantined aside as NAME.bad the way
+// internal/runcache does — a corrupt segment costs its own points, never
+// the database. A size-based retention cap drops the oldest segments
+// first, so a long-running collector's disk use stays bounded.
+package tsdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dcpi/internal/atomicio"
+	"dcpi/internal/obs"
+	"dcpi/internal/sim"
+)
+
+// Magic identifies a tsdb segment file.
+var Magic = [8]byte{'D', 'C', 'P', 'I', 'T', 'S', 'D', 'B'}
+
+// Version is the current segment-format version.
+const Version = 1
+
+// Labels identify one series.
+type Labels struct {
+	Machine  string
+	Workload string
+	Image    string
+	Event    sim.Event
+}
+
+// Point is one observation: the sample total (and, when exact counts were
+// collected, the executed-instruction total) for a series at one epoch.
+// Wall and Period are denormalized from the epoch's metadata so queries
+// can convert samples to cycles without a side lookup.
+type Point struct {
+	Labels
+	Epoch   uint64
+	Samples uint64
+	Insts   uint64 // 0 when the epoch had no exact counts
+	Wall    int64  // epoch wall-clock cycles on that machine
+	Period  float64
+}
+
+// Cycles returns the cycles this point attributes to its image
+// (samples × average sampling period).
+func (p Point) Cycles() float64 { return float64(p.Samples) * p.Period }
+
+// Record is the per-series part of an Append batch.
+type Record struct {
+	Image   string
+	Event   sim.Event
+	Samples uint64
+	Insts   uint64
+}
+
+// Batch is one scraped (machine, epoch) payload: the unit of append and
+// the exact contents of one segment file.
+type Batch struct {
+	Machine  string
+	Workload string
+	Epoch    uint64
+	Wall     int64
+	Period   float64
+	Records  []Record
+}
+
+// Options configures Open.
+type Options struct {
+	// MaxBytes caps the total size of segment files; 0 means unbounded.
+	// When an append pushes past the cap, the oldest segments (lowest
+	// sequence numbers) are deleted until under it again. The newest
+	// segment is never deleted.
+	MaxBytes int64
+	// ReadOnly opens without quarantining corrupt segments or accepting
+	// appends (used by query CLIs pointed at a live collector's store).
+	ReadOnly bool
+	// Obs publishes store gauges/counters (tsdb.*) when set.
+	Obs obs.Hooks
+}
+
+type segment struct {
+	seq    uint64
+	path   string
+	bytes  int64
+	points []Point
+}
+
+// DB is an open store. All methods are safe for concurrent use; appends
+// serialize behind one mutex (the collector is the only writer).
+type DB struct {
+	mu          sync.Mutex
+	dir         string
+	opts        Options
+	segs        []segment // ascending seq
+	nextSeq     uint64
+	sizeBytes   int64
+	quarantined int
+	evicted     int
+}
+
+// Open opens (or creates, unless ReadOnly) the store at dir, loading every
+// decodable segment into the in-memory index. Corrupt segments are renamed
+// to NAME.bad (kept for post-mortem, hidden from queries) unless ReadOnly.
+func Open(dir string, opts Options) (*DB, error) {
+	if !opts.ReadOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	db := &DB{dir: dir, opts: opts, nextSeq: 1}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			if !opts.ReadOnly {
+				os.Remove(filepath.Join(dir, name))
+			}
+			continue
+		}
+		seq, ok := parseSegName(name)
+		if !ok {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		raw, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		b, derr := DecodeSegment(raw)
+		if derr != nil {
+			if !opts.ReadOnly {
+				os.Rename(full, full+".bad")
+			}
+			db.quarantined++
+			continue
+		}
+		db.segs = append(db.segs, segment{
+			seq:    seq,
+			path:   full,
+			bytes:  int64(len(raw)),
+			points: batchPoints(b),
+		})
+		db.sizeBytes += int64(len(raw))
+		if seq >= db.nextSeq {
+			db.nextSeq = seq + 1
+		}
+	}
+	sort.Slice(db.segs, func(i, j int) bool { return db.segs[i].seq < db.segs[j].seq })
+	db.publish()
+	return db, nil
+}
+
+// parseSegName parses "seg-<decimal>.tsdb" strictly.
+func parseSegName(name string) (uint64, bool) {
+	digits, ok := strings.CutPrefix(name, "seg-")
+	if !ok {
+		return 0, false
+	}
+	digits, ok = strings.CutSuffix(digits, ".tsdb")
+	if !ok || digits == "" {
+		return 0, false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+	}
+	n, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("seg-%08d.tsdb", seq) }
+
+func batchPoints(b *Batch) []Point {
+	pts := make([]Point, len(b.Records))
+	for i, r := range b.Records {
+		pts[i] = Point{
+			Labels:  Labels{Machine: b.Machine, Workload: b.Workload, Image: r.Image, Event: r.Event},
+			Epoch:   b.Epoch,
+			Samples: r.Samples,
+			Insts:   r.Insts,
+			Wall:    b.Wall,
+			Period:  b.Period,
+		}
+	}
+	return pts
+}
+
+// Dir returns the store directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Append durably writes one batch as a new segment and indexes its points.
+func (db *DB) Append(b Batch) error {
+	if db.opts.ReadOnly {
+		return errors.New("tsdb: store opened read-only")
+	}
+	if b.Machine == "" {
+		return errors.New("tsdb: batch needs a machine label")
+	}
+	var buf bytes.Buffer
+	if err := EncodeSegment(&buf, &b); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	seq := db.nextSeq
+	db.nextSeq++
+	path := filepath.Join(db.dir, segName(seq))
+	if err := atomicio.WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(buf.Bytes())
+		return err
+	}); err != nil {
+		return err
+	}
+	db.segs = append(db.segs, segment{
+		seq:    seq,
+		path:   path,
+		bytes:  int64(buf.Len()),
+		points: batchPoints(&b),
+	})
+	db.sizeBytes += int64(buf.Len())
+	db.retain()
+	db.publish()
+	return nil
+}
+
+// retain enforces the size cap by deleting the oldest segments. Caller
+// holds db.mu.
+func (db *DB) retain() {
+	if db.opts.MaxBytes <= 0 {
+		return
+	}
+	for db.sizeBytes > db.opts.MaxBytes && len(db.segs) > 1 {
+		old := db.segs[0]
+		if err := os.Remove(old.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return // leave the index consistent with disk; retry next append
+		}
+		db.segs = db.segs[1:]
+		db.sizeBytes -= old.bytes
+		db.evicted++
+	}
+}
+
+// publish updates the tsdb.* gauges. Caller holds db.mu (or has exclusive
+// access during Open).
+func (db *DB) publish() {
+	reg := db.opts.Obs.Registry
+	if reg == nil {
+		return
+	}
+	var pts int
+	for _, s := range db.segs {
+		pts += len(s.points)
+	}
+	reg.Gauge("tsdb.segments").Set(float64(len(db.segs)))
+	reg.Gauge("tsdb.points").Set(float64(pts))
+	reg.Gauge("tsdb.size_bytes").Set(float64(db.sizeBytes))
+	reg.Gauge("tsdb.quarantined_segments").Set(float64(db.quarantined))
+	reg.Gauge("tsdb.retention_evictions").Set(float64(db.evicted))
+}
+
+// Stats is a point-in-time summary of the store.
+type Stats struct {
+	Segments    int
+	Points      int
+	SizeBytes   int64
+	Quarantined int
+	Evicted     int
+}
+
+// Stats returns the store's current summary.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var pts int
+	for _, s := range db.segs {
+		pts += len(s.points)
+	}
+	return Stats{
+		Segments:    len(db.segs),
+		Points:      pts,
+		SizeBytes:   db.sizeBytes,
+		Quarantined: db.quarantined,
+		Evicted:     db.evicted,
+	}
+}
+
+// HasEpoch reports whether any point for (machine, epoch) is present —
+// the scraper's exactly-once check.
+func (db *DB) HasEpoch(machine string, epoch uint64) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, s := range db.segs {
+		if len(s.points) > 0 && s.points[0].Machine == machine && s.points[0].Epoch == epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxEpoch returns the highest epoch stored for machine (0 if none).
+func (db *DB) MaxEpoch(machine string) uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var max uint64
+	for _, s := range db.segs {
+		for _, p := range s.points {
+			if p.Machine == machine && p.Epoch > max {
+				max = p.Epoch
+			}
+		}
+	}
+	return max
+}
+
+// EncodeSegment writes the framed, CRC-stamped encoding of b.
+func EncodeSegment(w io.Writer, b *Batch) error {
+	var payload bytes.Buffer
+	pw := bufio.NewWriter(&payload)
+	writeString := func(s string) error {
+		if err := atomicio.WriteUvarint(pw, uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := pw.WriteString(s)
+		return err
+	}
+	if err := writeString(b.Machine); err != nil {
+		return err
+	}
+	if err := writeString(b.Workload); err != nil {
+		return err
+	}
+	if err := atomicio.WriteUvarint(pw, b.Epoch); err != nil {
+		return err
+	}
+	if err := atomicio.WriteVarint(pw, b.Wall); err != nil {
+		return err
+	}
+	if err := atomicio.WriteUvarint(pw, math.Float64bits(b.Period)); err != nil {
+		return err
+	}
+	if err := atomicio.WriteUvarint(pw, uint64(len(b.Records))); err != nil {
+		return err
+	}
+	for _, r := range b.Records {
+		if err := writeString(r.Image); err != nil {
+			return err
+		}
+		if err := pw.WriteByte(byte(r.Event)); err != nil {
+			return err
+		}
+		if err := atomicio.WriteUvarint(pw, r.Samples); err != nil {
+			return err
+		}
+		if err := atomicio.WriteUvarint(pw, r.Insts); err != nil {
+			return err
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		return err
+	}
+
+	var hdr [14]byte
+	copy(hdr[:8], Magic[:])
+	binary.LittleEndian.PutUint16(hdr[8:10], Version)
+	binary.LittleEndian.PutUint32(hdr[10:14], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
+}
+
+// maxStringLen bounds decoded label lengths so corrupt varints cannot
+// drive huge allocations (the fuzz target's over-allocation check).
+const maxStringLen = 1 << 16
+
+// DecodeSegment decodes one segment, verifying magic, version, and CRC.
+func DecodeSegment(raw []byte) (*Batch, error) {
+	if len(raw) < 14 {
+		return nil, errors.New("tsdb: segment too short")
+	}
+	if !bytes.Equal(raw[:8], Magic[:]) {
+		return nil, errors.New("tsdb: bad magic")
+	}
+	if v := binary.LittleEndian.Uint16(raw[8:10]); v != Version {
+		return nil, fmt.Errorf("tsdb: unsupported version %d", v)
+	}
+	payload := raw[14:]
+	if crc := binary.LittleEndian.Uint32(raw[10:14]); crc != crc32.ChecksumIEEE(payload) {
+		return nil, errors.New("tsdb: CRC mismatch")
+	}
+	br := bytes.NewReader(payload)
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > maxStringLen || n > uint64(br.Len()) {
+			return "", fmt.Errorf("tsdb: string length %d exceeds payload", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	var (
+		b   Batch
+		err error
+	)
+	if b.Machine, err = readString(); err != nil {
+		return nil, err
+	}
+	if b.Workload, err = readString(); err != nil {
+		return nil, err
+	}
+	if b.Epoch, err = binary.ReadUvarint(br); err != nil {
+		return nil, err
+	}
+	if b.Wall, err = binary.ReadVarint(br); err != nil {
+		return nil, err
+	}
+	bits, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	b.Period = math.Float64frombits(bits)
+	if math.IsNaN(b.Period) || math.IsInf(b.Period, 0) || b.Period < 0 {
+		return nil, fmt.Errorf("tsdb: invalid period %v", b.Period)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	// Each record is at least 4 bytes (empty image varint, event byte, two
+	// count varints), so a sane count never exceeds the remaining payload.
+	if n > uint64(br.Len())/4+1 {
+		return nil, fmt.Errorf("tsdb: record count %d exceeds payload", n)
+	}
+	b.Records = make([]Record, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var r Record
+		if r.Image, err = readString(); err != nil {
+			return nil, err
+		}
+		evb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if sim.Event(evb) >= sim.NumEvents {
+			return nil, fmt.Errorf("tsdb: bad event %d", evb)
+		}
+		r.Event = sim.Event(evb)
+		if r.Samples, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		if r.Insts, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		b.Records = append(b.Records, r)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("tsdb: %d trailing bytes", br.Len())
+	}
+	return &b, nil
+}

@@ -1,0 +1,272 @@
+package tsdb
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dcpi/internal/sim"
+)
+
+func testBatch(machine string, epoch uint64) Batch {
+	return Batch{
+		Machine:  machine,
+		Workload: "wave5",
+		Epoch:    epoch,
+		Wall:     1_000_000,
+		Period:   62000,
+		Records: []Record{
+			{Image: "/usr/bin/wave5", Event: sim.EvCycles, Samples: 100 + epoch, Insts: 5000},
+			{Image: "/usr/bin/wave5", Event: sim.EvIMiss, Samples: 7},
+			{Image: "/kernel", Event: sim.EvCycles, Samples: 31 + epoch},
+		},
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	b := testBatch("m00", 3)
+	var buf bytes.Buffer
+	if err := EncodeSegment(&buf, &b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSegment(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*got, b) {
+		t.Errorf("round trip changed batch:\nin  %+v\nout %+v", b, *got)
+	}
+}
+
+func TestSegmentCorruptionDetected(t *testing.T) {
+	b := testBatch("m00", 1)
+	var buf bytes.Buffer
+	if err := EncodeSegment(&buf, &b); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, i := range []int{0, 9, 12, 20, len(raw) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0xff
+		if _, err := DecodeSegment(bad); err == nil {
+			t.Errorf("flipping byte %d went undetected", i)
+		}
+	}
+	if _, err := DecodeSegment(raw[:len(raw)/2]); err == nil {
+		t.Error("truncated segment decoded")
+	}
+}
+
+func TestAppendReopenQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 4; e++ {
+		if err := db.Append(testBatch("m00", e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Append(testBatch("m01", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats(); got.Segments != 5 || got.Points != 15 {
+		t.Fatalf("stats after append: %+v", got)
+	}
+	if !db.HasEpoch("m00", 3) || db.HasEpoch("m00", 9) || db.HasEpoch("m01", 2) {
+		t.Error("HasEpoch wrong")
+	}
+	if got := db.MaxEpoch("m00"); got != 4 {
+		t.Errorf("MaxEpoch(m00) = %d, want 4", got)
+	}
+
+	// Corrupt one segment and leave a stale temp file; reopen must
+	// quarantine the former, delete the latter, and keep everything else.
+	if err := os.WriteFile(filepath.Join(dir, segName(2)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(9)+".tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db2.Stats()
+	if st.Segments != 4 || st.Quarantined != 1 {
+		t.Fatalf("stats after corrupt reopen: %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(2)+".bad")); err != nil {
+		t.Errorf("corrupt segment not quarantined: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(9)+".tmp")); !os.IsNotExist(err) {
+		t.Error("stale temp file survived reopen")
+	}
+	// The quarantined epoch is gone from the index; the rest remain.
+	if db2.HasEpoch("m00", 2) {
+		t.Error("quarantined segment still queryable")
+	}
+	if !db2.HasEpoch("m00", 4) || !db2.HasEpoch("m01", 1) {
+		t.Error("intact segments lost on reopen")
+	}
+	// New appends resume past the highest surviving sequence number.
+	if err := db2.Append(testBatch("m02", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(6))); err != nil {
+		t.Errorf("append after reopen did not take seq 6: %v", err)
+	}
+}
+
+func TestRetentionCap(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Append(testBatch("m00", 1)); err != nil {
+		t.Fatal(err)
+	}
+	segBytes := probe.Stats().SizeBytes
+
+	dir2 := t.TempDir()
+	db, err := Open(dir2, Options{MaxBytes: 3 * segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 10; e++ {
+		if err := db.Append(testBatch("m00", e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.Segments != 3 || st.Evicted != 7 {
+		t.Fatalf("retention kept %d segments, evicted %d (want 3, 7)", st.Segments, st.Evicted)
+	}
+	// Oldest epochs were dropped, newest kept.
+	if db.HasEpoch("m00", 1) || !db.HasEpoch("m00", 10) {
+		t.Error("retention evicted the wrong end")
+	}
+	entries, _ := os.ReadDir(dir2)
+	var segs int
+	for _, e := range entries {
+		if _, ok := parseSegName(e.Name()); ok {
+			segs++
+		}
+	}
+	if segs != 3 {
+		t.Errorf("%d segment files on disk, want 3", segs)
+	}
+}
+
+func TestReadOnlyOpen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(testBatch("m00", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Plant corruption: a read-only open must index around it without
+	// renaming (the collector owning the directory does the quarantine).
+	if err := os.WriteFile(filepath.Join(dir, segName(7)), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Append(testBatch("m00", 2)); err == nil {
+		t.Error("append on read-only store succeeded")
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(7))); err != nil {
+		t.Errorf("read-only open renamed the corrupt segment: %v", err)
+	}
+	if !ro.HasEpoch("m00", 1) {
+		t.Error("read-only open lost intact data")
+	}
+}
+
+func buildFleet(t *testing.T, machines int, epochs uint64) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < machines; m++ {
+		for e := uint64(1); e <= epochs; e++ {
+			b := Batch{
+				Machine:  fmt.Sprintf("m%02d", m),
+				Workload: "wave5",
+				Epoch:    e,
+				Wall:     2_000_000,
+				Period:   60000,
+				Records: []Record{
+					{Image: "/usr/bin/wave5", Event: sim.EvCycles, Samples: 10 * e, Insts: 1000 * e},
+					{Image: "/kernel", Event: sim.EvCycles, Samples: 5, Insts: 100},
+					{Image: "/usr/bin/wave5", Event: sim.EvIMiss, Samples: 1},
+				},
+			}
+			if err := db.Append(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+func TestRangeQuery(t *testing.T) {
+	db := buildFleet(t, 4, 5)
+	rows := RangeQuery(db, "/usr/bin/wave5", sim.EvCycles, 2, 4)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for i, r := range rows {
+		e := uint64(2 + i)
+		wantSamples := 4 * 10 * e
+		wantInsts := 4 * 1000 * e
+		if r.Epoch != e || r.Machines != 4 || r.Samples != wantSamples || r.Insts != wantInsts {
+			t.Errorf("row %d = %+v, want epoch %d machines 4 samples %d insts %d",
+				i, r, e, wantSamples, wantInsts)
+		}
+		wantCPI := (float64(wantSamples) * 60000) / float64(wantInsts)
+		if r.CPI != wantCPI {
+			t.Errorf("epoch %d CPI = %v, want %v", e, r.CPI, wantCPI)
+		}
+		wantShare := 100 * float64(10*e) / float64(10*e+5)
+		if diff := r.SharePct - wantShare; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("epoch %d share = %v, want %v", e, r.SharePct, wantShare)
+		}
+	}
+}
+
+func TestTopImagesAndDeltas(t *testing.T) {
+	db := buildFleet(t, 2, 6)
+	top := TopImages(db, sim.EvCycles, 1, 6, 0)
+	if len(top) != 2 || top[0].Image != "/usr/bin/wave5" || top[1].Image != "/kernel" {
+		t.Fatalf("top images: %+v", top)
+	}
+	// wave5 samples grow with epoch while kernel's are flat, so wave5's
+	// share rises from window A (epochs 1-3) to window B (epochs 4-6).
+	deltas := TopDeltas(db, sim.EvCycles, 1, 3, 4, 6, 0)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas: %+v", deltas)
+	}
+	var wave, kernel float64
+	for _, d := range deltas {
+		switch d.Name {
+		case "/usr/bin/wave5":
+			wave = d.Delta()
+		case "/kernel":
+			kernel = d.Delta()
+		}
+	}
+	if wave <= 0 || kernel >= 0 {
+		t.Errorf("delta directions wrong: wave5 %+.2f kernel %+.2f", wave, kernel)
+	}
+}

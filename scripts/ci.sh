@@ -84,12 +84,43 @@ echo "== sharded-evaluation smoke (dcpieval -shard / -merge-shards)" >&2
 	-merge-shards "$tmp/s1.shard,$tmp/s2.shard" >"$tmp/merged.out" 2>/dev/null
 cmp "$tmp/cold.out" "$tmp/merged.out"
 
+echo "== fleet exposition/scrape/query smoke (dcpid -listen + dcpicollect)" >&2
+# dcpid serves three sealed epochs over HTTP; dcpicollect scrapes them
+# into a time-series store and the range query must reproduce the
+# committed golden byte for byte. SIGINT must shut dcpid down cleanly.
+go build -o "$tmp/dcpicollect" ./cmd/dcpicollect
+"$tmp/dcpid" -workload wave5 -mode default -db "$tmp/db-fleet" \
+	-scale 0.15 -period 2048 -seed 1 -epochs 3 -exact \
+	-machine m00 -listen 127.0.0.1:29177 >/dev/null 2>"$tmp/dcpid-fleet.err" &
+dcpid_pid=$!
+# A failure below must not leak the background server.
+trap 'kill "$dcpid_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+fleet_ok=0
+for i in $(seq 1 100); do
+	if "$tmp/dcpicollect" -targets m00=http://127.0.0.1:29177 \
+		-tsdb "$tmp/fleetdb" -once >/dev/null 2>&1 \
+		&& "$tmp/dcpicollect" query range -tsdb "$tmp/fleetdb" \
+			-image /usr/bin/wave5 -from 1 -to 3 >"$tmp/fleet-range.out" \
+		&& [ "$(wc -l <"$tmp/fleet-range.out")" -eq 5 ]; then
+		fleet_ok=1
+		break
+	fi
+	sleep 0.2
+done
+[ "$fleet_ok" = 1 ]
+diff testdata/golden_fleet_range.txt "$tmp/fleet-range.out"
+kill -INT "$dcpid_pid"
+wait "$dcpid_pid"
+trap 'rm -rf "$tmp"' EXIT
+grep -q "shutdown complete" "$tmp/dcpid-fleet.err"
+
 echo "== fuzz smoke (short deadline per target)" >&2
 # Each target replays its committed corpus plus a few seconds of fresh
 # coverage-guided input; crashes fail the gate.
 go test ./internal/profiledb/ -run '^$' -fuzz FuzzProfileDecode -fuzztime 5s
 go test ./internal/alpha/ -run '^$' -fuzz FuzzInstDecode -fuzztime 5s
 go test ./internal/daemon/ -run '^$' -fuzz FuzzParseFaultPlan -fuzztime 5s
+go test ./internal/tsdb/ -run '^$' -fuzz FuzzTSDBSegmentDecode -fuzztime 5s
 
 if [ "${BENCH:-0}" = "1" ]; then
 	echo "== benchmark regression gate (BENCH=1)" >&2
