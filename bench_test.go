@@ -16,6 +16,7 @@ import (
 
 	"dcpi/internal/dcpi"
 	"dcpi/internal/eval"
+	"dcpi/internal/optimize"
 	"dcpi/internal/runner"
 	"dcpi/internal/sim"
 )
@@ -289,4 +290,29 @@ func BenchmarkAnalysisThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(insts), "insts-analyzed")
+}
+
+// BenchmarkOptLoop measures the closed §7 optimization loop end to end:
+// profile, whole-image re-layout, ground-truth re-measurement, iterated
+// to convergence on the pessimized classifier. The reported speedup is
+// the experiment's headline metric (EXPERIMENTS.md "Closing the loop").
+func BenchmarkOptLoop(b *testing.B) {
+	var speedup float64
+	var iters int
+	for i := 0; i < b.N; i++ {
+		sched := runner.New(0)
+		res, err := optimize.RunLoop(optimize.LoopConfig{
+			Base: dcpi.Config{Workload: "classify", Scale: 0.25, Seed: 3},
+			Run:  sched.Run,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged || res.Best < 0 {
+			b.Fatalf("loop did not converge to an improvement: %+v", res)
+		}
+		speedup, iters = res.Speedup(), len(res.Iters)
+	}
+	b.ReportMetric(speedup, "speedup-x")
+	b.ReportMetric(float64(iters), "loop-iters")
 }

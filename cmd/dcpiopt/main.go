@@ -1,0 +1,100 @@
+// Command dcpiopt runs the paper's §7 continuous-optimization loop closed:
+// profile a workload on the simulated machine, re-lay the hottest image
+// from the profile (hot-path straightening, branch-sense inversion,
+// hottest-first procedure placement), re-run with the rewritten image, and
+// keep iterating while the machine's ground-truth counters actually
+// improve. Every kept layout is validated by measurement, never assumed —
+// the loop reverts any rewrite that regresses and stops at a layout fixed
+// point.
+//
+// Usage:
+//
+//	dcpiopt -workload classify
+//	dcpiopt -workload go -scale 0.05 -iters 8 -min-gain 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcpi/internal/dcpi"
+	"dcpi/internal/optimize"
+	"dcpi/internal/runner"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "", "workload name (required)")
+		img     = flag.String("image", "", "image path to optimize (default: hottest non-kernel image)")
+		scale   = flag.Float64("scale", 0.25, "workload scale factor")
+		seed    = flag.Uint64("seed", 3, "simulation seed")
+		iters   = flag.Int("iters", 5, "maximum optimization iterations")
+		minGain = flag.Float64("min-gain", 0, "exit nonzero unless speedup-1 reaches this fraction")
+		quiet   = flag.Bool("q", false, "print only the final summary line")
+	)
+	flag.Parse()
+	if *wl == "" {
+		fmt.Fprintln(os.Stderr, "dcpiopt: -workload is required")
+		os.Exit(2)
+	}
+
+	// The runner's content-keyed cache makes the loop's repeated
+	// configurations free: re-profiling a reverted layout is a cache hit,
+	// not a second simulation.
+	r := runner.New(0)
+	res, err := optimize.RunLoop(optimize.LoopConfig{
+		Base:     dcpi.Config{Workload: *wl, Scale: *scale, Seed: *seed},
+		Image:    *img,
+		MaxIters: *iters,
+		Run:      r.Run,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpiopt: %v\n", err)
+		os.Exit(1)
+	}
+
+	if !*quiet {
+		fmt.Printf("dcpiopt: optimizing %s (workload %s, scale %g, seed %d)\n",
+			res.Image, *wl, *scale, *seed)
+		fmt.Printf("baseline: cycles=%d CPI=%.3f imiss=%d mispredict=%d\n",
+			res.Baseline.Cycles, res.BaselineCPI(),
+			res.Baseline.ICacheMisses, res.Baseline.Mispredicts)
+		for i, it := range res.Iters {
+			var inv, add, rem int
+			for _, c := range it.Plan.Changes {
+				inv += c.Inverted
+				add += c.AddedBrs
+				rem += c.RemovedBrs
+			}
+			verdict := "kept"
+			if !it.Improved {
+				verdict = "reverted"
+			}
+			fmt.Printf("iter %d: rewrote %d proc(s) (inv=%d +br=%d -br=%d) moved=%v skips=%d\n",
+				i, len(it.Plan.Changes), inv, add, rem, it.Plan.Moved, len(it.Plan.Skips))
+			fmt.Printf("        cycles=%d (%+.1f%%) CPI=%.3f imiss=%d mispredict=%d  %s\n",
+				it.Stats.Cycles,
+				100*(float64(it.Stats.Cycles)/float64(res.Baseline.Cycles)-1),
+				it.CPI(), it.Stats.ICacheMisses, it.Stats.Mispredicts, verdict)
+		}
+	}
+
+	state := fmt.Sprintf("stopped after %d iteration(s) (iteration budget)", len(res.Iters))
+	if res.Converged {
+		state = fmt.Sprintf("converged after %d iteration(s)", len(res.Iters))
+	}
+	if res.Best < 0 {
+		fmt.Printf("%s: no layout beat the baseline\n", state)
+	} else {
+		fmt.Printf("%s: speedup %.3fx (CPI %.3f -> %.3f, imiss %d -> %d)\n",
+			state, res.Speedup(), res.BaselineCPI(), res.Iters[res.Best].CPI(),
+			res.Baseline.ICacheMisses, res.Iters[res.Best].Stats.ICacheMisses)
+	}
+
+	if res.Speedup()-1 < *minGain {
+		fmt.Fprintf(os.Stderr, "dcpiopt: speedup %.3fx below required gain %.3f\n",
+			res.Speedup(), *minGain)
+		os.Exit(1)
+	}
+}

@@ -1,160 +1,84 @@
 // Continuousopt demonstrates the paper's §7 vision — "a 'continuous
 // optimization' system that runs in the background improving the
-// performance of key programs" — end to end on the simulated machine:
+// performance of key programs" — closed end to end on the simulated
+// machine by optimize.RunLoop:
 //
-//  1. run a program under continuous profiling,
+//  1. run the workload under continuous profiling,
 //
-//  2. feed the profile into the analysis (frequencies, edge estimates),
+//  2. derive a whole-image re-layout from the profile: hot-path block
+//     straightening with branch-sense inversion inside each procedure
+//     (the Spike/OM role), hottest-first procedure placement across the
+//     image,
 //
-//  3. rewrite the hot procedure with the profile-driven block-layout
-//     optimizer (hot-path straightening + branch-sense inversion, the
-//     Spike/OM role),
+//  3. re-run the rewritten image unprofiled and read the machine's
+//     ground-truth counters,
 //
-//  4. run the optimized binary and measure the improvement.
+//  4. keep the layout only if it measured faster, and repeat from the new
+//     layout until the plan stops changing.
 //
-//     go run ./examples/continuousopt
+// The classify workload is built as the §7 target: its common-case arm
+// pays a taken branch plus an extra jump, and its hot helper sits exactly
+// one direct-mapped I-cache of cold padding away from its call site, so
+// caller and callee evict each other on every single call. Both
+// pessimizations are exactly what profile-driven re-layout removes.
+//
+//	go run ./examples/continuousopt
 package main
 
 import (
 	"fmt"
-	"log"
 	"os"
 
-	"dcpi/internal/alpha"
-	"dcpi/internal/analysis"
-	"dcpi/internal/daemon"
-	"dcpi/internal/driver"
-	"dcpi/internal/image"
-	"dcpi/internal/loader"
+	"dcpi/internal/dcpi"
 	"dcpi/internal/optimize"
-	"dcpi/internal/sim"
-	"dcpi/internal/workload"
+	"dcpi/internal/runner"
 )
 
-// A token classifier whose layout pessimizes the common case: the frequent
-// class is reached through a taken branch plus an extra jump every
-// iteration, and a rare slow path sits in the middle of the hot loop.
-const program = `
-classify:
-	lda  t0, 60000(zero)
-	bis  a0, zero, t1
-	lda  t5, 0(zero)
-	lda  t9, 4095(zero)
-.loop:
-	ldq  t2, 0(t1)
-	and  t2, 0xf, t3
-	beq  t3, .rare         ; 1 in 16: rare token
-	br   .common           ; common case pays an extra jump
-.rare:
-	sll  t2, 3, t4
-	xor  t4, t5, t5
-	addq t5, 7, t5
-	br   .next
-.common:
-	addq t5, t2, t5
-.next:
-	lda  t1, 8(t1)
-	and  t1, t9, t6
-	bne  t6, .nowrap
-	bis  a0, zero, t1
-.nowrap:
-	subq t0, 1, t0
-	bne  t0, .loop
-	halt
-`
-
-func buildAndRun(name string, code []alpha.Inst, profile bool) (int64, map[uint64]uint64) {
-	kernel, abi := workload.Kernel()
-	l := loader.New(kernel)
-	var (
-		drv  *driver.Driver
-		dmn  *daemon.Daemon
-		sink sim.Sink
-	)
-	cfg := sim.ProfileConfig{}
-	if profile {
-		drv = driver.New(driver.Config{NumCPUs: 1, ZeroCost: true})
-		dmn = daemon.New(daemon.Config{CostPerEntry: -1}, drv)
-		l.Notify = dmn.HandleNotification
-		sink = optSink{drv, dmn}
-		cfg = sim.ProfileConfig{
-			Mode:         sim.ModeCycles,
-			Sink:         sink,
-			CyclesPeriod: sim.PeriodSpec{Base: 1024, Spread: 256},
-		}
-	}
-	m := sim.NewMachine(sim.Options{Loader: l, ABI: abi, Seed: 4, Profile: cfg})
-	asm := &alpha.Assembly{Code: code, Symbols: []alpha.Symbol{{Name: "classify", Offset: 0, Size: uint64(len(code)) * alpha.InstBytes}}}
-	exec := image.New(name, "/bin/"+name, image.KindExecutable, asm)
-	p, err := l.NewProcess(name, exec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	p.Regs.WriteI(alpha.RegA0, loader.HeapBase)
-	x := uint64(99)
-	for i := 0; i < 512; i++ {
-		x ^= x << 13
-		x ^= x >> 7
-		x ^= x << 17
-		p.Mem.Store(loader.HeapBase+uint64(i)*8, 8, x)
-	}
-	m.Spawn(p)
-	wall := m.Run(1 << 40)
-
-	var samples map[uint64]uint64
-	if profile {
-		if err := dmn.Flush(); err != nil {
-			log.Fatal(err)
-		}
-		for _, prof := range dmn.Profiles() {
-			if prof.ImagePath == exec.Path && prof.Event == sim.EvCycles {
-				samples = prof.Counts
-			}
-		}
-	}
-	return wall, samples
-}
-
-type optSink struct {
-	drv *driver.Driver
-	dmn *daemon.Daemon
-}
-
-func (s optSink) Sample(sm sim.Sample) int64 {
-	return s.drv.Record(sm.CPU, sm.PID, sm.PC, sm.Event)
-}
-func (s optSink) Poll(cpu int, clock int64) int64 { return s.dmn.Poll(cpu, clock) }
-
 func main() {
-	original := alpha.MustAssemble(program).Code
+	fmt.Println("Closing the §7 loop on the classify workload:")
+	fmt.Println("profile -> re-lay hottest image -> measure -> repeat to a fixed point")
+	fmt.Println()
 
-	fmt.Println("1. Profiling the original binary...")
-	baseWall, samples := buildAndRun("classify", original, true)
-	fmt.Printf("   %d cycles\n\n", baseWall)
-
-	fmt.Println("2. Analyzing (frequencies, CPIs, edge estimates)...")
-	pa := analysis.AnalyzeProc("classify", original, 0, samples, nil,
-		sim.NewMachine(sim.Options{Loader: loader.New(func() *image.Image { k, _ := workload.Kernel(); return k }())}).Model,
-		1152)
-	fmt.Printf("   best-case %.2f CPI, actual %.2f CPI\n\n", pa.BestCaseCPI, pa.ActualCPI)
-
-	fmt.Println("3. Rewriting with the profile-driven layout optimizer...")
-	res, err := optimize.ReorderProcedure(pa)
+	r := runner.New(0)
+	res, err := optimize.RunLoop(optimize.LoopConfig{
+		Base: dcpi.Config{Workload: "classify", Scale: 0.25, Seed: 3},
+		Run:  r.Run,
+	})
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "continuousopt: %v\n", err)
+		os.Exit(1)
 	}
-	fmt.Printf("   block order %v\n", res.Order)
-	fmt.Printf("   %d branch(es) inverted, %d br removed, %d br added\n\n",
-		res.Inverted, res.RemovedBranches, res.AddedBranches)
 
-	fmt.Println("4. Running the optimized binary (unprofiled)...")
-	optWall, _ := buildAndRun("classify-opt", res.Code, false)
-	origWall, _ := buildAndRun("classify", original, false)
-	fmt.Printf("   original  %d cycles\n", origWall)
-	fmt.Printf("   optimized %d cycles\n", optWall)
-	fmt.Printf("   speedup   %.1f%%\n", 100*(float64(origWall)/float64(optWall)-1))
+	fmt.Printf("optimizing %s\n", res.Image)
+	fmt.Printf("baseline:  %8d cycles  CPI %.3f  %d I-cache misses\n",
+		res.Baseline.Cycles, res.BaselineCPI(), res.Baseline.ICacheMisses)
+	for i, it := range res.Iters {
+		fmt.Printf("iter %d:    %8d cycles  CPI %.3f  %d I-cache misses",
+			i, it.Stats.Cycles, it.CPI(), it.Stats.ICacheMisses)
+		if it.Improved {
+			fmt.Print("  (kept)")
+		} else {
+			fmt.Print("  (reverted)")
+		}
+		fmt.Println()
+		for _, c := range it.Plan.Changes {
+			fmt.Printf("           rewrote %s: %d branch(es) inverted, %d br added, %d br removed\n",
+				c.Name, c.Inverted, c.AddedBrs, c.RemovedBrs)
+		}
+		if it.Plan.Moved {
+			fmt.Println("           procedures re-placed hottest-first")
+		}
+	}
+	fmt.Println()
+	if res.Converged {
+		fmt.Printf("converged: speedup %.2fx, I-cache misses %d -> %d\n",
+			res.Speedup(), res.Baseline.ICacheMisses,
+			res.Iters[res.Best].Stats.ICacheMisses)
+	} else {
+		fmt.Printf("iteration budget reached: speedup %.2fx\n", res.Speedup())
+	}
 
-	if optWall >= origWall {
+	if res.Best < 0 || res.Speedup() <= 1 {
 		fmt.Fprintln(os.Stderr, "unexpected: no improvement")
 		os.Exit(1)
 	}

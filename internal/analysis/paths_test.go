@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"testing"
+
+	"dcpi/internal/alpha"
+	"dcpi/internal/cfg"
+	"dcpi/internal/pipeline"
+)
+
+const diamondSrc = `
+p:
+	beq a0, .b
+	addq t0, 1, t0
+	br .join
+.b:
+	addq t0, 2, t0
+.join:
+	halt
+`
+
+func TestPathsDiamond(t *testing.T) {
+	g := cfg.Build(alpha.MustAssemble(diamondSrc).Code, 0)
+	pp, err := Paths(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.NumPaths != 2 {
+		t.Fatalf("NumPaths = %d, want 2", pp.NumPaths)
+	}
+	// The two entry-to-exit paths must get the two distinct ids 0 and 1.
+	// Blocks: 0 = beq, 1 = then-arm (addq; br), 2 = else-arm, 3 = halt.
+	idThen, ok1 := pp.PathID([]int{0, 1, 3})
+	idElse, ok2 := pp.PathID([]int{0, 2, 3})
+	if !ok1 || !ok2 {
+		t.Fatalf("paths not numberable: %v %v", ok1, ok2)
+	}
+	if idThen == idElse || idThen < 0 || idThen > 1 || idElse < 0 || idElse > 1 {
+		t.Errorf("path ids not a bijection onto [0,2): then=%d else=%d", idThen, idElse)
+	}
+	// A block pair not joined by a DAG edge is not a path.
+	if _, ok := pp.PathID([]int{1, 2}); ok {
+		t.Error("numbered a non-path")
+	}
+}
+
+const loopPathSrc = `
+p:
+	lda t0, 100(zero)
+.loop:
+	and t0, 1, t1
+	beq t1, .even
+	addq t2, 1, t2
+	br .next
+.even:
+	addq t2, 3, t2
+.next:
+	subq t0, 1, t0
+	bne t0, .loop
+	halt
+`
+
+func TestPathsRemoveBackEdges(t *testing.T) {
+	g := cfg.Build(alpha.MustAssemble(loopPathSrc).Code, 0)
+	pp, err := Paths(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backs := 0
+	for ei := range g.Edges {
+		if pp.BackEdge[ei] {
+			backs++
+			if g.Edges[ei].To != 1 {
+				t.Errorf("back edge %d does not close the loop to block 1: %+v", ei, g.Edges[ei])
+			}
+		}
+	}
+	if backs != 1 {
+		t.Errorf("back edges = %d, want 1 (the bne .loop edge)", backs)
+	}
+	// Acyclic paths: entry -> loop -> {odd, even} -> next -> exit = 2.
+	if pp.NumPaths != 2 {
+		t.Errorf("NumPaths = %d, want 2", pp.NumPaths)
+	}
+}
+
+func TestPathsRejectMissingEdges(t *testing.T) {
+	g := cfg.Build(alpha.MustAssemble("p:\n beq a0, .x\n jmp (t0)\n.x:\n halt").Code, 0)
+	if _, err := Paths(g); err == nil {
+		t.Error("computed paths for a CFG with computed jumps")
+	}
+}
+
+// TestHottestPathFollowsBottleneck: the hottest path must stay on the arm
+// the edge frequencies say is hot, and report the bottleneck frequency.
+func TestHottestPathFollowsBottleneck(t *testing.T) {
+	code := alpha.MustAssemble(loopPathSrc).Code
+	// Synthesize samples so the .even arm is the hot one (block 3 cold,
+	// block 4 hot). Blocks: 0 entry, 1 loop head, 2 odd-arm (addq; br),
+	// 3 even-arm, 4 .next, 5 halt.
+	pa0 := AnalyzeProc("p", code, 0, map[uint64]uint64{}, nil, pipeline.Default(), 1000)
+	blockFreq := map[int]uint64{0: 1, 1: 100, 2: 10, 3: 90, 4: 100, 5: 1}
+	samples := map[uint64]uint64{}
+	for bi := range pa0.Graph.Blocks {
+		blk := pa0.Graph.Blocks[bi]
+		sched := pipeline.Default().ScheduleBlock(code[blk.Start:blk.End])
+		for j, s := range sched {
+			samples[uint64(blk.Start+j)*alpha.InstBytes] = uint64(s.M) * blockFreq[bi]
+		}
+	}
+	pa := AnalyzeProc("p", code, 0, samples, nil, pipeline.Default(), 1000)
+
+	path, bottleneck := pa.HottestPath()
+	if len(path) < 3 || path[0] != 0 {
+		t.Fatalf("path = %v", path)
+	}
+	onHot, onCold := false, false
+	for _, b := range path {
+		if b == 3 {
+			onHot = true
+		}
+		if b == 2 {
+			onCold = true
+		}
+	}
+	if !onHot || onCold {
+		t.Errorf("hottest path %v should take the even arm (block 3), not block 2", path)
+	}
+	if bottleneck <= 0 {
+		t.Errorf("bottleneck = %v, want > 0", bottleneck)
+	}
+}

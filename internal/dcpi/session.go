@@ -12,6 +12,7 @@ import (
 
 	"dcpi/internal/daemon"
 	"dcpi/internal/driver"
+	"dcpi/internal/image"
 	"dcpi/internal/loader"
 	"dcpi/internal/obs"
 	"dcpi/internal/par"
@@ -98,6 +99,13 @@ type Config struct {
 	// Fault injects daemon faults (stalls, drain lag, crashes) into the
 	// run; the zero value is fault-free and leaves output unchanged.
 	Fault daemon.FaultPlan
+	// Rewrites substitutes re-laid-out code for images as the workload loads
+	// them, keyed by image path (paper §7: continuous optimization feeds
+	// profiles to a binary rewriter and the modified image is what runs).
+	// Each layout is applied through image.WithLayout at registration time,
+	// so every process maps the rewritten image and all samples attribute to
+	// the new layout. A layout that fails to apply aborts the run.
+	Rewrites []image.Layout
 	// Obs attaches the optional self-observability layer (internal/obs):
 	// the collection stack publishes its Table 3-5 self-measurements into
 	// Obs.Registry and its pipeline events into Obs.Tracer. The zero value
@@ -137,6 +145,11 @@ type Result struct {
 	DaemonMemBytes    int   // daemon resident data at end of run
 	DaemonPeakBytes   int   // peak daemon resident data
 	DBDiskBytes       int64 // profile-database size (DBDir or EphemeralDB runs)
+	// MachineStats is the simulator's ground-truth hardware view of the run
+	// (cycles, instructions, cache/TLB misses, mispredicts), summed over
+	// CPUs. The optimization loop (cmd/dcpiopt) reads it to measure what a
+	// rewrite actually changed, independent of sampling noise.
+	MachineStats sim.Stats
 }
 
 // collector adapts the driver+daemon pair to the machine's sample sink.
@@ -190,6 +203,25 @@ func Run(cfg Config) (*Result, error) {
 
 	kernel, abi := workload.Kernel()
 	l := loader.New(kernel)
+	var rewriteErr error
+	if len(cfg.Rewrites) > 0 {
+		l.Transform = func(im *image.Image) *image.Image {
+			for _, lay := range cfg.Rewrites {
+				if lay.Path != im.Path {
+					continue
+				}
+				rw, err := im.WithLayout(lay)
+				if err != nil {
+					if rewriteErr == nil {
+						rewriteErr = err
+					}
+					return nil
+				}
+				return rw
+			}
+			return nil
+		}
+	}
 
 	var (
 		drv            *driver.Driver
@@ -273,6 +305,9 @@ func Run(cfg Config) (*Result, error) {
 	if err := spec.Setup(ctx); err != nil {
 		return nil, err
 	}
+	if rewriteErr != nil {
+		return nil, fmt.Errorf("dcpi: rewrite failed: %w", rewriteErr)
+	}
 
 	maxCycles := spec.MaxCycles
 	if cfg.MaxCycles > 0 {
@@ -348,6 +383,7 @@ func Run(cfg Config) (*Result, error) {
 	// Capture the measurement snapshot (the serializable view of the run;
 	// see the Result comment) after every flush and merge has settled.
 	res.NumCPUs = ncpu
+	res.MachineStats = m.Stats()
 	if drv != nil {
 		res.DriverStats = drv.TotalStats()
 		res.DriverKernelBytes = drv.KernelMemoryBytes()

@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"dcpi/internal/atomicio"
+	"dcpi/internal/image"
 	"dcpi/internal/loader"
 	"dcpi/internal/profiledb"
 	"dcpi/internal/sim"
@@ -38,7 +39,8 @@ import (
 )
 
 // SnapshotVersion identifies the blob layout written by EncodeSnapshot.
-const SnapshotVersion = 1
+// v2 added the machine's ground-truth hardware statistics (MachineStats).
+const SnapshotVersion = 2
 
 // SimVersion names the simulator generation whose results are on disk.
 // Bump it whenever a change alters simulation output for an unchanged
@@ -96,6 +98,20 @@ func EncodeSnapshot(r *Result) ([]byte, error) {
 	w.uvarint(uint64(r.DaemonMemBytes))
 	w.uvarint(uint64(r.DaemonPeakBytes))
 	w.varint(r.DBDiskBytes)
+
+	// Machine hardware statistics (order pinned like the stats above).
+	hs := r.MachineStats
+	w.varint(hs.Cycles)
+	w.uvarint(hs.Instructions)
+	w.uvarint(hs.IssueGroups)
+	w.uvarint(hs.Samples)
+	w.uvarint(hs.ICacheMisses)
+	w.uvarint(hs.DCacheMisses)
+	w.uvarint(hs.ITBMisses)
+	w.uvarint(hs.DTBMisses)
+	w.uvarint(hs.Mispredicts)
+	w.uvarint(hs.WBOverflows)
+	w.uvarint(hs.Faults)
 
 	// Exact execution counts, sorted by image ID for a canonical encoding.
 	if r.Exact == nil {
@@ -202,6 +218,19 @@ func DecodeSnapshot(blob []byte, cfg Config) (*Result, error) {
 	res.DaemonPeakBytes = int(r.uvarint())
 	res.DBDiskBytes = r.varint()
 
+	hs := &res.MachineStats
+	hs.Cycles = r.varint()
+	hs.Instructions = r.uvarint()
+	hs.IssueGroups = r.uvarint()
+	hs.Samples = r.uvarint()
+	hs.ICacheMisses = r.uvarint()
+	hs.DCacheMisses = r.uvarint()
+	hs.ITBMisses = r.uvarint()
+	hs.DTBMisses = r.uvarint()
+	hs.Mispredicts = r.uvarint()
+	hs.WBOverflows = r.uvarint()
+	hs.Faults = r.uvarint()
+
 	if r.uvarint() == 1 {
 		exact := &sim.Counts{Exec: map[uint32][]uint64{}, Taken: map[uint32][]uint64{}}
 		nimg := int(r.uvarint())
@@ -282,6 +311,22 @@ func rebuildImages(cfg Config, ncpu int) (*loader.Loader, *sim.Machine, error) {
 	}
 	kernel, abi := workload.Kernel()
 	l := loader.New(kernel)
+	if len(cfg.Rewrites) > 0 {
+		// Apply the run's rewrites exactly as Run did, so a rehydrated
+		// result's images (symbols, offsets, code) match what was profiled.
+		l.Transform = func(im *image.Image) *image.Image {
+			for _, lay := range cfg.Rewrites {
+				if lay.Path == im.Path {
+					rw, err := im.WithLayout(lay)
+					if err != nil {
+						return nil
+					}
+					return rw
+				}
+			}
+			return nil
+		}
+	}
 	m := sim.NewMachine(sim.Options{NumCPUs: ncpu, ABI: abi, Loader: l})
 	scale := cfg.Scale
 	if scale == 0 {

@@ -46,6 +46,12 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if warm.DaemonStats != live.DaemonStats {
 		t.Errorf("daemon stats = %+v, want %+v", warm.DaemonStats, live.DaemonStats)
 	}
+	if warm.MachineStats != live.MachineStats {
+		t.Errorf("machine stats = %+v, want %+v", warm.MachineStats, live.MachineStats)
+	}
+	if live.MachineStats.Cycles == 0 || live.MachineStats.Instructions == 0 {
+		t.Errorf("live run captured empty machine stats: %+v", live.MachineStats)
+	}
 	if warm.DaemonMemBytes != live.DaemonMemBytes || warm.DaemonPeakBytes != live.DaemonPeakBytes ||
 		warm.DriverKernelBytes != live.DriverKernelBytes || warm.DBDiskBytes != live.DBDiskBytes {
 		t.Error("memory/disk byte counters did not round-trip")
@@ -149,5 +155,8 @@ func TestSnapshotPinsStatsFields(t *testing.T) {
 	}
 	if n := reflect.TypeOf(daemon.Stats{}).NumField(); n != 12 {
 		t.Errorf("daemon.Stats has %d fields, snapshot codec encodes 12: update EncodeSnapshot/DecodeSnapshot and bump SnapshotVersion", n)
+	}
+	if n := reflect.TypeOf(sim.Stats{}).NumField(); n != 11 {
+		t.Errorf("sim.Stats has %d fields, snapshot codec encodes 11: update EncodeSnapshot/DecodeSnapshot and bump SnapshotVersion", n)
 	}
 }

@@ -154,6 +154,14 @@ type Loader struct {
 	kernel      *image.Image
 	procs       []*Process
 
+	// Transform, when set, rewrites images as they are registered — the
+	// hook continuous optimization uses to substitute re-laid-out code for
+	// the original image (paper §7: the profile database feeds a binary
+	// rewriter and the modified image is what subsequently runs). It runs
+	// once per distinct path, before ID assignment, so every process maps
+	// the transformed image and all samples attribute to its layout.
+	// Returning the input unchanged (or nil) keeps the original.
+	Transform func(*image.Image) *image.Image
 	// Notify receives loadmap events as they happen; nil drops them (the
 	// daemon can still recover mappings via Scan, as at daemon startup).
 	Notify func(Notification)
@@ -181,6 +189,11 @@ func New(kernel *image.Image) *Loader {
 func (l *Loader) Register(im *image.Image) *image.Image {
 	if existing, ok := l.byPath[im.Path]; ok {
 		return existing
+	}
+	if l.Transform != nil {
+		if rw := l.Transform(im); rw != nil {
+			im = rw
+		}
 	}
 	im.ID = l.nextImageID
 	l.nextImageID++

@@ -210,3 +210,53 @@ func TestImageLookupHelpers(t *testing.T) {
 		t.Error("kernel accessor wrong")
 	}
 }
+
+func TestRegisterTransform(t *testing.T) {
+	l := testLoader()
+	exec := mkImage("app", "/bin/app", image.KindExecutable, 2)
+	calls := 0
+	l.Transform = func(im *image.Image) *image.Image {
+		calls++
+		if im.Path != "/bin/app" {
+			return nil // leave others alone
+		}
+		rw := *im
+		rw.Name = "app(rewritten)"
+		return &rw
+	}
+
+	p, err := l.NewProcess("app", exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, _, ok := p.Lookup(UserTextBase)
+	if !ok || im.Name != "app(rewritten)" {
+		t.Fatalf("process maps %q, want the transformed image", im.Name)
+	}
+	if got, _ := l.ImageByPath("/bin/app"); got.Name != "app(rewritten)" {
+		t.Error("registry holds the untransformed image")
+	}
+
+	// Re-registering the same path must hit the dedup cache, not transform
+	// again: a second process shares the rewritten image.
+	before := calls
+	p2, err := l.NewProcess("app2", mkImage("app", "/bin/app", image.KindExecutable, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != before {
+		t.Errorf("transform ran %d more times on a deduplicated path", calls-before)
+	}
+	im2, _, _ := p2.Lookup(UserTextBase)
+	if im2 != im {
+		t.Error("second process does not share the transformed image")
+	}
+
+	// A nil return keeps the original.
+	l2 := testLoader()
+	l2.Transform = func(*image.Image) *image.Image { return nil }
+	orig := mkImage("raw", "/bin/raw", image.KindExecutable, 1)
+	if got := l2.Register(orig); got != orig {
+		t.Error("nil transform result replaced the image")
+	}
+}

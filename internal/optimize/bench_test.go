@@ -1,0 +1,28 @@
+package optimize
+
+import (
+	"testing"
+
+	"dcpi/internal/alpha"
+	"dcpi/internal/analysis"
+	"dcpi/internal/pipeline"
+)
+
+// BenchmarkReorderProcedure measures the per-procedure rewrite itself —
+// CFG chaining, branch inversion, and re-emission — on the pessimized
+// loop the unit tests use. The optimization loop runs this once per
+// sampled procedure per iteration.
+func BenchmarkReorderProcedure(b *testing.B) {
+	code := alpha.MustAssemble(branchySrc).Code
+	samples := map[uint64]uint64{}
+	for i := range code {
+		samples[uint64(i)*alpha.InstBytes] = 50
+	}
+	pa := analysis.AnalyzeProc("p", code, 0, samples, nil, pipeline.Default(), 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReorderProcedure(pa); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

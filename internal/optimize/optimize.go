@@ -16,6 +16,14 @@ import (
 	"dcpi/internal/cfg"
 )
 
+// Alpha conditional and unconditional branches encode their displacement in
+// a 21-bit signed field (instruction count from PC+4). A rewritten layout
+// that stretches a branch past this range cannot be encoded.
+const (
+	minBranchDisp = -(1 << 20)
+	maxBranchDisp = 1<<20 - 1
+)
+
 // invertible maps each conditional branch to its sense inversion.
 var invertible = map[alpha.Op]alpha.Op{
 	alpha.OpBEQ:  alpha.OpBNE,
@@ -76,9 +84,11 @@ func ReorderProcedure(pa *analysis.ProcAnalysis) (*Result, error) {
 	return emit(pa, order)
 }
 
-// chainBlocks forms the block order: start from the entry, repeatedly
-// extend with the hottest unplaced successor; when stuck, continue from the
-// hottest unplaced block.
+// chainBlocks forms the block order: seed the first chain with the hottest
+// acyclic path (Ball-Larus numbering over the back-edge-removed DAG — a
+// bottleneck-hot path stays contiguous even when an edge off it is locally
+// hotter at a merge point), then repeatedly extend with the hottest
+// unplaced successor; when stuck, continue from the hottest unplaced block.
 func chainBlocks(pa *analysis.ProcAnalysis) []int {
 	g := pa.Graph
 	n := len(g.Blocks)
@@ -99,9 +109,20 @@ func chainBlocks(pa *analysis.ProcAnalysis) []int {
 		return pa.BlockFreq[starts[i]] > pa.BlockFreq[starts[j]]
 	})
 
-	cur := 0 // the entry block starts the first chain
+	// The hottest path starts at the entry block, so seeding it places the
+	// entry first, as the emitted layout requires.
+	seed, _ := pa.HottestPath()
+	if len(seed) == 0 || seed[0] != 0 {
+		seed = []int{0}
+	}
+	for _, b := range seed {
+		if !placed[b] {
+			place(b)
+		}
+	}
+
+	cur := order[len(order)-1]
 	for {
-		place(cur)
 		// Extend with the hottest unplaced successor.
 		next, bestF := -1, -1.0
 		for _, ei := range g.Blocks[cur].Succs {
@@ -115,6 +136,7 @@ func chainBlocks(pa *analysis.ProcAnalysis) []int {
 		}
 		if next >= 0 {
 			cur = next
+			place(cur)
 			continue
 		}
 		// Chain ended: start a new one at the hottest unplaced block.
@@ -128,6 +150,7 @@ func chainBlocks(pa *analysis.ProcAnalysis) []int {
 		if cur < 0 {
 			return order
 		}
+		place(cur)
 	}
 }
 
@@ -191,7 +214,7 @@ func emit(pa *analysis.ProcAnalysis, order []int) (*Result, error) {
 				// Keep the branch sense; retarget the taken edge.
 				newCode = append(newCode, last)
 				fixups = append(fixups, fixup{len(newCode) - 1, taken})
-			case taken == nextBlock:
+			case taken == nextBlock && hasInverse(last.Op):
 				// Invert so the old taken edge falls through.
 				inv := last
 				inv.Op = invertible[last.Op]
@@ -199,7 +222,9 @@ func emit(pa *analysis.ProcAnalysis, order []int) (*Result, error) {
 				fixups = append(fixups, fixup{len(newCode) - 1, fall})
 				res.Inverted++
 			default:
-				// Neither successor follows: branch + added br.
+				// Neither successor follows (or the branch has no sense
+				// inversion, so the taken edge cannot be turned into a
+				// fall-through): branch + added br.
 				newCode = append(newCode, last)
 				fixups = append(fixups, fixup{len(newCode) - 1, taken})
 				br := alpha.Inst{Op: alpha.OpBR, Ra: alpha.RegZero}
@@ -233,8 +258,22 @@ func emit(pa *analysis.ProcAnalysis, order []int) (*Result, error) {
 		if f.target < 0 {
 			return nil, fmt.Errorf("optimize: %s: dangling branch target", pa.Name)
 		}
-		newCode[f.at].Disp = int32(blockStart[f.target] - (f.at + 1))
+		d := blockStart[f.target] - (f.at + 1)
+		if d < minBranchDisp || d > maxBranchDisp {
+			return nil, fmt.Errorf("optimize: %s: rewritten branch at instruction %d needs displacement %d, outside the encodable 21-bit range [%d, %d]",
+				pa.Name, f.at, d, minBranchDisp, maxBranchDisp)
+		}
+		newCode[f.at].Disp = int32(d)
 	}
 	res.Code = newCode
 	return res, nil
+}
+
+// hasInverse reports whether op's branch sense can be flipped. Conditional
+// branches missing from the inversion table are still laid out correctly —
+// emit keeps their sense and restores the fall-through with an added br —
+// they just cannot benefit from inversion.
+func hasInverse(op alpha.Op) bool {
+	_, ok := invertible[op]
+	return ok
 }

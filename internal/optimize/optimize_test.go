@@ -1,10 +1,12 @@
 package optimize
 
 import (
+	"strings"
 	"testing"
 
 	"dcpi/internal/alpha"
 	"dcpi/internal/analysis"
+	"dcpi/internal/cfg"
 	"dcpi/internal/pipeline"
 )
 
@@ -160,6 +162,100 @@ func TestReorderRejectsUnsafe(t *testing.T) {
 		if _, err := ReorderProcedure(pa); err == nil {
 			t.Errorf("unsafe procedure accepted: %q", src)
 		}
+	}
+}
+
+// TestInvertibleTableComplete pins the inversion table against the ISA: a
+// conditional branch added to alpha without an entry here would previously
+// have been rewritten to the zero-value Op (a corrupt instruction) by a
+// blind map lookup in emit.
+func TestInvertibleTableComplete(t *testing.T) {
+	for op := alpha.Op(0); int(op) < alpha.NumOps; op++ {
+		if op.IsCondBranch() {
+			inv, ok := invertible[op]
+			if !ok {
+				t.Errorf("conditional branch %v missing from invertible table", op)
+				continue
+			}
+			if !inv.IsCondBranch() {
+				t.Errorf("invertible[%v] = %v, not a conditional branch", op, inv)
+			}
+			if back, ok := invertible[inv]; !ok || back != op {
+				t.Errorf("inversion not an involution: %v -> %v -> %v", op, inv, back)
+			}
+		} else if _, ok := invertible[op]; ok {
+			t.Errorf("non-conditional-branch %v present in invertible table", op)
+		}
+	}
+}
+
+// TestEmitFallsBackWhenNotInvertible simulates a conditional branch with no
+// sense inversion (by temporarily removing its table entry): emit must fall
+// back to the keep-branch-plus-added-br layout instead of emitting a
+// zero-value Op.
+func TestEmitFallsBackWhenNotInvertible(t *testing.T) {
+	saved, had := invertible[alpha.OpBEQ]
+	delete(invertible, alpha.OpBEQ)
+	defer func() {
+		if had {
+			invertible[alpha.OpBEQ] = saved
+		}
+	}()
+
+	pa := analyzeWithFreqs(t, branchySrc, map[int]uint64{
+		0: 1, 1: 100, 2: 100, 3: 12, 4: 88, 5: 100, 6: 1,
+	})
+	res, err := ReorderProcedure(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inverted != 0 {
+		t.Errorf("inverted %d branches with an empty inversion entry", res.Inverted)
+	}
+	for i, in := range res.Code {
+		if in.Op == alpha.Op(0) {
+			t.Fatalf("corrupt zero-value Op emitted at instruction %d", i)
+		}
+	}
+	orig := runCode(t, pa.Graph.Code, nil)
+	opt := runCode(t, res.Code, nil)
+	if orig.I[alpha.RegT5] != opt.I[alpha.RegT5] {
+		t.Fatalf("semantics changed: t5 = %d vs %d", orig.I[alpha.RegT5], opt.I[alpha.RegT5])
+	}
+}
+
+// TestEmitRejectsUnencodableDisplacement feeds emit a procedure whose
+// rewritten branch would need a displacement beyond Alpha's 21-bit signed
+// branch field; the rewrite must fail instead of emitting unencodable code.
+func TestEmitRejectsUnencodableDisplacement(t *testing.T) {
+	const filler = 1<<20 + 8 // just past the positive displacement limit
+	code := make([]alpha.Inst, 0, filler+2)
+	// beq over the filler to the halt: encodable as input data (Disp is an
+	// int32), but any layout keeps the two blocks > 2^20 instructions apart.
+	code = append(code, alpha.Inst{Op: alpha.OpBEQ, Ra: alpha.RegT0, Disp: filler})
+	for i := 0; i < filler; i++ {
+		code = append(code, alpha.Inst{Op: alpha.OpBIS, Ra: alpha.RegZero, Rb: alpha.RegZero, Rc: alpha.RegT1})
+	}
+	code = append(code, alpha.Inst{Op: alpha.OpHALT})
+
+	g := cfg.Build(code, 0)
+	insts := make([]analysis.InstAnalysis, len(code))
+	for i := range code {
+		insts[i] = analysis.InstAnalysis{Index: i, Inst: code[i]}
+	}
+	pa := &analysis.ProcAnalysis{
+		Name:      "far",
+		Graph:     g,
+		Insts:     insts,
+		EdgeFreq:  make([]float64, len(g.Edges)),
+		BlockFreq: make([]float64, len(g.Blocks)),
+	}
+	_, err := ReorderProcedure(pa)
+	if err == nil {
+		t.Fatal("unencodable displacement accepted")
+	}
+	if !strings.Contains(err.Error(), "21-bit") {
+		t.Errorf("unexpected error: %v", err)
 	}
 }
 

@@ -1,0 +1,130 @@
+package optimize
+
+import (
+	"strings"
+	"testing"
+
+	"dcpi/internal/dcpi"
+	"dcpi/internal/sim"
+)
+
+// profiledRun runs a workload under dense zero-cost cycle sampling, the
+// loop's profiling configuration.
+func profiledRun(t *testing.T, workload string, scale float64) *dcpi.Result {
+	t.Helper()
+	res, err := dcpi.Run(dcpi.Config{
+		Workload:           workload,
+		Scale:              scale,
+		Seed:               3,
+		Mode:               sim.ModeCycles,
+		CyclesPeriod:       sim.PeriodSpec{Base: 2048, Spread: 512},
+		ZeroCostCollection: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPlanImageClassify(t *testing.T) {
+	res := profiledRun(t, "classify", 0.25)
+	plan, err := PlanImage(res, "/bin/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The entry procedure stays first; the hot helper must be pulled up
+	// from behind the cold padding to right after it.
+	if got := plan.Layout.Procs[0].Name; got != "main" {
+		t.Errorf("Procs[0] = %q, want entry procedure main", got)
+	}
+	if got := plan.Layout.Procs[1].Name; got != "checksum" {
+		t.Errorf("Procs[1] = %q, want hot helper checksum", got)
+	}
+	if !plan.Moved {
+		t.Error("plan.Moved = false, want procedure reordering")
+	}
+
+	// main's pessimized arms (taken-branch-to-fallthrough plus extra jump)
+	// must be rewritten.
+	var main *ProcChange
+	for i := range plan.Changes {
+		if plan.Changes[i].Name == "main" {
+			main = &plan.Changes[i]
+		}
+	}
+	if main == nil {
+		t.Fatalf("main not rewritten; changes = %+v", plan.Changes)
+	}
+	if main.Inverted == 0 || main.RemovedBrs == 0 {
+		t.Errorf("main change = %+v, want inversion and br removal", *main)
+	}
+	if main.Samples == 0 {
+		t.Error("main change carries no sample count")
+	}
+
+	// The plan is absolute: every procedure listed, every body explicit, so
+	// it applies to the pristine image no matter which iteration derived it.
+	im, _ := res.Loader.ImageByPath("/bin/classify")
+	if got, want := len(plan.Layout.Procs), len(im.Symbols); got != want {
+		t.Fatalf("plan lists %d procs, image has %d", got, want)
+	}
+	for _, p := range plan.Layout.Procs {
+		if p.Code == nil {
+			t.Errorf("proc %s has implicit body; plans must be absolute", p.Name)
+		}
+	}
+	if _, err := im.WithLayout(plan.Layout); err != nil {
+		t.Fatalf("plan does not apply to its own image: %v", err)
+	}
+	if plan.Identity() {
+		t.Error("a moving, rewriting plan reports Identity")
+	}
+}
+
+func TestPlanImageDeterministic(t *testing.T) {
+	res := profiledRun(t, "classify", 0.25)
+	a, err := PlanImage(res, "/bin/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanImage(res, "/bin/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Layout.Digest() != b.Layout.Digest() {
+		t.Errorf("same profile produced different plans: %s vs %s",
+			a.Layout.Digest(), b.Layout.Digest())
+	}
+}
+
+func TestPlanImageRejectsUnsafeImage(t *testing.T) {
+	// gcc's main reaches helpers with bsr: PC-relative across procedure
+	// boundaries, so moving either side would retarget the call. The plan
+	// must refuse the whole image, naming the instruction.
+	res := profiledRun(t, "gcc", 0.02)
+	_, err := PlanImage(res, "/usr/bin/gcc")
+	if err == nil || !strings.Contains(err.Error(), "outside the procedure") {
+		t.Fatalf("err = %v, want cross-procedure branch rejection", err)
+	}
+}
+
+func TestPlanImageUnknownImage(t *testing.T) {
+	res := profiledRun(t, "classify", 0.1)
+	if _, err := PlanImage(res, "/bin/nope"); err == nil ||
+		!strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("err = %v, want not-registered error", err)
+	}
+}
+
+func TestPlanIdentity(t *testing.T) {
+	if !(&Plan{}).Identity() {
+		t.Error("empty plan is not identity")
+	}
+	if (&Plan{Moved: true}).Identity() {
+		t.Error("moved plan reports identity")
+	}
+	if (&Plan{Changes: []ProcChange{{Name: "p"}}}).Identity() {
+		t.Error("rewriting plan reports identity")
+	}
+}

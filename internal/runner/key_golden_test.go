@@ -8,8 +8,10 @@ import (
 	"strings"
 	"testing"
 
+	"dcpi/internal/alpha"
 	"dcpi/internal/daemon"
 	"dcpi/internal/dcpi"
+	"dcpi/internal/image"
 	"dcpi/internal/sim"
 )
 
@@ -32,6 +34,12 @@ func goldenKeyConfigs() []dcpi.Config {
 			InterpretBranches: true, MetaSamples: true},
 		{Workload: "li", DriverBuckets: 1024, DriverOverflow: 8,
 			Fault: daemon.FaultPlan{}},
+		{Workload: "go", Mode: sim.ModeOff, Rewrites: []image.Layout{
+			{Path: "/bin/go", Procs: []image.ProcLayout{
+				{Name: "main"},
+				{Name: "evalpos", Code: []alpha.Inst{{Op: alpha.OpRET, Rb: alpha.RegRA}}},
+			}},
+		}},
 	}
 }
 

@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 
 	"dcpi/internal/dcpi"
+	"dcpi/internal/image"
 	"dcpi/internal/obs"
 	"dcpi/internal/runcache"
 )
@@ -142,7 +143,7 @@ func (r *Runner) Workers() int { return cap(r.slots) }
 // byte-identical results (see DESIGN.md) — so runs differing only in it
 // can share a cached Result.
 func Key(cfg dcpi.Config) string {
-	return fmt.Sprintf("w=%s|scale=%g|mode=%d|seed=%d|cyc=%d/%d|ev=%d/%d|mux=%d|db=%s|ephdb=%t|exact=%t|max=%d|ncpu=%d|pids=%v|trace=%t|zero=%t|double=%t|interp=%t|meta=%t|geo=%d/%d|drain=%d/%d|fault=%s",
+	k := fmt.Sprintf("w=%s|scale=%g|mode=%d|seed=%d|cyc=%d/%d|ev=%d/%d|mux=%d|db=%s|ephdb=%t|exact=%t|max=%d|ncpu=%d|pids=%v|trace=%t|zero=%t|double=%t|interp=%t|meta=%t|geo=%d/%d|drain=%d/%d|fault=%s",
 		cfg.Workload, cfg.Scale, cfg.Mode, cfg.Seed,
 		cfg.CyclesPeriod.Base, cfg.CyclesPeriod.Spread,
 		cfg.EventPeriod.Base, cfg.EventPeriod.Spread,
@@ -151,6 +152,13 @@ func Key(cfg dcpi.Config) string {
 		cfg.ZeroCostCollection, cfg.DoubleSample, cfg.InterpretBranches,
 		cfg.MetaSamples, cfg.DriverBuckets, cfg.DriverOverflow,
 		cfg.DrainInterval, cfg.MergeInterval, cfg.Fault)
+	// The rewrite suffix appears only for rewritten runs, so keys of
+	// ordinary configurations — including every key persisted before
+	// rewrites existed — are unchanged.
+	if len(cfg.Rewrites) > 0 {
+		k += "|rw=" + image.LayoutsDigest(cfg.Rewrites)
+	}
+	return k
 }
 
 // ShardOf deterministically maps a content key to a shard in [1, n]. Every

@@ -46,7 +46,7 @@ func TestKernelAssembles(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"altavista", "compress", "dss", "gcc", "go", "li",
+		"altavista", "classify", "compress", "dss", "gcc", "go", "li",
 		"mccalpin-assign", "mccalpin-saxpy", "mccalpin-scale", "mccalpin-sum",
 		"mgrid", "swim", "timeshare", "vortex", "wave5", "x11perf",
 	}

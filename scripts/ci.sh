@@ -114,6 +114,20 @@ wait "$dcpid_pid"
 trap 'rm -rf "$tmp"' EXIT
 grep -q "shutdown complete" "$tmp/dcpid-fleet.err"
 
+echo "== closed-loop optimization smoke (dcpiopt)" >&2
+# The §7 loop must converge on the pessimized classifier with a real,
+# measured win (the gate requires at least 1.5x), and must refuse the
+# image whose code cannot be re-laid safely.
+go build -o "$tmp/dcpiopt" ./cmd/dcpiopt
+"$tmp/dcpiopt" -workload classify -min-gain 0.5 >"$tmp/opt.out"
+grep -q "converged" "$tmp/opt.out"
+grep -q "kept" "$tmp/opt.out"
+if "$tmp/dcpiopt" -workload gcc -scale 0.02 2>"$tmp/opt-gcc.err"; then
+	echo "dcpiopt accepted an unsafe image" >&2
+	exit 1
+fi
+grep -q "outside the procedure" "$tmp/opt-gcc.err"
+
 echo "== fuzz smoke (short deadline per target)" >&2
 # Each target replays its committed corpus plus a few seconds of fresh
 # coverage-guided input; crashes fail the gate.
@@ -121,6 +135,7 @@ go test ./internal/profiledb/ -run '^$' -fuzz FuzzProfileDecode -fuzztime 5s
 go test ./internal/alpha/ -run '^$' -fuzz FuzzInstDecode -fuzztime 5s
 go test ./internal/daemon/ -run '^$' -fuzz FuzzParseFaultPlan -fuzztime 5s
 go test ./internal/tsdb/ -run '^$' -fuzz FuzzTSDBSegmentDecode -fuzztime 5s
+go test ./internal/optimize/ -run '^$' -fuzz FuzzReorderProcedure -fuzztime 5s
 
 if [ "${BENCH:-0}" = "1" ]; then
 	echo "== benchmark regression gate (BENCH=1)" >&2
