@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -88,6 +89,7 @@ func fleetMain(args []string) int {
 		Backoff:  5 * time.Millisecond,
 		Parallel: 8,
 		DB:       store,
+		Procs:    true,
 		Obs:      obs.Hooks{Registry: reg},
 	})
 
@@ -127,10 +129,10 @@ func fleetMain(args []string) int {
 		}
 	}
 	stats := store.Stats()
-	fmt.Printf("store: %d segments, %d points, %d bytes\n",
-		stats.Segments, stats.Points, stats.SizeBytes)
+	fmt.Printf("store: %d segments, %d blocks, %d points, %d bytes\n",
+		stats.Segments, stats.Blocks, stats.Points, stats.SizeBytes)
 
-	// The three fleet queries.
+	// The fleet queries.
 	image := f.AnomalyImage()
 	lastK := uint64(*epochs / 8)
 	rFrom, rTo := collect.LastWindow(store, lastK)
@@ -139,14 +141,21 @@ func fleetMain(args []string) int {
 		Rows: tsdb.RangeQuery(store, image, sim.EvCycles, rFrom, rTo),
 	}
 	fmt.Println()
-	renderRange(rangeResp)
+	renderRange(os.Stdout, rangeResp)
 
 	topResp := collect.TopResponse{
 		Event: sim.EvCycles.String(), FromEpoch: 1, ToEpoch: uint64(*epochs),
 		Rows: tsdb.TopImages(store, sim.EvCycles, 1, uint64(*epochs), 10),
 	}
 	fmt.Println()
-	renderTop(topResp)
+	renderTop(os.Stdout, topResp)
+
+	procsResp := collect.TopProcsResponse{
+		Image: image, Event: sim.EvCycles.String(), FromEpoch: 1, ToEpoch: uint64(*epochs),
+		Rows: tsdb.TopProcs(store, image, sim.EvCycles, 1, uint64(*epochs), 10),
+	}
+	fmt.Println()
+	renderTopProcs(os.Stdout, procsResp)
 
 	half := uint64(*epochs / 2)
 	deltaRows := tsdb.TopDeltas(store, sim.EvCycles, 1, half, half+1, uint64(*epochs), 10)
@@ -155,7 +164,7 @@ func fleetMain(args []string) int {
 		Rows: collect.ToDeltaRows(deltaRows),
 	}
 	fmt.Println()
-	renderDelta(deltaResp)
+	renderDelta(os.Stdout, deltaResp)
 	fmt.Println()
 
 	// Ground-truth verification.
@@ -170,8 +179,10 @@ func fleetMain(args []string) int {
 	}
 	check("exactly-once ingestion", verifyExactlyOnce(store, f, uint64(*epochs)))
 	check("per-machine point labels", verifyLabels(store, f, *epochs))
+	check("per-procedure breakdowns", verifyProcs(store, f, *epochs))
 	check("range query vs ground truth", verifyRange(store, f, rangeResp))
 	check("top-delta vs ground truth", verifyDelta(f, deltaRows, 1, half, half+1, uint64(*epochs), 10))
+	check("compaction byte-identity", verifyCompaction(store, image, rFrom, rTo, uint64(*epochs)))
 	if totalFailures == 0 && *faultIdx >= 0 && *faultIdx < *machines {
 		fmt.Printf("FAIL %-28s fault-injected target never failed a scrape\n", "fault/retry exercised")
 		pass = false
@@ -205,25 +216,109 @@ func allCaughtUp(store *tsdb.DB, f *fleet.Fleet, epochs uint64) bool {
 }
 
 // verifyExactlyOnce checks every machine contributed each epoch exactly
-// once: per (machine, epoch, image, event) there must be exactly one point.
+// once: per (machine, epoch, image, proc, event) there must be exactly one
+// point, across both image-level and per-procedure series.
 func verifyExactlyOnce(store *tsdb.DB, f *fleet.Fleet, epochs uint64) error {
 	for _, m := range f.Machines {
-		pts := store.Select(tsdb.Matcher{Machine: m.Name, AnyEvent: true})
+		pts := store.Select(tsdb.Matcher{Machine: m.Name, AnyEvent: true, AnyProc: true})
 		seen := map[tsdb.Labels]map[uint64]int{}
 		for _, pt := range pts {
-			key := tsdb.Labels{Machine: pt.Machine, Workload: pt.Workload, Image: pt.Image, Event: pt.Event}
+			key := pt.Labels
 			if seen[key] == nil {
 				seen[key] = map[uint64]int{}
 			}
 			seen[key][pt.Epoch]++
 			if seen[key][pt.Epoch] > 1 {
-				return fmt.Errorf("%s epoch %d %s/%s ingested twice", m.Name, pt.Epoch, pt.Image, pt.Event)
+				return fmt.Errorf("%s epoch %d %s:%s/%s ingested twice",
+					m.Name, pt.Epoch, pt.Image, pt.Proc, pt.Event)
 			}
 		}
 		if got := store.MaxEpoch(m.Name); got != epochs {
 			return fmt.Errorf("%s: max epoch %d, want %d", m.Name, got, epochs)
 		}
 	}
+	return nil
+}
+
+// verifyProcs checks the per-procedure breakdown is complete: at three
+// probe epochs, each (machine, image, event)'s procedure samples must sum
+// to exactly the image-level samples (the exposition side buckets
+// unsymbolized samples under "(unknown)" to keep this an identity).
+func verifyProcs(store *tsdb.DB, f *fleet.Fleet, epochs int) error {
+	probes := []uint64{1, uint64(epochs / 2), uint64(epochs)}
+	sawProc := false
+	for _, m := range f.Machines {
+		for _, e := range probes {
+			pts := store.Select(tsdb.Matcher{
+				Machine: m.Name, AnyEvent: true, AnyProc: true,
+				FromEpoch: e, ToEpoch: e,
+			})
+			imageSamples := map[tsdb.Labels]uint64{}
+			procSamples := map[tsdb.Labels]uint64{}
+			for _, pt := range pts {
+				key := tsdb.Labels{Image: pt.Image, Event: pt.Event}
+				if pt.Proc == "" {
+					imageSamples[key] += pt.Samples
+				} else {
+					procSamples[key] += pt.Samples
+					sawProc = true
+				}
+			}
+			for key, want := range imageSamples {
+				if got := procSamples[key]; got != want {
+					return fmt.Errorf("%s epoch %d %s/%s: procedure samples sum to %d, image total %d",
+						m.Name, e, key.Image, key.Event, got, want)
+				}
+			}
+		}
+	}
+	if !sawProc {
+		return fmt.Errorf("no per-procedure points ingested")
+	}
+	return nil
+}
+
+// verifyCompaction renders every fleet query, compacts all raw segments
+// into blocks, and requires the re-rendered answers to be byte-identical —
+// the store's core contract: compaction is invisible to queries.
+func verifyCompaction(store *tsdb.DB, image string, rFrom, rTo, epochs uint64) error {
+	render := func() string {
+		var buf bytes.Buffer
+		renderRange(&buf, collect.RangeResponse{
+			Image: image, Event: sim.EvCycles.String(), FromEpoch: rFrom, ToEpoch: rTo,
+			Rows: tsdb.RangeQuery(store, image, sim.EvCycles, rFrom, rTo),
+		})
+		renderTop(&buf, collect.TopResponse{
+			Event: sim.EvCycles.String(), FromEpoch: 1, ToEpoch: epochs,
+			Rows: tsdb.TopImages(store, sim.EvCycles, 1, epochs, 10),
+		})
+		renderTopProcs(&buf, collect.TopProcsResponse{
+			Image: image, Event: sim.EvCycles.String(), FromEpoch: 1, ToEpoch: epochs,
+			Rows: tsdb.TopProcs(store, image, sim.EvCycles, 1, epochs, 10),
+		})
+		half := epochs / 2
+		renderDelta(&buf, collect.DeltaResponse{
+			Event: sim.EvCycles.String(), AFrom: 1, ATo: half, BFrom: half + 1, BTo: epochs,
+			Rows: collect.ToDeltaRows(tsdb.TopDeltas(store, sim.EvCycles, 1, half, half+1, epochs, 10)),
+		})
+		return buf.String()
+	}
+	before := render()
+	st, err := store.Compact(tsdb.CompactOptions{CompactAfter: 1})
+	if err != nil {
+		return err
+	}
+	if st.BlocksWritten == 0 {
+		return fmt.Errorf("compaction wrote no blocks")
+	}
+	after := render()
+	if before != after {
+		return fmt.Errorf("query answers changed after compacting %d segments into %d blocks",
+			st.SegmentsCompacted, st.BlocksWritten)
+	}
+	stats := store.Stats()
+	fmt.Printf("compacted: %d segments -> %d blocks, store now %d bytes\n",
+		st.SegmentsCompacted, st.BlocksWritten, stats.SizeBytes)
 	return nil
 }
 

@@ -11,6 +11,7 @@
 //	dcpicollect query range -tsdb ./fleetdb -image /usr/bin/app -last 20
 //	dcpicollect query top   -server http://127.0.0.1:9200 -n 10
 //	dcpicollect query delta -tsdb ./fleetdb -a 1-100 -b 101-200
+//	dcpicollect compact -tsdb ./fleetdb -raw-retention 100 -downsample 10
 //	dcpicollect fleet -machines 16 -epochs 200 -tsdb ./fleetdb
 //
 // The scrape loop runs until SIGINT/SIGTERM (graceful: the round in flight
@@ -45,6 +46,8 @@ func main() {
 			os.Exit(queryMain(os.Args[2:]))
 		case "fleet":
 			os.Exit(fleetMain(os.Args[2:]))
+		case "compact":
+			os.Exit(compactMain(os.Args[2:]))
 		}
 	}
 	os.Exit(serveMain(os.Args[1:]))
@@ -69,16 +72,23 @@ func parseTargets(s string) ([]collect.Target, error) {
 func serveMain(args []string) int {
 	fs := flag.NewFlagSet("dcpicollect", flag.ExitOnError)
 	var (
-		targets  = fs.String("targets", "", "comma-separated name=url scrape targets")
-		dbDir    = fs.String("tsdb", "fleetdb", "time-series store directory")
-		interval = fs.Duration("interval", 5*time.Second, "scrape interval")
-		once     = fs.Bool("once", false, "scrape a single round and exit")
-		listen   = fs.String("listen", "", "serve the query API on this address (e.g. 127.0.0.1:9200)")
-		timeout  = fs.Duration("timeout", 5*time.Second, "per-request scrape timeout")
-		retries  = fs.Int("retries", 2, "retries per failed request")
-		backoff  = fs.Duration("backoff", 100*time.Millisecond, "initial retry backoff (doubles per attempt)")
-		parallel = fs.Int("parallel", 4, "concurrent target scrapes")
-		maxBytes = fs.Int64("max-bytes", 0, "store size cap in bytes (0 = unlimited; oldest segments evicted first)")
+		targets      = fs.String("targets", "", "comma-separated name=url scrape targets")
+		dbDir        = fs.String("tsdb", "fleetdb", "time-series store directory")
+		interval     = fs.Duration("interval", 5*time.Second, "scrape interval")
+		once         = fs.Bool("once", false, "scrape a single round and exit")
+		listen       = fs.String("listen", "", "serve the query API on this address (e.g. 127.0.0.1:9200)")
+		timeout      = fs.Duration("timeout", 5*time.Second, "per-request scrape timeout")
+		retries      = fs.Int("retries", 2, "retries per failed request")
+		backoff      = fs.Duration("backoff", 100*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		parallel     = fs.Int("parallel", 4, "concurrent target scrapes")
+		maxBytes     = fs.Int64("max-bytes", 0, "store size cap in bytes (0 = unlimited; oldest sources evicted first)")
+		procs        = fs.Bool("procs", true, "ingest per-procedure breakdowns from targets that symbolize")
+		compactAfter = fs.Int("compact-after", 0,
+			"compact a machine's raw segments after this many accumulate (0 = never)")
+		rawRetention = fs.Uint64("raw-retention", 0,
+			"newest epochs kept at raw fidelity when downsampling (0 = everything)")
+		downsample = fs.Uint64("downsample", 0,
+			"bucket width in epochs for compacted blocks behind the raw-retention horizon (0 = off)")
 	)
 	fs.Parse(args)
 
@@ -100,8 +110,31 @@ func serveMain(args []string) int {
 		Backoff:  *backoff,
 		Parallel: *parallel,
 		DB:       store,
+		Procs:    *procs,
 		Obs:      obs.Hooks{Registry: reg},
 	})
+
+	// maybeCompact runs after each scrape round when -compact-after is
+	// set: merge any machine's accumulated raw segments into blocks, and
+	// downsample blocks behind the raw-retention horizon.
+	maybeCompact := func() {
+		if *compactAfter <= 0 {
+			return
+		}
+		st, err := store.Compact(tsdb.CompactOptions{
+			CompactAfter: *compactAfter,
+			RawRetention: *rawRetention,
+			Downsample:   *downsample,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpicollect: compact: %v\n", err)
+			return
+		}
+		if st.BlocksWritten > 0 || st.BlocksDownsampled > 0 {
+			fmt.Fprintf(os.Stderr, "dcpicollect: compacted %d segments into %d blocks (%d downsampled), %d -> %d bytes\n",
+				st.SegmentsCompacted, st.BlocksWritten, st.BlocksDownsampled, st.BytesBefore, st.BytesAfter)
+		}
+	}
 
 	var srv *http.Server
 	if *listen != "" {
@@ -118,6 +151,7 @@ func serveMain(args []string) int {
 	onRound := func(sum collect.RoundSummary) {
 		fmt.Fprintf(os.Stderr, "dcpicollect: round: %d targets, %d failed, %d epochs, %d points\n",
 			sum.Targets, sum.Failed, sum.EpochsIngested, sum.PointsIngested)
+		maybeCompact()
 	}
 	if *once {
 		sum := c.ScrapeOnce(context.Background())

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"os"
@@ -15,7 +16,8 @@ import (
 
 // queryMain answers fleet queries from a local store (-tsdb, opened
 // read-only) or a running dcpicollect's API (-server). Output is
-// deterministic text keyed by epochs, never wall-clock time.
+// deterministic text keyed by epochs, never wall-clock time; -json
+// emits the API's JSON response instead, for scripting.
 func queryMain(args []string) int {
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "dcpicollect query: want a kind: range, top, or delta")
@@ -24,16 +26,20 @@ func queryMain(args []string) int {
 	kind := args[0]
 	fs := flag.NewFlagSet("dcpicollect query "+kind, flag.ExitOnError)
 	var (
-		dbDir  = fs.String("tsdb", "", "query this store directory directly (read-only)")
-		server = fs.String("server", "", "query a running dcpicollect at this base URL")
-		image  = fs.String("image", "", "image path (range)")
-		event  = fs.String("event", "cycles", "event type")
-		from   = fs.Uint64("from", 0, "first epoch (inclusive; 0 = open)")
-		to     = fs.Uint64("to", 0, "last epoch (inclusive; 0 = open)")
-		last   = fs.Uint64("last", 0, "newest K epochs (overrides -from/-to)")
-		n      = fs.Int("n", 10, "row limit (top, delta)")
-		a      = fs.String("a", "", "before window F-T (delta)")
-		b      = fs.String("b", "", "after window F-T (delta)")
+		dbDir   = fs.String("tsdb", "", "query this store directory directly (read-only)")
+		server  = fs.String("server", "", "query a running dcpicollect at this base URL")
+		image   = fs.String("image", "", "image path (range, top -procs)")
+		proc    = fs.String("proc", "", "narrow -image to one procedure (range)")
+		procs   = fs.Bool("procs", false, "rank -image's procedures instead of images (top)")
+		event   = fs.String("event", "cycles", "event type")
+		from    = fs.Uint64("from", 0, "first epoch (inclusive; 0 = open)")
+		to      = fs.Uint64("to", 0, "last epoch (inclusive; 0 = open)")
+		last    = fs.Uint64("last", 0, "newest K epochs (overrides -from/-to)")
+		n       = fs.Int("n", 10, "row limit (top, delta)")
+		a       = fs.String("a", "", "before window F-T (delta)")
+		b       = fs.String("b", "", "after window F-T (delta)")
+		asJSON  = fs.Bool("json", false, "emit the JSON response instead of text")
+		renderW = io.Writer(os.Stdout)
 	)
 	fs.Parse(args[1:])
 	if (*dbDir == "") == (*server == "") {
@@ -44,11 +50,15 @@ func queryMain(args []string) int {
 	var err error
 	switch kind {
 	case "range":
-		err = queryRange(*dbDir, *server, *image, *event, *from, *to, *last)
+		err = queryRange(renderW, *dbDir, *server, *image, *proc, *event, *from, *to, *last, *asJSON)
 	case "top":
-		err = queryTop(*dbDir, *server, *event, *from, *to, *last, *n)
+		if *procs {
+			err = queryTopProcs(renderW, *dbDir, *server, *image, *event, *from, *to, *last, *n, *asJSON)
+		} else {
+			err = queryTop(renderW, *dbDir, *server, *event, *from, *to, *last, *n, *asJSON)
+		}
 	case "delta":
-		err = queryDelta(*dbDir, *server, *event, *a, *b, *n)
+		err = queryDelta(renderW, *dbDir, *server, *event, *a, *b, *n, *asJSON)
 	default:
 		err = fmt.Errorf("unknown query kind %q (want range, top, or delta)", kind)
 	}
@@ -76,8 +86,16 @@ func getAPI(server, path string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
+// writeJSON prints v the way the HTTP API does: two-space indent, one
+// trailing newline.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 // resolve turns CLI range flags into the API's query parameters.
-func rangeParams(image, event string, from, to, last uint64) string {
+func rangeParams(image, event string, from, to, last uint64) url.Values {
 	q := url.Values{}
 	if image != "" {
 		q.Set("image", image)
@@ -93,7 +111,7 @@ func rangeParams(image, event string, from, to, last uint64) string {
 			q.Set("to", fmt.Sprint(to))
 		}
 	}
-	return q.Encode()
+	return q
 }
 
 func localWindow(db *tsdb.DB, from, to, last uint64) (uint64, uint64) {
@@ -103,13 +121,17 @@ func localWindow(db *tsdb.DB, from, to, last uint64) (uint64, uint64) {
 	return from, to
 }
 
-func queryRange(dbDir, server, image, event string, from, to, last uint64) error {
+func queryRange(w io.Writer, dbDir, server, image, proc, event string, from, to, last uint64, asJSON bool) error {
 	if image == "" {
 		return fmt.Errorf("range: missing -image")
 	}
 	var resp collect.RangeResponse
 	if server != "" {
-		if err := getAPI(server, "/query/range?"+rangeParams(image, event, from, to, last), &resp); err != nil {
+		q := rangeParams(image, event, from, to, last)
+		if proc != "" {
+			q.Set("proc", proc)
+		}
+		if err := getAPI(server, "/query/range?"+q.Encode(), &resp); err != nil {
 			return err
 		}
 	} else {
@@ -123,33 +145,40 @@ func queryRange(dbDir, server, image, event string, from, to, last uint64) error
 		}
 		from, to = localWindow(db, from, to, last)
 		resp = collect.RangeResponse{
-			Image: image, Event: ev.String(), FromEpoch: from, ToEpoch: to,
-			Rows: tsdb.RangeQuery(db, image, ev, from, to),
+			Image: image, Proc: proc, Event: ev.String(), FromEpoch: from, ToEpoch: to,
+			Rows: tsdb.RangeQueryProc(db, image, proc, ev, from, to),
 		}
 	}
-	renderRange(resp)
+	if asJSON {
+		return writeJSON(w, resp)
+	}
+	renderRange(w, resp)
 	return nil
 }
 
-func renderRange(resp collect.RangeResponse) {
-	fmt.Printf("%s %s, epochs %d-%d\n", resp.Image, resp.Event, resp.FromEpoch, resp.ToEpoch)
-	fmt.Printf("%7s %9s %12s %15s %15s %8s %7s\n",
+func renderRange(w io.Writer, resp collect.RangeResponse) {
+	what := resp.Image
+	if resp.Proc != "" {
+		what = resp.Image + ":" + resp.Proc
+	}
+	fmt.Fprintf(w, "%s %s, epochs %d-%d\n", what, resp.Event, resp.FromEpoch, resp.ToEpoch)
+	fmt.Fprintf(w, "%7s %9s %12s %15s %15s %8s %7s\n",
 		"epoch", "machines", "samples", "cycles", "insts", "cpi", "share%")
 	for _, r := range resp.Rows {
 		cpi := "-"
 		if r.CPI > 0 {
 			cpi = fmt.Sprintf("%.3f", r.CPI)
 		}
-		fmt.Printf("%7d %9d %12d %15.0f %15d %8s %6.2f%%\n",
+		fmt.Fprintf(w, "%7d %9d %12d %15.0f %15d %8s %6.2f%%\n",
 			r.Epoch, r.Machines, r.Samples, r.Cycles, r.Insts, cpi, r.SharePct)
 	}
 }
 
-func queryTop(dbDir, server, event string, from, to, last uint64, n int) error {
+func queryTop(w io.Writer, dbDir, server, event string, from, to, last uint64, n int, asJSON bool) error {
 	var resp collect.TopResponse
 	if server != "" {
 		q := rangeParams("", event, from, to, last)
-		if err := getAPI(server, fmt.Sprintf("/query/top?%s&n=%d", q, n), &resp); err != nil {
+		if err := getAPI(server, fmt.Sprintf("/query/top?%s&n=%d", q.Encode(), n), &resp); err != nil {
 			return err
 		}
 	} else {
@@ -167,19 +196,63 @@ func queryTop(dbDir, server, event string, from, to, last uint64, n int) error {
 			Rows: tsdb.TopImages(db, ev, from, to, n),
 		}
 	}
-	renderTop(resp)
+	if asJSON {
+		return writeJSON(w, resp)
+	}
+	renderTop(w, resp)
 	return nil
 }
 
-func renderTop(resp collect.TopResponse) {
-	fmt.Printf("top images by %s, epochs %d-%d\n", resp.Event, resp.FromEpoch, resp.ToEpoch)
-	fmt.Printf("%4s %15s %12s %7s  %s\n", "rank", "cycles", "samples", "share%", "image")
+func renderTop(w io.Writer, resp collect.TopResponse) {
+	fmt.Fprintf(w, "top images by %s, epochs %d-%d\n", resp.Event, resp.FromEpoch, resp.ToEpoch)
+	fmt.Fprintf(w, "%4s %15s %12s %7s  %s\n", "rank", "cycles", "samples", "share%", "image")
 	for i, r := range resp.Rows {
-		fmt.Printf("%4d %15.0f %12d %6.2f%%  %s\n", i+1, r.Cycles, r.Samples, r.SharePct, r.Image)
+		fmt.Fprintf(w, "%4d %15.0f %12d %6.2f%%  %s\n", i+1, r.Cycles, r.Samples, r.SharePct, r.Image)
 	}
 }
 
-func queryDelta(dbDir, server, event, a, b string, n int) error {
+func queryTopProcs(w io.Writer, dbDir, server, image, event string, from, to, last uint64, n int, asJSON bool) error {
+	if image == "" {
+		return fmt.Errorf("top -procs: missing -image")
+	}
+	var resp collect.TopProcsResponse
+	if server != "" {
+		q := rangeParams(image, event, from, to, last)
+		if err := getAPI(server, fmt.Sprintf("/query/top?%s&n=%d", q.Encode(), n), &resp); err != nil {
+			return err
+		}
+	} else {
+		db, err := openRO(dbDir)
+		if err != nil {
+			return err
+		}
+		ev, err := sim.ParseEvent(event)
+		if err != nil {
+			return err
+		}
+		from, to = localWindow(db, from, to, last)
+		resp = collect.TopProcsResponse{
+			Image: image, Event: ev.String(), FromEpoch: from, ToEpoch: to,
+			Rows: tsdb.TopProcs(db, image, ev, from, to, n),
+		}
+	}
+	if asJSON {
+		return writeJSON(w, resp)
+	}
+	renderTopProcs(w, resp)
+	return nil
+}
+
+func renderTopProcs(w io.Writer, resp collect.TopProcsResponse) {
+	fmt.Fprintf(w, "top procedures of %s by %s, epochs %d-%d\n",
+		resp.Image, resp.Event, resp.FromEpoch, resp.ToEpoch)
+	fmt.Fprintf(w, "%4s %15s %12s %7s  %s\n", "rank", "cycles", "samples", "share%", "procedure")
+	for i, r := range resp.Rows {
+		fmt.Fprintf(w, "%4d %15.0f %12d %6.2f%%  %s\n", i+1, r.Cycles, r.Samples, r.SharePct, r.Proc)
+	}
+}
+
+func queryDelta(w io.Writer, dbDir, server, event, a, b string, n int, asJSON bool) error {
 	if a == "" || b == "" {
 		return fmt.Errorf("delta: want -a F-T and -b F-T")
 	}
@@ -215,15 +288,18 @@ func queryDelta(dbDir, server, event, a, b string, n int) error {
 			Rows: collect.ToDeltaRows(tsdb.TopDeltas(db, ev, aFrom, aTo, bFrom, bTo, n)),
 		}
 	}
-	renderDelta(resp)
+	if asJSON {
+		return writeJSON(w, resp)
+	}
+	renderDelta(w, resp)
 	return nil
 }
 
-func renderDelta(resp collect.DeltaResponse) {
-	fmt.Printf("%s share deltas, epochs %d-%d vs %d-%d\n",
+func renderDelta(w io.Writer, resp collect.DeltaResponse) {
+	fmt.Fprintf(w, "%s share deltas, epochs %d-%d vs %d-%d\n",
 		resp.Event, resp.AFrom, resp.ATo, resp.BFrom, resp.BTo)
-	fmt.Printf("%8s %8s %8s  %s\n", "before%", "after%", "delta", "image")
+	fmt.Fprintf(w, "%8s %8s %8s  %s\n", "before%", "after%", "delta", "image")
 	for _, r := range resp.Rows {
-		fmt.Printf("%7.2f%% %7.2f%% %+7.2f%%  %s\n", r.BeforePct, r.AfterPct, r.DeltaPct, r.Image)
+		fmt.Fprintf(w, "%7.2f%% %7.2f%% %+7.2f%%  %s\n", r.BeforePct, r.AfterPct, r.DeltaPct, r.Image)
 	}
 }

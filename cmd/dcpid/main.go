@@ -182,6 +182,24 @@ func main() {
 			Registry: cfg.Obs.Registry,
 			Stats:    func() expo.StatsSnapshot { return *snap.Load() },
 		}
+		// Symbolize against the workload's own images so scrapers can ask
+		// for per-procedure breakdowns (?procs=1). Best-effort: a workload
+		// that cannot be staged offline just serves image-level data.
+		if ld, err := dcpi.SetupImages(*wl); err == nil {
+			src.SymbolAt = func(image string, off uint64) (string, bool) {
+				im, ok := ld.ImageByPath(image)
+				if !ok {
+					return "", false
+				}
+				sym, ok := im.SymbolAt(off)
+				if !ok {
+					return "", false
+				}
+				return sym.Name, true
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "dcpid: no symbols for %s: %v\n", *wl, err)
+		}
 		lis, err := net.Listen("tcp", *listen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dcpid: %v\n", err)

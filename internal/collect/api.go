@@ -15,8 +15,9 @@ import (
 
 // APIHandler serves the collector's query surface over db:
 //
-//	/query/range?image=PATH[&event=cycles][&from=A&to=B | &last=K]
-//	/query/top[?event=cycles][&from=A&to=B][&n=N]
+//	/query/range?image=PATH[&proc=NAME][&event=cycles][&from=A&to=B | &last=K]
+//	/query/top[?image=PATH][&event=cycles][&from=A&to=B][&n=N]
+//	                    (with image=: that image's procedures instead of images)
 //	/query/delta?a=F-T&b=F-T[&event=cycles][&n=N]
 //	/targets            per-target scrape status (when a collector is attached)
 //	/metrics            the collector's own obs registry, flat text
@@ -36,9 +37,10 @@ func APIHandler(db *tsdb.DB, c *Collector, reg *obs.Registry) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		proc := q.Get("proc")
 		writeJSON(w, RangeResponse{
-			Image: image, Event: ev.String(), FromEpoch: from, ToEpoch: to,
-			Rows: tsdb.RangeQuery(db, image, ev, from, to),
+			Image: image, Proc: proc, Event: ev.String(), FromEpoch: from, ToEpoch: to,
+			Rows: tsdb.RangeQueryProc(db, image, proc, ev, from, to),
 		})
 	})
 	mux.HandleFunc("/query/top", func(w http.ResponseWriter, r *http.Request) {
@@ -51,6 +53,13 @@ func APIHandler(db *tsdb.DB, c *Collector, reg *obs.Registry) http.Handler {
 		n, err := parseN(q.Get("n"), 10)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if image := q.Get("image"); image != "" {
+			writeJSON(w, TopProcsResponse{
+				Image: image, Event: ev.String(), FromEpoch: from, ToEpoch: to,
+				Rows: tsdb.TopProcs(db, image, ev, from, to, n),
+			})
 			return
 		}
 		writeJSON(w, TopResponse{
@@ -107,6 +116,7 @@ func APIHandler(db *tsdb.DB, c *Collector, reg *obs.Registry) http.Handler {
 // RangeResponse is the /query/range reply.
 type RangeResponse struct {
 	Image     string          `json:"image"`
+	Proc      string          `json:"proc,omitempty"`
 	Event     string          `json:"event"`
 	FromEpoch uint64          `json:"from_epoch"`
 	ToEpoch   uint64          `json:"to_epoch"`
@@ -119,6 +129,16 @@ type TopResponse struct {
 	FromEpoch uint64        `json:"from_epoch"`
 	ToEpoch   uint64        `json:"to_epoch"`
 	Rows      []tsdb.TopRow `json:"rows"`
+}
+
+// TopProcsResponse is the /query/top reply when image= narrows the
+// ranking to one image's procedures.
+type TopProcsResponse struct {
+	Image     string         `json:"image"`
+	Event     string         `json:"event"`
+	FromEpoch uint64         `json:"from_epoch"`
+	ToEpoch   uint64         `json:"to_epoch"`
+	Rows      []tsdb.ProcRow `json:"rows"`
 }
 
 // DeltaRow mirrors analysis.DeltaRow with JSON tags and the computed

@@ -49,6 +49,10 @@ type Config struct {
 	Parallel int
 	// DB receives every ingested point.
 	DB *tsdb.DB
+	// Procs asks targets for per-procedure breakdowns (?procs=1) and
+	// ingests them as procedure-labeled points alongside the image-level
+	// totals. Targets that cannot symbolize simply omit the breakdown.
+	Procs bool
 	// Obs publishes scrape metrics (collect.*) when set.
 	Obs obs.Hooks
 	// Client overrides the HTTP client (tests); Timeout still applies
@@ -189,8 +193,12 @@ func (c *Collector) scrapeTarget(ctx context.Context, t Target) (int, int, error
 		if !e.Sealed || uint64(e.Epoch) <= last {
 			continue
 		}
+		url := fmt.Sprintf("%s/profiles?epoch=%d", t.URL, e.Epoch)
+		if c.cfg.Procs {
+			url += "&procs=1"
+		}
 		var pp expo.ProfilesPayload
-		if err := c.get(ctx, fmt.Sprintf("%s/profiles?epoch=%d", t.URL, e.Epoch), &pp); err != nil {
+		if err := c.get(ctx, url, &pp); err != nil {
 			return nEpochs, nPoints, err
 		}
 		batch := tsdb.Batch{
@@ -213,6 +221,17 @@ func (c *Collector) scrapeTarget(ctx context.Context, t Target) (int, int, error
 				Samples: rec.Samples,
 				Insts:   rec.Insts,
 			})
+			// Per-procedure breakdown rows ride in the same batch with a
+			// Proc label; queries keep the two levels apart (see
+			// tsdb.Matcher), so they never double-count the image total.
+			for _, ps := range rec.Procs {
+				batch.Records = append(batch.Records, tsdb.Record{
+					Image:   rec.Image,
+					Proc:    ps.Proc,
+					Event:   ev,
+					Samples: ps.Samples,
+				})
+			}
 		}
 		if err := c.cfg.DB.Append(batch); err != nil {
 			return nEpochs, nPoints, err

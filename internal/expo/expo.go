@@ -9,7 +9,8 @@
 //
 //	/epochs           JSON list of profiledb epochs and their seal state
 //	/profiles?epoch=N JSON payload of one epoch's profiles (default: latest
-//	                  sealed; ?full=1 adds per-offset counts)
+//	                  sealed; ?full=1 adds per-offset counts; ?procs=1 adds
+//	                  a per-procedure breakdown when the source symbolizes)
 //	/stats            driver/daemon/loss counters as JSON
 //	/metrics          the obs registry as flat "name value" text
 //	                  (?format=json for the full snapshot)
@@ -55,9 +56,12 @@ type StatsSnapshot struct {
 type Source struct {
 	Machine  string // fleet label, e.g. "m07"
 	Workload string
-	DBDir    string                // read per-request via profiledb.OpenReader
-	Stats    func() StatsSnapshot  // nil: /stats serves 404
-	Registry *obs.Registry         // nil: /metrics serves an empty body
+	DBDir    string               // read per-request via profiledb.OpenReader
+	Stats    func() StatsSnapshot // nil: /stats serves 404
+	Registry *obs.Registry        // nil: /metrics serves an empty body
+	// SymbolAt maps an image path and offset to the enclosing procedure's
+	// name. nil disables the /profiles?procs=1 per-procedure breakdown.
+	SymbolAt func(image string, off uint64) (string, bool)
 	Hook     func(r *http.Request) // optional per-request tap (fault injection in tests)
 }
 
@@ -84,6 +88,17 @@ type ProfileRecord struct {
 	Insts uint64 `json:"insts,omitempty"`
 	// Offsets holds the raw (offset, count) pairs when ?full=1.
 	Offsets [][2]uint64 `json:"offsets,omitempty"`
+	// Procs holds the per-procedure sample breakdown when ?procs=1 and the
+	// source can symbolize. Samples that fall outside every known
+	// procedure are attributed to "(unknown)", so the breakdown always
+	// sums to Samples.
+	Procs []ProcSample `json:"procs,omitempty"`
+}
+
+// ProcSample is one procedure's share of an image's samples.
+type ProcSample struct {
+	Proc    string `json:"proc"`
+	Samples uint64 `json:"samples"`
 }
 
 // ProfilesPayload is the /profiles response: one epoch-stamped snapshot of
@@ -206,6 +221,7 @@ func (src *Source) serveProfiles(w http.ResponseWriter, r *http.Request) {
 		payload.Meta = &meta
 	}
 	full := r.URL.Query().Get("full") == "1"
+	procs := r.URL.Query().Get("procs") == "1" && src.SymbolAt != nil
 	for _, p := range profiles {
 		rec := ProfileRecord{
 			Image:   p.ImagePath,
@@ -223,6 +239,24 @@ func (src *Source) serveProfiles(w http.ResponseWriter, r *http.Request) {
 			sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
 			for _, off := range offs {
 				rec.Offsets = append(rec.Offsets, [2]uint64{off, p.Counts[off]})
+			}
+		}
+		if procs {
+			byProc := map[string]uint64{}
+			for off, cnt := range p.Counts {
+				name, ok := src.SymbolAt(p.ImagePath, off)
+				if !ok || name == "" {
+					name = "(unknown)"
+				}
+				byProc[name] += cnt
+			}
+			names := make([]string, 0, len(byProc))
+			for name := range byProc {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				rec.Procs = append(rec.Procs, ProcSample{Proc: name, Samples: byProc[name]})
 			}
 		}
 		payload.Profiles = append(payload.Profiles, rec)

@@ -30,6 +30,7 @@ import (
 
 	"dcpi/internal/dcpi"
 	"dcpi/internal/expo"
+	"dcpi/internal/loader"
 	"dcpi/internal/profiledb"
 	"dcpi/internal/sim"
 )
@@ -70,6 +71,7 @@ type template struct {
 	profiles []profileTemplate
 	insts    map[string]uint64
 	hotImage string
+	loader   *loader.Loader // base run's images, for symbolizing offsets
 }
 
 type profileTemplate struct {
@@ -179,6 +181,7 @@ func Start(opts Options) (*Fleet, error) {
 			Machine:  name,
 			Workload: wl,
 			DBDir:    dbDir,
+			SymbolAt: symbolizer(tmpls[wl].loader),
 		}))
 		if i == opts.FaultMachine {
 			handler = (&faultInjector{
@@ -218,6 +221,7 @@ func buildTemplate(wl string, seed uint64, scale float64) (*template, error) {
 		wall:     r.Wall,
 		period:   r.AvgCyclesPeriod(),
 		insts:    r.ExactImageInsts(),
+		loader:   r.Loader,
 	}
 	var hotSamples uint64
 	for _, p := range r.Profiles() {
@@ -246,6 +250,24 @@ func buildTemplate(wl string, seed uint64, scale float64) (*template, error) {
 		return nil, fmt.Errorf("base run of %s produced no profiles", wl)
 	}
 	return t, nil
+}
+
+// symbolizer adapts a loader to expo.Source.SymbolAt.
+func symbolizer(l *loader.Loader) func(image string, off uint64) (string, bool) {
+	if l == nil {
+		return nil
+	}
+	return func(image string, off uint64) (string, bool) {
+		im, ok := l.ImageByPath(image)
+		if !ok {
+			return "", false
+		}
+		sym, ok := im.SymbolAt(off)
+		if !ok {
+			return "", false
+		}
+		return sym.Name, true
+	}
 }
 
 // jitter returns the deterministic per-(machine, epoch, image, event)

@@ -1,12 +1,28 @@
 package tsdb
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"dcpi/internal/sim"
 )
+
+// benchRoot holds the shared 50k-epoch stores built once per test-binary
+// run; TestMain removes it (b.TempDir would tear it down after the first
+// benchmark that used it).
+var benchRoot string
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if benchRoot != "" {
+		os.RemoveAll(benchRoot)
+	}
+	os.Exit(code)
+}
 
 // benchStore builds a store shaped like a real fleet scrape: machines x
 // epochs batches, each with several images over two event types.
@@ -65,4 +81,146 @@ func BenchmarkTopDeltas(b *testing.B) {
 			b.Fatal("no rows")
 		}
 	}
+}
+
+// BenchmarkAppend measures the durable ingest path: encode + fsync + index
+// of one scraped batch (12 points), the per-(machine, epoch) unit of work.
+func BenchmarkAppend(b *testing.B) {
+	db, err := Open(filepath.Join(b.TempDir(), "tsdb"), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := bigBatch("m00", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Epoch = uint64(i + 1)
+		if err := db.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(batch.Records)), "points/op")
+}
+
+// The 50k-epoch fleet store: 2 machines x 25k epochs, 6 images over two
+// events — the scale where compaction pays. Built once per binary run;
+// segment files are written with plain os.WriteFile (per-file fsync would
+// make setup ~4x slower and proves nothing about queries).
+const (
+	bigMachines = 2
+	bigEpochs   = 25000
+	bigImages   = 6
+)
+
+func bigBatch(machine string, e uint64) Batch {
+	batch := Batch{
+		Machine:  machine,
+		Workload: "bench",
+		Epoch:    e,
+		Wall:     1 << 20,
+		Period:   62000,
+	}
+	for i := 0; i < bigImages; i++ {
+		img := fmt.Sprintf("/usr/bin/app%d", i)
+		batch.Records = append(batch.Records,
+			Record{Image: img, Event: sim.EvCycles, Samples: uint64(100 + i + int(e%97)), Insts: uint64(5000 * (i + 1))},
+			Record{Image: img, Event: sim.EvIMiss, Samples: uint64(10 + i)},
+		)
+	}
+	return batch
+}
+
+var big struct {
+	once               sync.Once
+	raw, cmp           string
+	rawBytes, cmpBytes int64
+	err                error
+}
+
+func setupBig(b *testing.B) {
+	b.Helper()
+	big.once.Do(func() {
+		root, err := os.MkdirTemp("", "dcpi-tsdb-bench-")
+		if err != nil {
+			big.err = err
+			return
+		}
+		benchRoot = root
+		big.raw = filepath.Join(root, "raw")
+		big.cmp = filepath.Join(root, "cmp")
+		for _, d := range []string{big.raw, big.cmp} {
+			if big.err = os.MkdirAll(d, 0o755); big.err != nil {
+				return
+			}
+		}
+		seq := uint64(1)
+		var buf bytes.Buffer
+		for m := 0; m < bigMachines; m++ {
+			for e := uint64(1); e <= bigEpochs; e++ {
+				batch := bigBatch(fmt.Sprintf("m%02d", m), e)
+				buf.Reset()
+				if big.err = EncodeSegment(&buf, &batch); big.err != nil {
+					return
+				}
+				name := segName(seq)
+				seq++
+				for _, d := range []string{big.raw, big.cmp} {
+					if big.err = os.WriteFile(filepath.Join(d, name), buf.Bytes(), 0o644); big.err != nil {
+						return
+					}
+				}
+			}
+		}
+		db, err := Open(big.cmp, Options{})
+		if err != nil {
+			big.err = err
+			return
+		}
+		if _, big.err = db.Compact(CompactOptions{CompactAfter: 1}); big.err != nil {
+			return
+		}
+		big.rawBytes, big.cmpBytes = dirSize(big.raw), dirSize(big.cmp)
+	})
+	if big.err != nil {
+		b.Fatal(big.err)
+	}
+}
+
+func dirSize(dir string) int64 {
+	var total int64
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+func benchRangeBig(b *testing.B, dir string, diskBytes int64) {
+	db, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := RangeQuery(db, "/usr/bin/app3", sim.EvCycles, 1, bigEpochs)
+		if len(rows) != bigEpochs {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+	b.ReportMetric(float64(diskBytes)/float64(bigMachines*bigEpochs), "diskB/epoch")
+}
+
+// BenchmarkRangeQuery50kRaw scans the full 50k-epoch store in its raw,
+// one-segment-per-(machine,epoch) form — the pre-compaction baseline.
+func BenchmarkRangeQuery50kRaw(b *testing.B) {
+	setupBig(b)
+	benchRangeBig(b, big.raw, big.rawBytes)
+}
+
+// BenchmarkRangeQuery50kCompact runs the identical query after compaction
+// into two delta-encoded blocks.
+func BenchmarkRangeQuery50kCompact(b *testing.B) {
+	setupBig(b)
+	benchRangeBig(b, big.cmp, big.cmpBytes)
 }

@@ -1,0 +1,750 @@
+package tsdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"dcpi/internal/atomicio"
+	"dcpi/internal/sim"
+)
+
+// BlockMagic identifies a tsdb block file.
+var BlockMagic = [8]byte{'D', 'C', 'P', 'I', 'T', 'S', 'B', 'K'}
+
+// BlockVersion is the current block-format version.
+const BlockVersion = 1
+
+// A block is the compacted form of a run of one machine's raw segments:
+// column-oriented per-series storage with delta/varint encoding. Epoch
+// metadata (wall, period) is stored once per epoch instead of once per
+// point, labels are interned in a sorted string table, and each series'
+// epochs/samples/insts columns delta-encode against their predecessor —
+// together roughly 5-7 bytes per point against ~36 for the raw form.
+//
+// A block remembers the raw segment sequence range it consumed
+// ([firstSeq, lastSeq]); Open uses it to reclaim input files left behind
+// by a crash between the block's commit rename and the input cleanup.
+//
+// downsample == 0 means raw fidelity: every (epoch, point) survives and
+// queries decode the identical Points the raw segments held. downsample
+// == N ≥ 2 means each series keeps one aggregate per N-epoch bucket
+// (sums of samples/insts/wall, per-epoch min/max, cycle-weighted mean
+// period) and the per-epoch metadata table is replaced by per-bucket
+// sums.
+type block struct {
+	machine    string
+	firstSeq   uint64
+	lastSeq    uint64
+	minEpoch   uint64
+	maxEpoch   uint64
+	downsample uint64
+	metas      []epochMeta  // raw blocks: ascending, one per stored epoch
+	buckets    []bucketMeta // downsampled blocks: ascending bucket starts
+	series     []bseries    // ascending by (workload, image, proc, event)
+	points     int
+}
+
+// epochMeta is one epoch's shared metadata in a raw block.
+type epochMeta struct {
+	epoch  uint64
+	wall   int64
+	period float64
+}
+
+// bucketMeta is one N-epoch bucket's shared metadata in a downsampled
+// block: the bucket's first epoch, how many raw epochs it aggregated,
+// and their wall-cycle sum.
+type bucketMeta struct {
+	epoch  uint64
+	epochs uint64
+	wall   int64
+}
+
+// bseries is one decoded series: parallel columns, epochs non-decreasing
+// (duplicates allowed in raw blocks — a re-scrape race can legitimately
+// store the same epoch twice; see Select's ordering contract). walls and
+// periods are materialized from the epoch/bucket metadata at decode time
+// so query scans touch no side tables. mins/maxs are nil in raw blocks
+// (Min == Max == Samples there).
+type bseries struct {
+	labels  Labels
+	epochs  []uint64
+	samples []uint64
+	insts   []uint64
+	walls   []int64
+	periods []float64
+	mins    []uint64
+	maxs    []uint64
+}
+
+// point materializes column j as a Point.
+func (bs *bseries) point(j int) Point {
+	p := Point{
+		Labels:  bs.labels,
+		Epoch:   bs.epochs[j],
+		Samples: bs.samples[j],
+		Insts:   bs.insts[j],
+		Wall:    bs.walls[j],
+		Period:  bs.periods[j],
+	}
+	if bs.mins != nil {
+		p.Min, p.Max = bs.mins[j], bs.maxs[j]
+	} else {
+		p.Min, p.Max = p.Samples, p.Samples
+	}
+	return p
+}
+
+// searchEpoch returns the first column index with epoch >= e.
+func (bs *bseries) searchEpoch(e uint64) int {
+	return sort.Search(len(bs.epochs), func(i int) bool { return bs.epochs[i] >= e })
+}
+
+// hasEpoch reports whether the block stores (or, when downsampled,
+// covers) the given epoch.
+func (b *block) hasEpoch(e uint64) bool {
+	if e < b.minEpoch || e > b.maxEpoch {
+		return false
+	}
+	if b.downsample == 0 {
+		i := sort.Search(len(b.metas), func(i int) bool { return b.metas[i].epoch >= e })
+		return i < len(b.metas) && b.metas[i].epoch == e
+	}
+	start := bucketStart(e, b.downsample)
+	i := sort.Search(len(b.buckets), func(i int) bool { return b.buckets[i].epoch >= start })
+	return i < len(b.buckets) && b.buckets[i].epoch == start
+}
+
+// bucketStart maps an epoch (>= 1) to its N-epoch bucket's first epoch.
+func bucketStart(e, n uint64) uint64 { return (e-1)/n*n + 1 }
+
+func seriesLess(a, b *Labels) bool {
+	if a.Workload != b.Workload {
+		return a.Workload < b.Workload
+	}
+	if a.Image != b.Image {
+		return a.Image < b.Image
+	}
+	if a.Proc != b.Proc {
+		return a.Proc < b.Proc
+	}
+	return a.Event < b.Event
+}
+
+// buildBlock merges one machine's raw sources (ascending fileSeq) into an
+// in-memory block. Epoch metadata is canonicalized first-writer-wins:
+// when a re-scrape race stored the same epoch twice, the lowest-sequence
+// segment's wall/period stand for that epoch (in practice re-scrapes of
+// a sealed epoch carry identical metadata). Points with identical labels
+// and epoch all survive, in segment-sequence order.
+func buildBlock(machine string, srcs []*source) *block {
+	b := &block{
+		machine:  machine,
+		firstSeq: srcs[0].fileSeq,
+		lastSeq:  srcs[len(srcs)-1].fileSeq,
+	}
+	metaByEpoch := map[uint64]epochMeta{}
+	type col struct {
+		epochs, samples, insts []uint64
+	}
+	byLabel := map[Labels]*col{}
+	var order []Labels
+	for _, s := range srcs {
+		if _, ok := metaByEpoch[s.seg.epoch]; !ok {
+			metaByEpoch[s.seg.epoch] = epochMeta{s.seg.epoch, s.seg.wall, s.seg.period}
+		}
+		for i := range s.seg.points {
+			p := &s.seg.points[i]
+			c := byLabel[p.Labels]
+			if c == nil {
+				c = &col{}
+				byLabel[p.Labels] = c
+				order = append(order, p.Labels)
+			}
+			c.epochs = append(c.epochs, p.Epoch)
+			c.samples = append(c.samples, p.Samples)
+			c.insts = append(c.insts, p.Insts)
+		}
+	}
+	b.metas = make([]epochMeta, 0, len(metaByEpoch))
+	for _, m := range metaByEpoch {
+		b.metas = append(b.metas, m)
+	}
+	sort.Slice(b.metas, func(i, j int) bool { return b.metas[i].epoch < b.metas[j].epoch })
+	b.minEpoch = b.metas[0].epoch
+	b.maxEpoch = b.metas[len(b.metas)-1].epoch
+	sort.Slice(order, func(i, j int) bool { return seriesLess(&order[i], &order[j]) })
+	b.series = make([]bseries, 0, len(order))
+	for _, lab := range order {
+		c := byLabel[lab]
+		// Sort columns by epoch, keeping ingestion order for duplicates.
+		idx := make([]int, len(c.epochs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(i, j int) bool { return c.epochs[idx[i]] < c.epochs[idx[j]] })
+		bs := bseries{
+			labels:  lab,
+			epochs:  make([]uint64, len(idx)),
+			samples: make([]uint64, len(idx)),
+			insts:   make([]uint64, len(idx)),
+			walls:   make([]int64, len(idx)),
+			periods: make([]float64, len(idx)),
+		}
+		for out, in := range idx {
+			e := c.epochs[in]
+			m := metaByEpoch[e]
+			bs.epochs[out] = e
+			bs.samples[out] = c.samples[in]
+			bs.insts[out] = c.insts[in]
+			bs.walls[out] = m.wall
+			bs.periods[out] = m.period
+		}
+		b.series = append(b.series, bs)
+		b.points += len(idx)
+	}
+	return b
+}
+
+// downsampleBlock rewrites a raw block as per-N-epoch aggregates.
+func downsampleBlock(b *block, n uint64) *block {
+	d := &block{
+		machine:    b.machine,
+		firstSeq:   b.firstSeq,
+		lastSeq:    b.lastSeq,
+		downsample: n,
+	}
+	bucketByStart := map[uint64]*bucketMeta{}
+	for _, m := range b.metas {
+		start := bucketStart(m.epoch, n)
+		bm := bucketByStart[start]
+		if bm == nil {
+			bm = &bucketMeta{epoch: start}
+			bucketByStart[start] = bm
+			d.buckets = append(d.buckets, bucketMeta{})
+		}
+		bm.epochs++
+		bm.wall += m.wall
+	}
+	starts := make([]uint64, 0, len(bucketByStart))
+	for s := range bucketByStart {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for i, s := range starts {
+		d.buckets[i] = *bucketByStart[s]
+	}
+	d.minEpoch = d.buckets[0].epoch
+	d.maxEpoch = d.buckets[len(d.buckets)-1].epoch + n - 1
+	for si := range b.series {
+		src := &b.series[si]
+		ds := bseries{labels: src.labels}
+		for j := 0; j < len(src.epochs); {
+			start := bucketStart(src.epochs[j], n)
+			var samples, insts, min, max uint64
+			var cycles float64
+			first := j
+			for ; j < len(src.epochs) && bucketStart(src.epochs[j], n) == start; j++ {
+				s := src.samples[j]
+				samples += s
+				insts += src.insts[j]
+				cycles += float64(s) * src.periods[j]
+				if j == first || s < min {
+					min = s
+				}
+				if s > max {
+					max = s
+				}
+			}
+			period := src.periods[first]
+			if samples > 0 {
+				period = cycles / float64(samples)
+			}
+			ds.epochs = append(ds.epochs, start)
+			ds.samples = append(ds.samples, samples)
+			ds.insts = append(ds.insts, insts)
+			ds.walls = append(ds.walls, bucketByStart[start].wall)
+			ds.periods = append(ds.periods, period)
+			ds.mins = append(ds.mins, min)
+			ds.maxs = append(ds.maxs, max)
+		}
+		d.series = append(d.series, ds)
+		d.points += len(ds.epochs)
+	}
+	return d
+}
+
+// EncodeBlock writes the framed, CRC-stamped encoding of a block.
+func EncodeBlock(w io.Writer, b *block) error {
+	var payload bytes.Buffer
+	pw := bufio.NewWriter(&payload)
+	writeString := func(s string) error {
+		if err := atomicio.WriteUvarint(pw, uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := pw.WriteString(s)
+		return err
+	}
+	wu := func(vs ...uint64) error {
+		for _, v := range vs {
+			if err := atomicio.WriteUvarint(pw, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeString(b.machine); err != nil {
+		return err
+	}
+	if err := wu(b.firstSeq, b.lastSeq, b.minEpoch, b.maxEpoch, b.downsample); err != nil {
+		return err
+	}
+	if b.downsample == 0 {
+		if err := wu(uint64(len(b.metas))); err != nil {
+			return err
+		}
+		var prevEpoch uint64
+		var prevWall int64
+		var prevBits uint64
+		for _, m := range b.metas {
+			bits := math.Float64bits(m.period)
+			if err := wu(m.epoch - prevEpoch); err != nil {
+				return err
+			}
+			if err := atomicio.WriteVarint(pw, m.wall-prevWall); err != nil {
+				return err
+			}
+			if err := wu(bits ^ prevBits); err != nil {
+				return err
+			}
+			prevEpoch, prevWall, prevBits = m.epoch, m.wall, bits
+		}
+	} else {
+		if err := wu(uint64(len(b.buckets))); err != nil {
+			return err
+		}
+		var prevEpoch uint64
+		var prevWall int64
+		for _, bm := range b.buckets {
+			if err := wu(bm.epoch-prevEpoch, bm.epochs); err != nil {
+				return err
+			}
+			if err := atomicio.WriteVarint(pw, bm.wall-prevWall); err != nil {
+				return err
+			}
+			prevEpoch, prevWall = bm.epoch, bm.wall
+		}
+	}
+	strs, strIdx := blockStringTable(b)
+	if err := wu(uint64(len(strs))); err != nil {
+		return err
+	}
+	for _, s := range strs {
+		if err := writeString(s); err != nil {
+			return err
+		}
+	}
+	if err := wu(uint64(len(b.series))); err != nil {
+		return err
+	}
+	for si := range b.series {
+		bs := &b.series[si]
+		if err := wu(strIdx[bs.labels.Workload], strIdx[bs.labels.Image], strIdx[bs.labels.Proc]); err != nil {
+			return err
+		}
+		if err := pw.WriteByte(byte(bs.labels.Event)); err != nil {
+			return err
+		}
+		if err := wu(uint64(len(bs.epochs))); err != nil {
+			return err
+		}
+		var prev uint64
+		for _, e := range bs.epochs {
+			if err := wu(e - prev); err != nil {
+				return err
+			}
+			prev = e
+		}
+		for _, col := range [][]uint64{bs.samples, bs.insts} {
+			prev = 0
+			for _, v := range col {
+				// Wrap-around delta: exact mod 2^64, small varints for
+				// slowly-varying counters.
+				if err := atomicio.WriteVarint(pw, int64(v-prev)); err != nil {
+					return err
+				}
+				prev = v
+			}
+		}
+		if b.downsample > 0 {
+			for _, v := range bs.mins {
+				if err := wu(v); err != nil {
+					return err
+				}
+			}
+			for j, v := range bs.maxs {
+				if err := wu(v - bs.mins[j]); err != nil {
+					return err
+				}
+			}
+			var prevBits uint64
+			for _, p := range bs.periods {
+				bits := math.Float64bits(p)
+				if err := wu(bits ^ prevBits); err != nil {
+					return err
+				}
+				prevBits = bits
+			}
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		return err
+	}
+	return writeFramed(w, BlockMagic, BlockVersion, payload.Bytes())
+}
+
+// blockStringTable collects the sorted, deduplicated workload/image/proc
+// strings of all series.
+func blockStringTable(b *block) ([]string, map[string]uint64) {
+	set := map[string]struct{}{}
+	for i := range b.series {
+		lab := &b.series[i].labels
+		set[lab.Workload] = struct{}{}
+		set[lab.Image] = struct{}{}
+		set[lab.Proc] = struct{}{}
+	}
+	strs := make([]string, 0, len(set))
+	for s := range set {
+		strs = append(strs, s)
+	}
+	sort.Strings(strs)
+	idx := make(map[string]uint64, len(strs))
+	for i, s := range strs {
+		idx[s] = uint64(i)
+	}
+	return strs, idx
+}
+
+// DecodeBlock decodes and validates one block file.
+func DecodeBlock(raw []byte) (*block, error) {
+	payload, err := checkFrame(raw, BlockMagic, BlockVersion)
+	if err != nil {
+		return nil, err
+	}
+	br := bytes.NewReader(payload)
+	b := &block{}
+	if b.machine, err = readString(br); err != nil {
+		return nil, err
+	}
+	if b.machine == "" {
+		return nil, errors.New("tsdb: block without machine label")
+	}
+	ru := func(dst ...*uint64) error {
+		for _, d := range dst {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return err
+			}
+			*d = v
+		}
+		return nil
+	}
+	if err := ru(&b.firstSeq, &b.lastSeq, &b.minEpoch, &b.maxEpoch, &b.downsample); err != nil {
+		return nil, err
+	}
+	if b.firstSeq == 0 || b.firstSeq > b.lastSeq {
+		return nil, fmt.Errorf("tsdb: bad block sequence range [%d, %d]", b.firstSeq, b.lastSeq)
+	}
+	if b.downsample == 1 {
+		return nil, errors.New("tsdb: bad downsample factor 1")
+	}
+	if b.downsample == 0 {
+		if err := b.decodeMetas(br); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := b.decodeBuckets(br); err != nil {
+			return nil, err
+		}
+	}
+	strs, err := decodeStringTable(br)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.decodeSeries(br, strs); err != nil {
+		return nil, err
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("tsdb: %d trailing bytes", br.Len())
+	}
+	return b, nil
+}
+
+func (b *block) decodeMetas(br *bytes.Reader) error {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return errors.New("tsdb: block without epochs")
+	}
+	if n > uint64(br.Len())/3+1 {
+		return fmt.Errorf("tsdb: epoch count %d exceeds payload", n)
+	}
+	b.metas = make([]epochMeta, 0, n)
+	var prevEpoch uint64
+	var prevWall int64
+	var prevBits uint64
+	for i := uint64(0); i < n; i++ {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if d == 0 || prevEpoch > math.MaxUint64-d {
+			return errors.New("tsdb: epoch metadata not strictly ascending")
+		}
+		wd, err := binary.ReadVarint(br)
+		if err != nil {
+			return err
+		}
+		bits, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		prevEpoch += d
+		prevWall += wd
+		prevBits ^= bits
+		period, err := readPeriodBits(prevBits)
+		if err != nil {
+			return err
+		}
+		b.metas = append(b.metas, epochMeta{prevEpoch, prevWall, period})
+	}
+	if b.minEpoch != b.metas[0].epoch || b.maxEpoch != b.metas[len(b.metas)-1].epoch {
+		return errors.New("tsdb: block epoch bounds disagree with metadata")
+	}
+	return nil
+}
+
+func (b *block) decodeBuckets(br *bytes.Reader) error {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return errors.New("tsdb: block without buckets")
+	}
+	if n > uint64(br.Len())/3+1 {
+		return fmt.Errorf("tsdb: bucket count %d exceeds payload", n)
+	}
+	b.buckets = make([]bucketMeta, 0, n)
+	var prevEpoch uint64
+	var prevWall int64
+	for i := uint64(0); i < n; i++ {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if d == 0 || prevEpoch > math.MaxUint64-d {
+			return errors.New("tsdb: buckets not strictly ascending")
+		}
+		covered, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		wd, err := binary.ReadVarint(br)
+		if err != nil {
+			return err
+		}
+		prevEpoch += d
+		prevWall += wd
+		if bucketStart(prevEpoch, b.downsample) != prevEpoch {
+			return fmt.Errorf("tsdb: bucket %d not aligned to factor %d", prevEpoch, b.downsample)
+		}
+		if covered == 0 || covered > b.downsample {
+			return fmt.Errorf("tsdb: bucket covers %d of %d epochs", covered, b.downsample)
+		}
+		b.buckets = append(b.buckets, bucketMeta{prevEpoch, covered, prevWall})
+	}
+	last := b.buckets[len(b.buckets)-1]
+	if b.minEpoch != b.buckets[0].epoch || b.maxEpoch != last.epoch+b.downsample-1 {
+		return errors.New("tsdb: block epoch bounds disagree with buckets")
+	}
+	return nil
+}
+
+func decodeStringTable(br *bytes.Reader) ([]string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(br.Len())+1 {
+		return nil, fmt.Errorf("tsdb: string count %d exceeds payload", n)
+	}
+	strs := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && s <= strs[i-1] {
+			return nil, errors.New("tsdb: string table not strictly ascending")
+		}
+		strs = append(strs, s)
+	}
+	return strs, nil
+}
+
+func (b *block) decodeSeries(br *bytes.Reader, strs []string) error {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if n > uint64(br.Len())/8+1 {
+		return fmt.Errorf("tsdb: series count %d exceeds payload", n)
+	}
+	b.series = make([]bseries, 0, n)
+	var prevLab Labels
+	for i := uint64(0); i < n; i++ {
+		var wi, ii, pi uint64
+		for _, d := range []*uint64{&wi, &ii, &pi} {
+			if *d, err = binary.ReadUvarint(br); err != nil {
+				return err
+			}
+			if *d >= uint64(len(strs)) {
+				return fmt.Errorf("tsdb: string index %d out of range", *d)
+			}
+		}
+		evb, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		if sim.Event(evb) >= sim.NumEvents {
+			return fmt.Errorf("tsdb: bad event %d", evb)
+		}
+		lab := Labels{
+			Machine: b.machine, Workload: strs[wi], Image: strs[ii],
+			Proc: strs[pi], Event: sim.Event(evb),
+		}
+		if i > 0 && !seriesLess(&prevLab, &lab) {
+			return errors.New("tsdb: series not strictly ascending")
+		}
+		prevLab = lab
+		bs, err := b.decodeOneSeries(br, lab)
+		if err != nil {
+			return err
+		}
+		b.series = append(b.series, *bs)
+		b.points += len(bs.epochs)
+	}
+	return nil
+}
+
+func (b *block) decodeOneSeries(br *bytes.Reader, lab Labels) (*bseries, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, errors.New("tsdb: empty series")
+	}
+	minBytes := uint64(3)
+	if b.downsample > 0 {
+		minBytes = 6
+	}
+	if n > uint64(br.Len())/minBytes+1 {
+		return nil, fmt.Errorf("tsdb: point count %d exceeds payload", n)
+	}
+	bs := &bseries{
+		labels:  lab,
+		epochs:  make([]uint64, n),
+		samples: make([]uint64, n),
+		insts:   make([]uint64, n),
+		walls:   make([]int64, n),
+		periods: make([]float64, n),
+	}
+	var prev uint64
+	for j := range bs.epochs {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if prev > math.MaxUint64-d {
+			return nil, errors.New("tsdb: series epochs overflow")
+		}
+		prev += d
+		if b.downsample > 0 && j > 0 && d == 0 {
+			return nil, errors.New("tsdb: duplicate bucket in series")
+		}
+		bs.epochs[j] = prev
+	}
+	for _, col := range [][]uint64{bs.samples, bs.insts} {
+		prev = 0
+		for j := range col {
+			d, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			prev += uint64(d)
+			col[j] = prev
+		}
+	}
+	if b.downsample == 0 {
+		// Join wall/period from the epoch-metadata table; every point's
+		// epoch must be present there.
+		mi := 0
+		for j, e := range bs.epochs {
+			for mi < len(b.metas) && b.metas[mi].epoch < e {
+				mi++
+			}
+			if mi == len(b.metas) || b.metas[mi].epoch != e {
+				return nil, fmt.Errorf("tsdb: series epoch %d missing from metadata", e)
+			}
+			bs.walls[j] = b.metas[mi].wall
+			bs.periods[j] = b.metas[mi].period
+		}
+		return bs, nil
+	}
+	bi := 0
+	for j, e := range bs.epochs {
+		for bi < len(b.buckets) && b.buckets[bi].epoch < e {
+			bi++
+		}
+		if bi == len(b.buckets) || b.buckets[bi].epoch != e {
+			return nil, fmt.Errorf("tsdb: series bucket %d missing from bucket table", e)
+		}
+		bs.walls[j] = b.buckets[bi].wall
+	}
+	bs.mins = make([]uint64, n)
+	bs.maxs = make([]uint64, n)
+	for j := range bs.mins {
+		if bs.mins[j], err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+	}
+	for j := range bs.maxs {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		bs.maxs[j] = bs.mins[j] + d
+	}
+	var prevBits uint64
+	for j := range bs.periods {
+		bits, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		prevBits ^= bits
+		if bs.periods[j], err = readPeriodBits(prevBits); err != nil {
+			return nil, err
+		}
+	}
+	return bs, nil
+}

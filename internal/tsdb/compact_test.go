@@ -1,0 +1,421 @@
+package tsdb
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dcpi/internal/sim"
+)
+
+// procBatch is a batch with image-level and per-procedure rows, the shape
+// the collector ingests from a symbolizing target.
+func procBatch(machine string, epoch uint64) Batch {
+	return Batch{
+		Machine:  machine,
+		Workload: "x11perf",
+		Epoch:    epoch,
+		Wall:     2_000_000,
+		Period:   62000,
+		Records: []Record{
+			{Image: "/usr/bin/X", Event: sim.EvCycles, Samples: 60 + epoch, Insts: 9000},
+			{Image: "/usr/bin/X", Proc: "ffbFill", Event: sim.EvCycles, Samples: 40 + epoch},
+			{Image: "/usr/bin/X", Proc: "miClip", Event: sim.EvCycles, Samples: 20},
+			{Image: "/kernel", Event: sim.EvCycles, Samples: 9 + epoch},
+			{Image: "/usr/bin/X", Event: sim.EvIMiss, Samples: 3},
+		},
+	}
+}
+
+func mustAppend(t *testing.T, db *DB, b Batch) {
+	t.Helper()
+	if err := db.Append(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCompact(t *testing.T, db *DB, o CompactOptions) CompactStats {
+	t.Helper()
+	st, err := db.Compact(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestBlockRoundTrip encodes and decodes a raw and a downsampled block
+// built from real batches, requiring a lossless round trip.
+func TestBlockRoundTrip(t *testing.T) {
+	var srcs []*source
+	for e := uint64(1); e <= 4; e++ {
+		b := procBatch("m00", e)
+		srcs = append(srcs, sourceFromBatch(e, "", 0, &b))
+	}
+	for _, bl := range []*block{buildBlock("m00", srcs), downsampleBlock(buildBlock("m00", srcs), 2)} {
+		var buf bytes.Buffer
+		if err := EncodeBlock(&buf, bl); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBlock(buf.Bytes())
+		if err != nil {
+			t.Fatalf("downsample=%d: %v", bl.downsample, err)
+		}
+		if !reflect.DeepEqual(got, bl) {
+			t.Errorf("downsample=%d round trip changed the block:\nin  %+v\nout %+v",
+				bl.downsample, bl, got)
+		}
+	}
+}
+
+func TestBlockCorruptionDetected(t *testing.T) {
+	b := procBatch("m00", 1)
+	bl := buildBlock("m00", []*source{sourceFromBatch(1, "", 0, &b)})
+	var buf bytes.Buffer
+	if err := EncodeBlock(&buf, bl); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, i := range []int{0, 9, 12, 20, len(raw) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0xff
+		if _, err := DecodeBlock(bad); err == nil {
+			t.Errorf("flipping byte %d went undetected", i)
+		}
+	}
+	if _, err := DecodeBlock(raw[:len(raw)/2]); err == nil {
+		t.Error("truncated block decoded")
+	}
+}
+
+// TestSelectDeterminism pins Select's ordering contract: points sorted by
+// (epoch, machine, workload, image, proc, event), with duplicate
+// (labels, epoch) points — a re-scrape race — in ingestion order. The
+// order must be a stable property of the data, identical across repeated
+// queries, compaction, and reopen.
+func TestSelectDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, db, procBatch("m00", 1))
+	mustAppend(t, db, procBatch("m00", 2))
+	// A re-scrape race stores epoch 2 twice with different samples; the
+	// first-ingested copy must stay first.
+	dup := procBatch("m00", 2)
+	dup.Records[0].Samples = 999
+	mustAppend(t, db, dup)
+	mustAppend(t, db, procBatch("m00", 3))
+	mustAppend(t, db, procBatch("m01", 1))
+
+	m := Matcher{AnyEvent: true, AnyProc: true, FromEpoch: 1, ToEpoch: 3}
+	want := db.Select(m)
+	raced := Labels{Machine: "m00", Workload: "x11perf", Image: "/usr/bin/X", Event: sim.EvCycles}
+	var prev *Point
+	dupSeen, sawRace := 0, false
+	for i := range want {
+		p := &want[i]
+		if prev != nil {
+			if p.Epoch < prev.Epoch {
+				t.Fatalf("point %d: epoch %d after %d", i, p.Epoch, prev.Epoch)
+			}
+			if p.Epoch == prev.Epoch && p.Labels != prev.Labels && labelsLess(&p.Labels, &prev.Labels) {
+				t.Fatalf("point %d: labels %+v after %+v", i, p.Labels, prev.Labels)
+			}
+			if p.Epoch == prev.Epoch && p.Labels == prev.Labels {
+				dupSeen++
+				if p.Labels == raced {
+					// The only series whose two copies differ: the
+					// first-ingested value must come first.
+					if prev.Samples != 62 || p.Samples != 999 {
+						t.Fatalf("duplicate order wrong: %d then %d (want 62 then 999)", prev.Samples, p.Samples)
+					}
+					sawRace = true
+				}
+			}
+		}
+		prev = p
+	}
+	if dupSeen != len(dup.Records) || !sawRace {
+		t.Fatalf("saw %d duplicate pairs (want %d), raced series seen: %v", dupSeen, len(dup.Records), sawRace)
+	}
+	for i := 0; i < 10; i++ {
+		if got := db.Select(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("repeat %d: Select order changed", i)
+		}
+	}
+	mustCompact(t, db, CompactOptions{CompactAfter: 1})
+	if got := db.Select(m); !reflect.DeepEqual(got, want) {
+		t.Fatal("Select order changed after compaction")
+	}
+	db2, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Select(m); !reflect.DeepEqual(got, want) {
+		t.Fatal("Select order changed after reopen")
+	}
+}
+
+// TestCompactionByteIdentity requires every query to return identical
+// results before and after compaction, across all query shapes and a
+// reopen of the compacted store.
+func TestCompactionByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const machines, epochs = 3, 8
+	for m := 0; m < machines; m++ {
+		for e := uint64(1); e <= epochs; e++ {
+			mustAppend(t, db, procBatch(fmt.Sprintf("m%02d", m), e))
+		}
+	}
+	type answers struct {
+		sel    []Point
+		rng    []RangeRow
+		rngPrc []RangeRow
+		top    []TopRow
+		procs  []ProcRow
+		deltas any
+	}
+	query := func(db *DB) answers {
+		return answers{
+			sel:    db.Select(Matcher{AnyEvent: true, AnyProc: true, FromEpoch: 1, ToEpoch: epochs}),
+			rng:    RangeQuery(db, "/usr/bin/X", sim.EvCycles, 1, epochs),
+			rngPrc: RangeQueryProc(db, "/usr/bin/X", "ffbFill", sim.EvCycles, 1, epochs),
+			top:    TopImages(db, sim.EvCycles, 1, epochs, 10),
+			procs:  TopProcs(db, "/usr/bin/X", sim.EvCycles, 1, epochs, 10),
+			deltas: TopDeltas(db, sim.EvCycles, 1, epochs/2, epochs/2+1, epochs, 10),
+		}
+	}
+	before := query(db)
+	preStats := db.Stats()
+	st := mustCompact(t, db, CompactOptions{CompactAfter: 1})
+	if st.SegmentsCompacted != machines*epochs || st.BlocksWritten != machines {
+		t.Fatalf("compact stats: %+v", st)
+	}
+	if st.BytesAfter >= st.BytesBefore {
+		t.Errorf("compaction grew the store: %d -> %d bytes", st.BytesBefore, st.BytesAfter)
+	}
+	if !reflect.DeepEqual(query(db), before) {
+		t.Fatal("query answers changed after compaction")
+	}
+	postStats := db.Stats()
+	if postStats.Segments != 0 || postStats.Blocks != machines || postStats.Points != preStats.Points {
+		t.Fatalf("store shape after compaction: %+v", postStats)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(query(db2), before) {
+		t.Fatal("query answers changed after reopening the compacted store")
+	}
+}
+
+// TestDownsampling compacts old epochs into per-3-epoch aggregates and
+// checks the sums, extremes, and cycle-weighted period.
+func TestDownsampling(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 6; e++ {
+		mustAppend(t, db, procBatch("m00", e))
+	}
+	mustCompact(t, db, CompactOptions{CompactAfter: 1})
+	for e := uint64(7); e <= 10; e++ {
+		mustAppend(t, db, procBatch("m00", e))
+	}
+	// Horizon = 10 - 3 = 7: the first block (epochs 1-6) is wholly behind
+	// it and gets downsampled; the new block (7-10) stays raw.
+	st := mustCompact(t, db, CompactOptions{CompactAfter: 1, RawRetention: 3, Downsample: 3})
+	if st.BlocksDownsampled != 1 {
+		t.Fatalf("downsampled %d blocks, want 1", st.BlocksDownsampled)
+	}
+	if got := db.Stats(); got.Downsampled != 1 || got.Blocks != 2 {
+		t.Fatalf("stats: %+v", got)
+	}
+
+	pts := db.Select(Matcher{Machine: "m00", Image: "/usr/bin/X", Event: sim.EvCycles, FromEpoch: 1, ToEpoch: 6})
+	if len(pts) != 2 {
+		t.Fatalf("got %d aggregate points, want 2: %+v", len(pts), pts)
+	}
+	// Bucket 1 aggregates epochs 1-3: samples 61+62+63, insts 3x9000,
+	// wall 3x2M; all periods equal so the weighted mean is 62000 exactly.
+	want := []struct {
+		epoch, samples, insts, min, max uint64
+		wall                            int64
+	}{
+		{1, 61 + 62 + 63, 27000, 61, 63, 6_000_000},
+		{4, 64 + 65 + 66, 27000, 64, 66, 6_000_000},
+	}
+	for i, w := range want {
+		p := pts[i]
+		if p.Epoch != w.epoch || p.Samples != w.samples || p.Insts != w.insts ||
+			p.Min != w.min || p.Max != w.max || p.Wall != w.wall || p.Period != 62000 {
+			t.Errorf("bucket %d = %+v, want %+v", i, p, w)
+		}
+		if got, want := p.Cycles(), float64(w.samples)*62000; got != want {
+			t.Errorf("bucket %d cycles = %v, want %v", i, got, want)
+		}
+	}
+	// Per-epoch presence collapses to bucket coverage behind the horizon;
+	// raw epochs keep exact presence.
+	for e := uint64(1); e <= 10; e++ {
+		if !db.HasEpoch("m00", e) {
+			t.Errorf("HasEpoch(m00, %d) = false", e)
+		}
+	}
+	if db.HasEpoch("m00", 11) {
+		t.Error("HasEpoch(m00, 11) = true")
+	}
+}
+
+func TestCompactGuards(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, db, procBatch("m00", 1))
+	if _, err := db.Compact(CompactOptions{CompactAfter: 1, Downsample: 4}); err == nil {
+		t.Error("downsampling without a raw-retention horizon succeeded")
+	}
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Compact(CompactOptions{CompactAfter: 1}); err == nil {
+		t.Error("compacting a read-only store succeeded")
+	}
+}
+
+// TestCrashMidCompaction simulates dying between a block's commit rename
+// and the removal of its input segments: reopening must reclaim the
+// leftover inputs so no point appears twice.
+func TestCrashMidCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 3; e++ {
+		mustAppend(t, db, procBatch("m00", e))
+	}
+	mustAppend(t, db, procBatch("m01", 1))
+	m := Matcher{AnyEvent: true, AnyProc: true, FromEpoch: 1, ToEpoch: 3}
+	want := db.Select(m)
+
+	db.testCrashMidCompact = true
+	mustCompact(t, db, CompactOptions{CompactAfter: 1})
+	// The block and all its inputs now coexist on disk.
+	names, _ := filepath.Glob(filepath.Join(dir, "*.tsdb"))
+	if len(names) != 5 {
+		t.Fatalf("%d files after simulated crash, want 5 (4 segments + 1 block)", len(names))
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db2.Stats()
+	if st.Reclaimed != 3 || st.Segments != 1 || st.Blocks != 1 {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	if got := db2.Select(m); !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered store answers differently")
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "*.tsdb"))
+	if len(left) != 2 {
+		t.Fatalf("%d files after recovery, want 2", len(left))
+	}
+}
+
+// TestCrashMidDownsample simulates dying between a downsampled rewrite's
+// commit and the removal of the raw block it replaced: the older block's
+// sequence range is contained in the newer one's, so reopen drops it.
+func TestCrashMidDownsample(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 4; e++ {
+		mustAppend(t, db, procBatch("m00", e))
+	}
+	mustCompact(t, db, CompactOptions{CompactAfter: 1}) // -> blk-00000005
+	// Fake the crashed rewrite: a newer block file with the same consumed
+	// range (what downsampleLocked commits before unlinking the old one).
+	raw, err := os.ReadFile(filepath.Join(dir, blkName(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, blkName(6)), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db2.Stats()
+	if st.Reclaimed != 1 || st.Blocks != 1 {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, blkName(5))); !os.IsNotExist(err) {
+		t.Error("superseded block survived reopen")
+	}
+}
+
+// TestEvictionWithBlocksAndQuarantine pins the size-cap interplay:
+// compacted blocks are evicted oldest-epoch-first before newer data, and
+// quarantined .bad files never count against the cap.
+func TestEvictionWithBlocksAndQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 20; e++ {
+		mustAppend(t, db, procBatch("m00", e))
+	}
+	mustCompact(t, db, CompactOptions{CompactAfter: 1}) // block A: epochs 1-20
+	for e := uint64(21); e <= 40; e++ {
+		mustAppend(t, db, procBatch("m00", e))
+	}
+	mustCompact(t, db, CompactOptions{CompactAfter: 1}) // block B: epochs 21-40
+	size := db.Stats().SizeBytes
+
+	// A fat quarantined file must not count against the cap: with the cap
+	// set to the live size, reopening and appending one more epoch must
+	// evict only the oldest block, not everything.
+	if err := os.WriteFile(filepath.Join(dir, segName(99)+".bad"), make([]byte, 1<<20), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{MaxBytes: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Stats(); got.SizeBytes != size || got.Blocks != 2 {
+		t.Fatalf("reopen counted quarantine against the store: %+v", got)
+	}
+	mustAppend(t, db2, procBatch("m00", 41))
+	st := db2.Stats()
+	if st.Evicted != 1 || st.Blocks != 1 || st.Segments != 1 {
+		t.Fatalf("eviction stats: %+v", st)
+	}
+	if db2.HasEpoch("m00", 20) {
+		t.Error("oldest block not evicted")
+	}
+	if !db2.HasEpoch("m00", 21) || !db2.HasEpoch("m00", 40) || !db2.HasEpoch("m00", 41) {
+		t.Error("eviction took newer data")
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(99)+".bad")); err != nil {
+		t.Errorf("quarantined file touched by eviction: %v", err)
+	}
+}

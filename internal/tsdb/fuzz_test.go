@@ -65,3 +65,62 @@ func FuzzTSDBSegmentDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTSDBBlockDecode feeds arbitrary bytes to the block decoder, which
+// guards a much richer invariant set than segments (delta-coded epoch
+// metadata, sorted string table, ascending series, column/metadata
+// joins). Corrupt input must fail cleanly without panics or huge
+// allocations; accepted input must survive an encode/decode round trip.
+func FuzzTSDBBlockDecode(f *testing.F) {
+	var srcs []*source
+	for e := uint64(1); e <= 3; e++ {
+		b := Batch{
+			Machine:  "m04",
+			Workload: "timeshare",
+			Epoch:    e,
+			Wall:     2_000_000 + int64(e),
+			Period:   62000,
+			Records: []Record{
+				{Image: "/usr/bin/app", Event: sim.EvCycles, Samples: 40 + e, Insts: 7000},
+				{Image: "/usr/bin/app", Proc: "main", Event: sim.EvCycles, Samples: 40 + e},
+				{Image: "/kernel", Event: sim.EvDMiss, Samples: e},
+			},
+		}
+		srcs = append(srcs, sourceFromBatch(e, "", 0, &b))
+	}
+	raw := buildBlock("m04", srcs)
+	encode := func(b *block) []byte {
+		var buf bytes.Buffer
+		if err := EncodeBlock(&buf, b); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	rawBytes := encode(raw)
+	f.Add(rawBytes)
+	f.Add(encode(downsampleBlock(raw, 2)))
+	f.Add(rawBytes[:13])         // truncated header
+	f.Add(rawBytes[:25])         // truncated payload
+	f.Add([]byte("not a block")) // bad magic
+	flipped := append([]byte(nil), rawBytes...)
+	flipped[len(flipped)-1] ^= 0xff // corrupt payload (CRC must catch it)
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBlock(data)
+		if err != nil {
+			return // rejected cleanly — fine
+		}
+		var out bytes.Buffer
+		if err := EncodeBlock(&out, b); err != nil {
+			t.Fatalf("re-encoding accepted block: %v", err)
+		}
+		q, err := DecodeBlock(out.Bytes())
+		if err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		if !reflect.DeepEqual(q, b) {
+			t.Errorf("round trip changed the block:\nfirst  %+v\nsecond %+v", b, q)
+		}
+	})
+}

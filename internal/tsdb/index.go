@@ -1,0 +1,153 @@
+package tsdb
+
+// source is one on-disk file — a raw segment or a block — plus the label
+// summary the query planner prunes against. Sources are immutable once
+// built; the DB only adds and removes whole sources under db.mu, so a
+// query that snapshotted a source's pointer can keep scanning it
+// lock-free even while compaction retires the file.
+type source struct {
+	fileSeq uint64 // sequence number in the file name; allocation order
+	// ordSeq orders a source's points against other sources' points for
+	// duplicate-(labels, epoch) resolution: the raw segment sequence for
+	// raw sources, and the highest consumed segment sequence (lastSeq)
+	// for blocks. Compaction preserves it, which is what keeps Select
+	// byte-identical across compaction (see Select's ordering contract).
+	ordSeq   uint64
+	path     string
+	bytes    int64
+	machine  string
+	minEpoch uint64
+	maxEpoch uint64
+
+	workloads map[string]struct{}
+	images    map[string]struct{}
+	procs     map[string]struct{}
+	events    uint32 // bitmask by sim.Event
+
+	seg *segment // exactly one of seg/blk is set
+	blk *block
+}
+
+func sourceFromBatch(seq uint64, path string, size int64, b *Batch) *source {
+	s := &source{
+		fileSeq:   seq,
+		ordSeq:    seq,
+		path:      path,
+		bytes:     size,
+		machine:   b.Machine,
+		minEpoch:  b.Epoch,
+		maxEpoch:  b.Epoch,
+		workloads: map[string]struct{}{b.Workload: {}},
+		images:    map[string]struct{}{},
+		procs:     map[string]struct{}{},
+		seg: &segment{
+			epoch:  b.Epoch,
+			wall:   b.Wall,
+			period: b.Period,
+			points: batchPoints(b),
+		},
+	}
+	for _, r := range b.Records {
+		s.images[r.Image] = struct{}{}
+		s.procs[r.Proc] = struct{}{}
+		s.events |= 1 << uint(r.Event)
+	}
+	return s
+}
+
+func sourceFromBlock(seq uint64, path string, size int64, bl *block) *source {
+	s := &source{
+		fileSeq:   seq,
+		ordSeq:    bl.lastSeq,
+		path:      path,
+		bytes:     size,
+		machine:   bl.machine,
+		minEpoch:  bl.minEpoch,
+		maxEpoch:  bl.maxEpoch,
+		workloads: map[string]struct{}{},
+		images:    map[string]struct{}{},
+		procs:     map[string]struct{}{},
+		blk:       bl,
+	}
+	for i := range bl.series {
+		bs := &bl.series[i]
+		s.workloads[bs.labels.Workload] = struct{}{}
+		s.images[bs.labels.Image] = struct{}{}
+		s.procs[bs.labels.Proc] = struct{}{}
+		s.events |= 1 << uint(bs.labels.Event)
+	}
+	return s
+}
+
+// addSource indexes s. Caller holds db.mu (or has exclusive access during
+// Open); srcs stays ascending by fileSeq because sequences are allocated
+// monotonically and Open sorts before inserting.
+func (db *DB) addSource(s *source) {
+	db.srcs = append(db.srcs, s)
+	db.byMachine[s.machine] = append(db.byMachine[s.machine], s)
+	for img := range s.images {
+		db.byImage[img] = append(db.byImage[img], s)
+	}
+}
+
+// removeSource drops s from every posting list. Caller holds db.mu.
+func (db *DB) removeSource(s *source) {
+	db.srcs = dropSource(db.srcs, s)
+	if rest := dropSource(db.byMachine[s.machine], s); len(rest) > 0 {
+		db.byMachine[s.machine] = rest
+	} else {
+		delete(db.byMachine, s.machine)
+	}
+	for img := range s.images {
+		if rest := dropSource(db.byImage[img], s); len(rest) > 0 {
+			db.byImage[img] = rest
+		} else {
+			delete(db.byImage, img)
+		}
+	}
+}
+
+func dropSource(list []*source, s *source) []*source {
+	for i, x := range list {
+		if x == s {
+			return append(list[:i:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// overlaps reports whether the source's epoch range intersects the
+// matcher's, and matchesSource whether the source can contain any
+// matching point at all — the planner's pruning test against the label
+// summary (posting lists narrow the candidate list first; this rejects
+// the rest without touching point data).
+func (s *source) matchesSource(m Matcher) bool {
+	if m.Machine != "" && s.machine != m.Machine {
+		return false
+	}
+	if m.FromEpoch > s.maxEpoch {
+		return false
+	}
+	if m.ToEpoch != 0 && m.ToEpoch < s.minEpoch {
+		return false
+	}
+	if m.Workload != "" {
+		if _, ok := s.workloads[m.Workload]; !ok {
+			return false
+		}
+	}
+	if m.Image != "" {
+		if _, ok := s.images[m.Image]; !ok {
+			return false
+		}
+	}
+	if m.Proc != "" {
+		if _, ok := s.procs[m.Proc]; !ok {
+			return false
+		}
+	}
+	if !m.AnyEvent && s.events&(1<<uint(m.Event)) == 0 {
+		return false
+	}
+	return true
+}

@@ -2,71 +2,290 @@ package tsdb
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dcpi/internal/analysis"
+	"dcpi/internal/par"
 	"dcpi/internal/sim"
 )
 
 // Matcher selects points. Empty string fields match anything; epochs are
 // an inclusive [From, To] range with To == 0 meaning "no upper bound".
+//
+// Procedure-level points are opt-in so that per-image aggregates never
+// double-count: the default (Proc == "", AnyProc == false) matches only
+// image-level points, Proc == name matches only that procedure's points,
+// and AnyProc matches both levels.
 type Matcher struct {
 	Machine   string
 	Workload  string
 	Image     string
+	Proc      string
 	Event     sim.Event
 	AnyEvent  bool // when false, Event must match (EvCycles is the zero value)
+	AnyProc   bool // when false and Proc == "", only image-level points match
 	FromEpoch uint64
 	ToEpoch   uint64
 }
 
+// labelsMatch applies every non-epoch constraint.
+func (m Matcher) labelsMatch(lab Labels) bool {
+	if m.Machine != "" && lab.Machine != m.Machine {
+		return false
+	}
+	if m.Workload != "" && lab.Workload != m.Workload {
+		return false
+	}
+	if m.Image != "" && lab.Image != m.Image {
+		return false
+	}
+	if m.Proc != "" {
+		if lab.Proc != m.Proc {
+			return false
+		}
+	} else if !m.AnyProc && lab.Proc != "" {
+		return false
+	}
+	if !m.AnyEvent && lab.Event != m.Event {
+		return false
+	}
+	return true
+}
+
 func (m Matcher) matches(p Point) bool {
-	if m.Machine != "" && p.Machine != m.Machine {
-		return false
-	}
-	if m.Workload != "" && p.Workload != m.Workload {
-		return false
-	}
-	if m.Image != "" && p.Image != m.Image {
-		return false
-	}
-	if !m.AnyEvent && p.Event != m.Event {
-		return false
-	}
 	if p.Epoch < m.FromEpoch {
 		return false
 	}
 	if m.ToEpoch != 0 && p.Epoch > m.ToEpoch {
 		return false
 	}
-	return true
+	return m.labelsMatch(p.Labels)
 }
 
-// Select returns every matching point, ordered by (epoch, machine, image,
-// event) so results are deterministic regardless of scrape order.
-func (db *DB) Select(m Matcher) []Point {
+func labelsLess(a, b *Labels) bool {
+	if a.Machine != b.Machine {
+		return a.Machine < b.Machine
+	}
+	if a.Workload != b.Workload {
+		return a.Workload < b.Workload
+	}
+	if a.Image != b.Image {
+		return a.Image < b.Image
+	}
+	if a.Proc != b.Proc {
+		return a.Proc < b.Proc
+	}
+	return a.Event < b.Event
+}
+
+// chunk is one schedulable unit of a query: either a single raw point
+// (bs == nil) or a whole block series. ord/sub are the ordering key for
+// duplicate-(labels, epoch) resolution — segment sequence and in-segment
+// record index for raw points, consumed-sequence and column index for
+// block series — which compaction preserves, so a query's accumulation
+// order is identical before and after compacting.
+type chunk struct {
+	lab Labels
+	ord uint64
+	sub int
+	bs  *bseries
+	pt  Point
+}
+
+func chunkLess(a, b *chunk) bool {
+	if a.lab != b.lab {
+		return labelsLess(&a.lab, &b.lab)
+	}
+	if a.ord != b.ord {
+		return a.ord < b.ord
+	}
+	return a.sub < b.sub
+}
+
+// plan resolves a matcher to the chunks it can touch, pruning with the
+// posting lists and per-source label summaries, plus the canonical epoch
+// bounds [lo, hi] of the scan. It holds db.mu only while snapshotting
+// source references — chunks point into immutable data, so the scan
+// itself runs lock-free.
+func (db *DB) plan(m Matcher) ([]chunk, uint64, uint64) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	var out []Point
-	for _, s := range db.segs {
-		for _, p := range s.points {
-			if m.matches(p) {
-				out = append(out, p)
+	base := db.srcs
+	if m.Machine != "" {
+		base = db.byMachine[m.Machine]
+	}
+	if m.Image != "" {
+		li := db.byImage[m.Image]
+		if len(li) < len(base) {
+			base = li
+		}
+	}
+	var chunks []chunk
+	var hi uint64
+	for _, s := range base {
+		if !s.matchesSource(m) {
+			continue
+		}
+		if s.maxEpoch > hi {
+			hi = s.maxEpoch
+		}
+		if s.seg != nil {
+			for i := range s.seg.points {
+				p := s.seg.points[i]
+				if !m.matches(p) {
+					continue
+				}
+				chunks = append(chunks, chunk{lab: p.Labels, ord: s.ordSeq, sub: i, pt: p})
+			}
+		} else {
+			for si := range s.blk.series {
+				bs := &s.blk.series[si]
+				if !m.labelsMatch(bs.labels) {
+					continue
+				}
+				chunks = append(chunks, chunk{lab: bs.labels, ord: s.ordSeq, bs: bs})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Epoch != b.Epoch {
-			return a.Epoch < b.Epoch
+	db.mu.Unlock()
+	lo := m.FromEpoch
+	if lo == 0 {
+		lo = 1
+	}
+	if m.ToEpoch != 0 {
+		hi = m.ToEpoch
+	}
+	sort.Slice(chunks, func(i, j int) bool { return chunkLess(&chunks[i], &chunks[j]) })
+	return chunks, lo, hi
+}
+
+// queryWindows is the fan-out width of a scan: the epoch range splits
+// into up to this many contiguous windows, scanned concurrently.
+const queryWindows = 16
+
+// scanWindows runs fn over every point matching m, partitioned into up
+// to queryWindows contiguous epoch windows that are scanned concurrently
+// (worker count bounded by the process-wide par.Budget). Within one
+// window, points arrive in canonical chunk order — ascending (labels,
+// ord, sub), epochs ascending within a series — and each epoch belongs
+// to exactly one window. Window boundaries depend only on the epoch
+// bounds, never on worker count or storage layout, so per-window
+// accumulation (and any window-ordered merge) is deterministic and
+// unchanged by compaction. fn may be called concurrently for different
+// win values, never for the same one. Returns the window count.
+func (db *DB) scanWindows(m Matcher, fn func(win int, p Point, ord uint64, sub int)) int {
+	chunks, lo, hi := db.plan(m)
+	if len(chunks) == 0 || hi < lo {
+		return 0
+	}
+	span := hi - lo + 1
+	nwin := queryWindows
+	if span < uint64(nwin) {
+		nwin = int(span)
+	}
+	if span >= 1<<60 {
+		nwin = 1 // keep winOf's multiply below from overflowing
+	}
+	winOf := func(e uint64) int { return int((e - lo) * uint64(nwin) / span) }
+	winStart := func(w int) uint64 { return lo + span*uint64(w)/uint64(nwin) }
+	winChunks := make([][]chunk, nwin)
+	for _, c := range chunks {
+		if c.bs == nil {
+			w := winOf(c.pt.Epoch)
+			winChunks[w] = append(winChunks[w], c)
+			continue
 		}
-		if a.Machine != b.Machine {
-			return a.Machine < b.Machine
+		first, last := c.bs.epochs[0], c.bs.epochs[len(c.bs.epochs)-1]
+		if first < lo {
+			first = lo
 		}
-		if a.Image != b.Image {
-			return a.Image < b.Image
+		if last > hi {
+			last = hi
 		}
-		return a.Event < b.Event
+		if first > last {
+			continue
+		}
+		for w := winOf(first); w <= winOf(last); w++ {
+			winChunks[w] = append(winChunks[w], c)
+		}
+	}
+	runWindow := func(w int) {
+		ws, we := winStart(w), winStart(w+1)-1
+		for i := range winChunks[w] {
+			c := &winChunks[w][i]
+			if c.bs == nil {
+				fn(w, c.pt, c.ord, c.sub)
+				continue
+			}
+			for j := c.bs.searchEpoch(ws); j < len(c.bs.epochs) && c.bs.epochs[j] <= we; j++ {
+				fn(w, c.bs.point(j), c.ord, j)
+			}
+		}
+	}
+	extra := par.Default().TryExtra(nwin - 1)
+	if extra == 0 {
+		for w := 0; w < nwin; w++ {
+			runWindow(w)
+		}
+		return nwin
+	}
+	defer par.Default().Release(extra)
+	workers := 1 + extra
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				w := int(next.Add(1)) - 1
+				if w >= nwin {
+					return
+				}
+				runWindow(w)
+			}
+		}()
+	}
+	wg.Wait()
+	return nwin
+}
+
+// Select returns every matching point in a documented, deterministic
+// total order: ascending (epoch, machine, workload, image, proc, event),
+// and — when a re-scrape race stored the same series twice for one epoch
+// — duplicates in ingestion order (segment sequence, then in-segment
+// record order). The order is a contract, not iteration luck: it is
+// stable across process restarts, worker counts, and compaction.
+func (db *DB) Select(m Matcher) []Point {
+	type rec struct {
+		p   Point
+		ord uint64
+		sub int
+	}
+	recs := make([][]rec, queryWindows)
+	n := db.scanWindows(m, func(w int, p Point, ord uint64, sub int) {
+		recs[w] = append(recs[w], rec{p, ord, sub})
 	})
+	var out []Point
+	for w := 0; w < n; w++ {
+		rs := recs[w]
+		sort.Slice(rs, func(i, j int) bool {
+			a, b := &rs[i], &rs[j]
+			if a.p.Epoch != b.p.Epoch {
+				return a.p.Epoch < b.p.Epoch
+			}
+			if a.p.Labels != b.p.Labels {
+				return labelsLess(&a.p.Labels, &b.p.Labels)
+			}
+			if a.ord != b.ord {
+				return a.ord < b.ord
+			}
+			return a.sub < b.sub
+		})
+		for _, r := range rs {
+			out = append(out, r.p)
+		}
+	}
 	return out
 }
 
@@ -75,18 +294,17 @@ func (db *DB) FleetMaxEpoch() uint64 {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	var max uint64
-	for _, s := range db.segs {
-		for _, p := range s.points {
-			if p.Epoch > max {
-				max = p.Epoch
-			}
+	for _, s := range db.srcs {
+		if s.maxEpoch > max {
+			max = s.maxEpoch
 		}
 	}
 	return max
 }
 
-// RangeRow is one epoch of a fleet range query for a single image: the
-// per-epoch aggregate over every machine that reported that epoch.
+// RangeRow is one epoch of a fleet range query for a single image (or a
+// single procedure within an image): the per-epoch aggregate over every
+// machine that reported that epoch.
 type RangeRow struct {
 	Epoch    uint64  `json:"epoch"`
 	Machines int     `json:"machines"`
@@ -94,7 +312,7 @@ type RangeRow struct {
 	Cycles   float64 `json:"cycles"`    // samples × per-point period
 	Insts    uint64  `json:"insts"`     // 0 when no machine had exact counts
 	CPI      float64 `json:"cpi"`       // Cycles/Insts; 0 when Insts is 0
-	SharePct float64 `json:"share_pct"` // of all images' attributed cycles that epoch
+	SharePct float64 `json:"share_pct"` // of the denominator's cycles that epoch
 }
 
 // RangeQuery answers "CPI of image across the fleet over [from, to]": one
@@ -102,37 +320,68 @@ type RangeRow struct {
 // event. Share is the image's slice of all attributed cycles (same event)
 // in the epoch, fleet-wide.
 func RangeQuery(db *DB, image string, ev sim.Event, from, to uint64) []RangeRow {
-	sel := db.Select(Matcher{Image: image, Event: ev, FromEpoch: from, ToEpoch: to})
-	all := db.Select(Matcher{Event: ev, FromEpoch: from, ToEpoch: to})
+	return RangeQueryProc(db, image, "", ev, from, to)
+}
 
-	totalCycles := map[uint64]float64{}
-	for _, p := range all {
-		totalCycles[p.Epoch] += p.Cycles()
+// RangeQueryProc is RangeQuery narrowed to one procedure of the image
+// when proc is non-empty; SharePct then reads as the procedure's slice
+// of its image's cycles rather than the image's slice of the fleet's.
+func RangeQueryProc(db *DB, image, proc string, ev sim.Event, from, to uint64) []RangeRow {
+	type winAgg struct {
+		rows     map[uint64]*RangeRow
+		machines map[uint64]map[string]bool
 	}
-
-	byEpoch := map[uint64]*RangeRow{}
-	machines := map[uint64]map[string]bool{}
+	aggs := make([]winAgg, queryWindows)
+	db.scanWindows(Matcher{Image: image, Proc: proc, Event: ev, FromEpoch: from, ToEpoch: to},
+		func(w int, p Point, _ uint64, _ int) {
+			a := &aggs[w]
+			if a.rows == nil {
+				a.rows = map[uint64]*RangeRow{}
+				a.machines = map[uint64]map[string]bool{}
+			}
+			r := a.rows[p.Epoch]
+			if r == nil {
+				r = &RangeRow{Epoch: p.Epoch}
+				a.rows[p.Epoch] = r
+				a.machines[p.Epoch] = map[string]bool{}
+			}
+			if !a.machines[p.Epoch][p.Machine] {
+				a.machines[p.Epoch][p.Machine] = true
+				r.Machines++
+			}
+			r.Samples += p.Samples
+			r.Cycles += p.Cycles()
+			r.Insts += p.Insts
+		})
+	denom := Matcher{Event: ev, FromEpoch: from, ToEpoch: to}
+	if proc != "" {
+		denom.Image = image
+	}
+	totals := make([]map[uint64]float64, queryWindows)
+	db.scanWindows(denom, func(w int, p Point, _ uint64, _ int) {
+		if totals[w] == nil {
+			totals[w] = map[uint64]float64{}
+		}
+		totals[w][p.Epoch] += p.Cycles()
+	})
+	totalCycles := map[uint64]float64{}
+	for _, t := range totals {
+		for e, v := range t {
+			totalCycles[e] += v // every epoch lives in exactly one window
+		}
+	}
+	rows := map[uint64]*RangeRow{}
 	var epochs []uint64
-	for _, p := range sel {
-		r, ok := byEpoch[p.Epoch]
-		if !ok {
-			r = &RangeRow{Epoch: p.Epoch}
-			byEpoch[p.Epoch] = r
-			machines[p.Epoch] = map[string]bool{}
-			epochs = append(epochs, p.Epoch)
+	for w := range aggs {
+		for e, r := range aggs[w].rows {
+			rows[e] = r
+			epochs = append(epochs, e)
 		}
-		if !machines[p.Epoch][p.Machine] {
-			machines[p.Epoch][p.Machine] = true
-			r.Machines++
-		}
-		r.Samples += p.Samples
-		r.Cycles += p.Cycles()
-		r.Insts += p.Insts
 	}
 	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
 	out := make([]RangeRow, 0, len(epochs))
 	for _, e := range epochs {
-		r := byEpoch[e]
+		r := rows[e]
 		if r.Insts > 0 {
 			r.CPI = r.Cycles / float64(r.Insts)
 		}
@@ -154,21 +403,35 @@ type TopRow struct {
 
 // TopImages ranks images by attributed cycles over [from, to], fleet-wide.
 func TopImages(db *DB, ev sim.Event, from, to uint64, n int) []TopRow {
-	pts := db.Select(Matcher{Event: ev, FromEpoch: from, ToEpoch: to})
-	agg := map[string]*TopRow{}
-	var total float64
-	for _, p := range pts {
-		r, ok := agg[p.Image]
-		if !ok {
-			r = &TopRow{Image: p.Image}
-			agg[p.Image] = r
-		}
-		r.Samples += p.Samples
-		r.Cycles += p.Cycles()
-		total += p.Cycles()
+	type winAgg struct {
+		rows  map[string]*TopRow
+		total float64
 	}
-	out := make([]TopRow, 0, len(agg))
-	for _, r := range agg {
+	aggs := make([]winAgg, queryWindows)
+	db.scanWindows(Matcher{Event: ev, FromEpoch: from, ToEpoch: to},
+		func(w int, p Point, _ uint64, _ int) {
+			a := &aggs[w]
+			if a.rows == nil {
+				a.rows = map[string]*TopRow{}
+			}
+			r := a.rows[p.Image]
+			if r == nil {
+				r = &TopRow{Image: p.Image}
+				a.rows[p.Image] = r
+			}
+			c := p.Cycles()
+			r.Samples += p.Samples
+			r.Cycles += c
+			a.total += c
+		})
+	merged, total := mergeTopWindows(aggs[:], func(a *winAgg) (map[string]*TopRow, float64) {
+		return a.rows, a.total
+	}, func(dst, src *TopRow) {
+		dst.Samples += src.Samples
+		dst.Cycles += src.Cycles
+	}, func(img string) *TopRow { return &TopRow{Image: img} })
+	out := make([]TopRow, 0, len(merged))
+	for _, r := range merged {
 		if total > 0 {
 			r.SharePct = 100 * r.Cycles / total
 		}
@@ -186,14 +449,117 @@ func TopImages(db *DB, ev sim.Event, from, to uint64, n int) []TopRow {
 	return out
 }
 
+// mergeTopWindows folds per-window ranking partials together in window
+// order with sorted keys, so float accumulation order is deterministic.
+func mergeTopWindows[A any, R any](aggs []A,
+	get func(*A) (map[string]*R, float64),
+	add func(dst, src *R),
+	fresh func(key string) *R,
+) (map[string]*R, float64) {
+	merged := map[string]*R{}
+	var total float64
+	for i := range aggs {
+		rows, t := get(&aggs[i])
+		total += t
+		if rows == nil {
+			continue
+		}
+		keys := make([]string, 0, len(rows))
+		for k := range rows {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			dst := merged[k]
+			if dst == nil {
+				dst = fresh(k)
+				merged[k] = dst
+			}
+			add(dst, rows[k])
+		}
+	}
+	return merged, total
+}
+
+// ProcRow is one procedure of a per-procedure ranking within an image.
+type ProcRow struct {
+	Proc     string  `json:"proc"`
+	Samples  uint64  `json:"samples"`
+	Cycles   float64 `json:"cycles"`
+	SharePct float64 `json:"share_pct"` // of the image's cycles over the window
+}
+
+// TopProcs ranks one image's procedures by attributed cycles over
+// [from, to], fleet-wide. Shares are against the image's image-level
+// cycle total, so "(unknown)" attribution and sampling skew are visible
+// as shares not summing to 100.
+func TopProcs(db *DB, image string, ev sim.Event, from, to uint64, n int) []ProcRow {
+	type winAgg struct {
+		rows  map[string]*ProcRow
+		total float64 // image-level (Proc == "") cycles
+	}
+	aggs := make([]winAgg, queryWindows)
+	db.scanWindows(Matcher{Image: image, AnyProc: true, Event: ev, FromEpoch: from, ToEpoch: to},
+		func(w int, p Point, _ uint64, _ int) {
+			a := &aggs[w]
+			if p.Proc == "" {
+				a.total += p.Cycles()
+				return
+			}
+			if a.rows == nil {
+				a.rows = map[string]*ProcRow{}
+			}
+			r := a.rows[p.Proc]
+			if r == nil {
+				r = &ProcRow{Proc: p.Proc}
+				a.rows[p.Proc] = r
+			}
+			r.Samples += p.Samples
+			r.Cycles += p.Cycles()
+		})
+	merged, total := mergeTopWindows(aggs[:], func(a *winAgg) (map[string]*ProcRow, float64) {
+		return a.rows, a.total
+	}, func(dst, src *ProcRow) {
+		dst.Samples += src.Samples
+		dst.Cycles += src.Cycles
+	}, func(proc string) *ProcRow { return &ProcRow{Proc: proc} })
+	out := make([]ProcRow, 0, len(merged))
+	for _, r := range merged {
+		if total > 0 {
+			r.SharePct = 100 * r.Cycles / total
+		}
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
 // TopDeltas ranks images by how much their fleet-wide cycle share moved
 // between window A and window B (both inclusive epoch ranges), reusing the
 // share-delta ranking dcpidiff applies to a pair of databases.
 func TopDeltas(db *DB, ev sim.Event, aFrom, aTo, bFrom, bTo uint64, n int) []analysis.DeltaRow {
 	window := func(from, to uint64) map[string]uint64 {
+		sums := make([]map[string]uint64, queryWindows)
+		db.scanWindows(Matcher{Event: ev, FromEpoch: from, ToEpoch: to},
+			func(w int, p Point, _ uint64, _ int) {
+				if sums[w] == nil {
+					sums[w] = map[string]uint64{}
+				}
+				sums[w][p.Image] += p.Samples
+			})
 		m := map[string]uint64{}
-		for _, p := range db.Select(Matcher{Event: ev, FromEpoch: from, ToEpoch: to}) {
-			m[p.Image] += p.Samples
+		for _, s := range sums {
+			for k, v := range s {
+				m[k] += v // integer sums: merge order is irrelevant
+			}
 		}
 		return m
 	}

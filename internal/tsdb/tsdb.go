@@ -1,16 +1,28 @@
 // Package tsdb is the fleet-side profile store: a labeled, append-only,
 // on-disk time-series database for the sample totals dcpicollect scrapes
 // from a fleet of dcpid machines. Points are keyed by (machine, workload,
-// image, event) and stamped with the profiledb epoch they came from; one
-// scrape of one (machine, epoch) pair becomes one immutable segment file.
+// image, procedure, event) and stamped with the profiledb epoch they came
+// from; one scrape of one (machine, epoch) pair becomes one immutable raw
+// segment file.
 //
-// The durability story mirrors the repo's other stores: segments are
-// written through internal/atomicio (temp+fsync+rename), framed with a
-// magic, a version, and a CRC32 of the payload, and anything that fails to
-// decode on open is quarantined aside as NAME.bad the way
-// internal/runcache does — a corrupt segment costs its own points, never
-// the database. A size-based retention cap drops the oldest segments
-// first, so a long-running collector's disk use stays bounded.
+// At fleet scale raw segments are the wrong shape — one tiny file per
+// (machine, epoch) and a full scan per query — so the store also has a
+// compactor (see compact.go): raw segments merge into immutable,
+// delta+varint-encoded block files covering whole epoch ranges per
+// machine, and blocks entirely behind a raw-retention horizon can be
+// rewritten as per-N-epoch downsampled aggregates. An in-memory label
+// index (machine/image posting lists plus per-source label sets, see
+// index.go) lets queries touch only matching sources, and the query
+// engine (query.go) scans sources in parallel with a deterministic merge.
+//
+// The durability story mirrors the repo's other stores: segments and
+// blocks are written through internal/atomicio (temp+fsync+rename),
+// framed with a magic, a version, and a CRC32 of the payload, and
+// anything that fails to decode on open is quarantined aside as NAME.bad
+// the way internal/runcache does — a corrupt file costs its own points,
+// never the database. A size-based retention cap drops the
+// oldest-by-epoch sources first, so a long-running collector's disk use
+// stays bounded.
 package tsdb
 
 import (
@@ -34,17 +46,21 @@ import (
 	"dcpi/internal/sim"
 )
 
-// Magic identifies a tsdb segment file.
+// Magic identifies a tsdb raw-segment file.
 var Magic = [8]byte{'D', 'C', 'P', 'I', 'T', 'S', 'D', 'B'}
 
-// Version is the current segment-format version.
-const Version = 1
+// Version is the current segment-format version. Version 2 added the
+// per-record procedure label; version 1 files are quarantined on open.
+const Version = 2
 
-// Labels identify one series.
+// Labels identify one series. Proc is empty for image-level points and
+// names the procedure for per-procedure points; the two kinds coexist for
+// the same image, so queries must pick one level (see Matcher).
 type Labels struct {
 	Machine  string
 	Workload string
 	Image    string
+	Proc     string
 	Event    sim.Event
 }
 
@@ -52,6 +68,12 @@ type Labels struct {
 // collected, the executed-instruction total) for a series at one epoch.
 // Wall and Period are denormalized from the epoch's metadata so queries
 // can convert samples to cycles without a side lookup.
+//
+// A point read from a downsampled block is a per-bucket aggregate: Epoch
+// is the bucket's first epoch, Samples/Insts/Wall are sums over the
+// bucket, Period is the cycle-weighted average (so Cycles() returns the
+// bucket's true cycle sum), and Min/Max are the per-epoch sample extremes
+// within the bucket. For raw points Min == Max == Samples.
 type Point struct {
 	Labels
 	Epoch   uint64
@@ -59,22 +81,27 @@ type Point struct {
 	Insts   uint64 // 0 when the epoch had no exact counts
 	Wall    int64  // epoch wall-clock cycles on that machine
 	Period  float64
+	Min     uint64
+	Max     uint64
 }
 
-// Cycles returns the cycles this point attributes to its image
+// Cycles returns the cycles this point attributes to its series
 // (samples × average sampling period).
 func (p Point) Cycles() float64 { return float64(p.Samples) * p.Period }
 
-// Record is the per-series part of an Append batch.
+// Record is the per-series part of an Append batch. Proc is empty for the
+// image-level total and names a procedure for a per-procedure breakdown
+// row.
 type Record struct {
 	Image   string
+	Proc    string
 	Event   sim.Event
 	Samples uint64
 	Insts   uint64
 }
 
 // Batch is one scraped (machine, epoch) payload: the unit of append and
-// the exact contents of one segment file.
+// the exact contents of one raw segment file.
 type Batch struct {
 	Machine  string
 	Workload string
@@ -86,52 +113,79 @@ type Batch struct {
 
 // Options configures Open.
 type Options struct {
-	// MaxBytes caps the total size of segment files; 0 means unbounded.
-	// When an append pushes past the cap, the oldest segments (lowest
-	// sequence numbers) are deleted until under it again. The newest
-	// segment is never deleted.
+	// MaxBytes caps the total size of segment and block files; 0 means
+	// unbounded. When an append (or compaction) pushes past the cap, the
+	// oldest sources — by max epoch covered, then by file sequence — are
+	// deleted until under it again. The last remaining source is never
+	// deleted, and quarantined .bad files never count against the cap.
 	MaxBytes int64
-	// ReadOnly opens without quarantining corrupt segments or accepting
-	// appends (used by query CLIs pointed at a live collector's store).
+	// ReadOnly opens without quarantining corrupt files, reclaiming
+	// compaction leftovers, or accepting appends (used by query CLIs
+	// pointed at a live collector's store).
 	ReadOnly bool
 	// Obs publishes store gauges/counters (tsdb.*) when set.
 	Obs obs.Hooks
 }
 
+// segment is one decoded raw segment: a single (machine, epoch) batch.
 type segment struct {
-	seq    uint64
-	path   string
-	bytes  int64
+	epoch  uint64
+	wall   int64
+	period float64
 	points []Point
 }
 
 // DB is an open store. All methods are safe for concurrent use; appends
-// serialize behind one mutex (the collector is the only writer).
+// and compactions serialize behind one mutex (the collector is the only
+// writer), while queries snapshot source references under the mutex and
+// then scan immutable data lock-free.
 type DB struct {
 	mu          sync.Mutex
 	dir         string
 	opts        Options
-	segs        []segment // ascending seq
+	srcs        []*source // ascending fileSeq
+	byMachine   map[string][]*source
+	byImage     map[string][]*source
 	nextSeq     uint64
 	sizeBytes   int64
 	quarantined int
 	evicted     int
+	reclaimed   int // compaction leftovers removed during Open recovery
+	compactions int
+	downsampled int
+
+	// testCrashMidCompact makes Compact return right after committing its
+	// first block, before removing the inputs — simulating a process that
+	// died mid-compaction so tests can exercise Open's recovery.
+	testCrashMidCompact bool
 }
 
 // Open opens (or creates, unless ReadOnly) the store at dir, loading every
-// decodable segment into the in-memory index. Corrupt segments are renamed
-// to NAME.bad (kept for post-mortem, hidden from queries) unless ReadOnly.
+// decodable segment and block into the in-memory index. Corrupt files are
+// renamed to NAME.bad (kept for post-mortem, hidden from queries) unless
+// ReadOnly. Raw segments whose sequence number falls inside a same-machine
+// block's consumed range — and blocks fully consumed by a newer block —
+// are leftovers of a crash between a compaction's commit rename and its
+// input cleanup; they are removed (hidden when ReadOnly) so the data never
+// appears twice.
 func Open(dir string, opts Options) (*DB, error) {
 	if !opts.ReadOnly {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
 	}
-	db := &DB{dir: dir, opts: opts, nextSeq: 1}
+	db := &DB{
+		dir:       dir,
+		opts:      opts,
+		byMachine: map[string][]*source{},
+		byImage:   map[string][]*source{},
+		nextSeq:   1,
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
+	var loaded []*source
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
@@ -143,7 +197,7 @@ func Open(dir string, opts Options) (*DB, error) {
 			}
 			continue
 		}
-		seq, ok := parseSegName(name)
+		seq, isBlock, ok := parseFileName(name)
 		if !ok {
 			continue
 		}
@@ -152,64 +206,132 @@ func Open(dir string, opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		b, derr := DecodeSegment(raw)
-		if derr != nil {
+		var src *source
+		if isBlock {
+			bl, derr := DecodeBlock(raw)
+			if derr == nil {
+				src = sourceFromBlock(seq, full, int64(len(raw)), bl)
+			}
+		} else {
+			b, derr := DecodeSegment(raw)
+			if derr == nil {
+				src = sourceFromBatch(seq, full, int64(len(raw)), b)
+			}
+		}
+		if src == nil {
 			if !opts.ReadOnly {
 				os.Rename(full, full+".bad")
 			}
 			db.quarantined++
 			continue
 		}
-		db.segs = append(db.segs, segment{
-			seq:    seq,
-			path:   full,
-			bytes:  int64(len(raw)),
-			points: batchPoints(b),
-		})
-		db.sizeBytes += int64(len(raw))
+		loaded = append(loaded, src)
 		if seq >= db.nextSeq {
 			db.nextSeq = seq + 1
 		}
 	}
-	sort.Slice(db.segs, func(i, j int) bool { return db.segs[i].seq < db.segs[j].seq })
+	sort.Slice(loaded, func(i, j int) bool { return loaded[i].fileSeq < loaded[j].fileSeq })
+	for _, s := range db.reclaimLeftovers(loaded) {
+		db.addSource(s)
+		db.sizeBytes += s.bytes
+	}
 	db.publish()
 	return db, nil
 }
 
-// parseSegName parses "seg-<decimal>.tsdb" strictly.
-func parseSegName(name string) (uint64, bool) {
-	digits, ok := strings.CutPrefix(name, "seg-")
-	if !ok {
-		return 0, false
+// reclaimLeftovers drops (and, unless ReadOnly, deletes) sources whose
+// contents were already committed into a newer block: raw segments inside
+// a same-machine block's [firstSeq, lastSeq] range, and blocks whose range
+// is contained in a newer same-machine block's range (a downsampling
+// rewrite that crashed before cleanup). Input and output are ascending by
+// fileSeq.
+func (db *DB) reclaimLeftovers(loaded []*source) []*source {
+	blocks := map[string][]*source{}
+	for _, s := range loaded {
+		if s.blk != nil {
+			blocks[s.machine] = append(blocks[s.machine], s)
+		}
 	}
-	digits, ok = strings.CutSuffix(digits, ".tsdb")
+	live := loaded[:0]
+	for _, s := range loaded {
+		stale := false
+		for _, b := range blocks[s.machine] {
+			if b == s || b.fileSeq < s.fileSeq {
+				continue
+			}
+			if s.blk == nil {
+				stale = s.fileSeq >= b.blk.firstSeq && s.fileSeq <= b.blk.lastSeq
+			} else {
+				stale = s.blk.firstSeq >= b.blk.firstSeq && s.blk.lastSeq <= b.blk.lastSeq
+			}
+			if stale {
+				break
+			}
+		}
+		if stale {
+			if !db.opts.ReadOnly {
+				os.Remove(s.path)
+			}
+			db.reclaimed++
+			continue
+		}
+		live = append(live, s)
+	}
+	return live
+}
+
+// parseFileName parses "seg-<decimal>.tsdb" (raw segment) or
+// "blk-<decimal>.tsdb" (block) strictly.
+func parseFileName(name string) (seq uint64, isBlock, ok bool) {
+	rest, isSeg := strings.CutPrefix(name, "seg-")
+	if !isSeg {
+		if rest, ok = strings.CutPrefix(name, "blk-"); !ok {
+			return 0, false, false
+		}
+		isBlock = true
+	}
+	digits, ok := strings.CutSuffix(rest, ".tsdb")
 	if !ok || digits == "" {
-		return 0, false
+		return 0, false, false
 	}
 	for _, c := range digits {
 		if c < '0' || c > '9' {
-			return 0, false
+			return 0, false, false
 		}
 	}
 	n, err := strconv.ParseUint(digits, 10, 64)
 	if err != nil || n == 0 {
+		return 0, false, false
+	}
+	return n, isBlock, true
+}
+
+func parseSegName(name string) (uint64, bool) {
+	seq, isBlock, ok := parseFileName(name)
+	if !ok || isBlock {
 		return 0, false
 	}
-	return n, true
+	return seq, true
 }
 
 func segName(seq uint64) string { return fmt.Sprintf("seg-%08d.tsdb", seq) }
+func blkName(seq uint64) string { return fmt.Sprintf("blk-%08d.tsdb", seq) }
 
 func batchPoints(b *Batch) []Point {
 	pts := make([]Point, len(b.Records))
 	for i, r := range b.Records {
 		pts[i] = Point{
-			Labels:  Labels{Machine: b.Machine, Workload: b.Workload, Image: r.Image, Event: r.Event},
+			Labels: Labels{
+				Machine: b.Machine, Workload: b.Workload,
+				Image: r.Image, Proc: r.Proc, Event: r.Event,
+			},
 			Epoch:   b.Epoch,
 			Samples: r.Samples,
 			Insts:   r.Insts,
 			Wall:    b.Wall,
 			Period:  b.Period,
+			Min:     r.Samples,
+			Max:     r.Samples,
 		}
 	}
 	return pts
@@ -218,13 +340,17 @@ func batchPoints(b *Batch) []Point {
 // Dir returns the store directory.
 func (db *DB) Dir() string { return db.dir }
 
-// Append durably writes one batch as a new segment and indexes its points.
+// Append durably writes one batch as a new raw segment and indexes its
+// points.
 func (db *DB) Append(b Batch) error {
 	if db.opts.ReadOnly {
 		return errors.New("tsdb: store opened read-only")
 	}
 	if b.Machine == "" {
 		return errors.New("tsdb: batch needs a machine label")
+	}
+	if b.Epoch == 0 {
+		return errors.New("tsdb: batch needs an epoch >= 1")
 	}
 	var buf bytes.Buffer
 	if err := EncodeSegment(&buf, &b); err != nil {
@@ -241,31 +367,33 @@ func (db *DB) Append(b Batch) error {
 	}); err != nil {
 		return err
 	}
-	db.segs = append(db.segs, segment{
-		seq:    seq,
-		path:   path,
-		bytes:  int64(buf.Len()),
-		points: batchPoints(&b),
-	})
+	db.addSource(sourceFromBatch(seq, path, int64(buf.Len()), &b))
 	db.sizeBytes += int64(buf.Len())
 	db.retain()
 	db.publish()
 	return nil
 }
 
-// retain enforces the size cap by deleting the oldest segments. Caller
-// holds db.mu.
+// retain enforces the size cap by deleting the oldest sources: lowest max
+// epoch first (so compacted history goes before fresh data), file
+// sequence as the tie-break. Caller holds db.mu.
 func (db *DB) retain() {
 	if db.opts.MaxBytes <= 0 {
 		return
 	}
-	for db.sizeBytes > db.opts.MaxBytes && len(db.segs) > 1 {
-		old := db.segs[0]
-		if err := os.Remove(old.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+	for db.sizeBytes > db.opts.MaxBytes && len(db.srcs) > 1 {
+		victim := db.srcs[0]
+		for _, s := range db.srcs[1:] {
+			if s.maxEpoch < victim.maxEpoch ||
+				(s.maxEpoch == victim.maxEpoch && s.fileSeq < victim.fileSeq) {
+				victim = s
+			}
+		}
+		if err := os.Remove(victim.path); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return // leave the index consistent with disk; retry next append
 		}
-		db.segs = db.segs[1:]
-		db.sizeBytes -= old.bytes
+		db.removeSource(victim)
+		db.sizeBytes -= victim.bytes
 		db.evicted++
 	}
 }
@@ -277,50 +405,84 @@ func (db *DB) publish() {
 	if reg == nil {
 		return
 	}
-	var pts int
-	for _, s := range db.segs {
-		pts += len(s.points)
+	var segs, blocks, ds, pts int
+	for _, s := range db.srcs {
+		if s.seg != nil {
+			segs++
+			pts += len(s.seg.points)
+		} else {
+			blocks++
+			if s.blk.downsample > 0 {
+				ds++
+			}
+			pts += s.blk.points
+		}
 	}
-	reg.Gauge("tsdb.segments").Set(float64(len(db.segs)))
+	reg.Gauge("tsdb.segments").Set(float64(segs))
+	reg.Gauge("tsdb.blocks").Set(float64(blocks))
+	reg.Gauge("tsdb.downsampled_blocks").Set(float64(ds))
 	reg.Gauge("tsdb.points").Set(float64(pts))
 	reg.Gauge("tsdb.size_bytes").Set(float64(db.sizeBytes))
 	reg.Gauge("tsdb.quarantined_segments").Set(float64(db.quarantined))
 	reg.Gauge("tsdb.retention_evictions").Set(float64(db.evicted))
+	reg.Gauge("tsdb.reclaimed_leftovers").Set(float64(db.reclaimed))
+	reg.Gauge("tsdb.compactions").Set(float64(db.compactions))
 }
 
 // Stats is a point-in-time summary of the store.
 type Stats struct {
-	Segments    int
+	Segments    int // raw (uncompacted) segment files
+	Blocks      int // compacted block files
+	Downsampled int // blocks holding per-N-epoch aggregates
 	Points      int
 	SizeBytes   int64
 	Quarantined int
 	Evicted     int
+	Reclaimed   int // crash-recovery leftovers removed on open
+	Compactions int
 }
 
 // Stats returns the store's current summary.
 func (db *DB) Stats() Stats {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	var pts int
-	for _, s := range db.segs {
-		pts += len(s.points)
-	}
-	return Stats{
-		Segments:    len(db.segs),
-		Points:      pts,
+	st := Stats{
 		SizeBytes:   db.sizeBytes,
 		Quarantined: db.quarantined,
 		Evicted:     db.evicted,
+		Reclaimed:   db.reclaimed,
+		Compactions: db.compactions,
 	}
+	for _, s := range db.srcs {
+		if s.seg != nil {
+			st.Segments++
+			st.Points += len(s.seg.points)
+		} else {
+			st.Blocks++
+			if s.blk.downsample > 0 {
+				st.Downsampled++
+			}
+			st.Points += s.blk.points
+		}
+	}
+	return st
 }
 
-// HasEpoch reports whether any point for (machine, epoch) is present —
-// the scraper's exactly-once check.
+// HasEpoch reports whether (machine, epoch) is present — the scraper's
+// exactly-once check. For downsampled blocks the per-epoch presence list
+// is gone, so any epoch inside a stored bucket counts as present (the
+// horizon guarantees the collector never re-scrapes that far back).
 func (db *DB) HasEpoch(machine string, epoch uint64) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for _, s := range db.segs {
-		if len(s.points) > 0 && s.points[0].Machine == machine && s.points[0].Epoch == epoch {
+	for _, s := range db.byMachine[machine] {
+		if epoch < s.minEpoch || epoch > s.maxEpoch {
+			continue
+		}
+		if s.seg != nil {
+			return true // raw segment: minEpoch == maxEpoch == its epoch
+		}
+		if s.blk.hasEpoch(epoch) {
 			return true
 		}
 	}
@@ -332,11 +494,9 @@ func (db *DB) MaxEpoch(machine string) uint64 {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	var max uint64
-	for _, s := range db.segs {
-		for _, p := range s.points {
-			if p.Machine == machine && p.Epoch > max {
-				max = p.Epoch
-			}
+	for _, s := range db.byMachine[machine] {
+		if s.maxEpoch > max {
+			max = s.maxEpoch
 		}
 	}
 	return max
@@ -375,6 +535,9 @@ func EncodeSegment(w io.Writer, b *Batch) error {
 		if err := writeString(r.Image); err != nil {
 			return err
 		}
+		if err := writeString(r.Proc); err != nil {
+			return err
+		}
 		if err := pw.WriteByte(byte(r.Event)); err != nil {
 			return err
 		}
@@ -388,64 +551,88 @@ func EncodeSegment(w io.Writer, b *Batch) error {
 	if err := pw.Flush(); err != nil {
 		return err
 	}
+	return writeFramed(w, Magic, Version, payload.Bytes())
+}
 
+// writeFramed writes the shared 14-byte header (magic, version, CRC32 of
+// payload) followed by the payload.
+func writeFramed(w io.Writer, magic [8]byte, version uint16, payload []byte) error {
 	var hdr [14]byte
-	copy(hdr[:8], Magic[:])
-	binary.LittleEndian.PutUint16(hdr[8:10], Version)
-	binary.LittleEndian.PutUint32(hdr[10:14], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint16(hdr[8:10], version)
+	binary.LittleEndian.PutUint32(hdr[10:14], crc32.ChecksumIEEE(payload))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(payload.Bytes())
+	_, err := w.Write(payload)
 	return err
 }
 
-// maxStringLen bounds decoded label lengths so corrupt varints cannot
-// drive huge allocations (the fuzz target's over-allocation check).
-const maxStringLen = 1 << 16
-
-// DecodeSegment decodes one segment, verifying magic, version, and CRC.
-func DecodeSegment(raw []byte) (*Batch, error) {
+// checkFrame verifies the shared header and returns the payload.
+func checkFrame(raw []byte, magic [8]byte, version uint16) ([]byte, error) {
 	if len(raw) < 14 {
-		return nil, errors.New("tsdb: segment too short")
+		return nil, errors.New("tsdb: file too short")
 	}
-	if !bytes.Equal(raw[:8], Magic[:]) {
+	if !bytes.Equal(raw[:8], magic[:]) {
 		return nil, errors.New("tsdb: bad magic")
 	}
-	if v := binary.LittleEndian.Uint16(raw[8:10]); v != Version {
+	if v := binary.LittleEndian.Uint16(raw[8:10]); v != version {
 		return nil, fmt.Errorf("tsdb: unsupported version %d", v)
 	}
 	payload := raw[14:]
 	if crc := binary.LittleEndian.Uint32(raw[10:14]); crc != crc32.ChecksumIEEE(payload) {
 		return nil, errors.New("tsdb: CRC mismatch")
 	}
-	br := bytes.NewReader(payload)
-	readString := func() (string, error) {
-		n, err := binary.ReadUvarint(br)
-		if err != nil {
-			return "", err
-		}
-		if n > maxStringLen || n > uint64(br.Len()) {
-			return "", fmt.Errorf("tsdb: string length %d exceeds payload", n)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
+	return payload, nil
+}
+
+// maxStringLen bounds decoded label lengths so corrupt varints cannot
+// drive huge allocations (the fuzz targets' over-allocation check).
+const maxStringLen = 1 << 16
+
+func readString(br *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
 	}
-	var (
-		b   Batch
-		err error
-	)
-	if b.Machine, err = readString(); err != nil {
+	if n > maxStringLen || n > uint64(br.Len()) {
+		return "", fmt.Errorf("tsdb: string length %d exceeds payload", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readPeriodBits(bits uint64) (float64, error) {
+	p := math.Float64frombits(bits)
+	if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+		return 0, fmt.Errorf("tsdb: invalid period %v", p)
+	}
+	return p, nil
+}
+
+// DecodeSegment decodes one raw segment, verifying magic, version, CRC,
+// and field sanity.
+func DecodeSegment(raw []byte) (*Batch, error) {
+	payload, err := checkFrame(raw, Magic, Version)
+	if err != nil {
 		return nil, err
 	}
-	if b.Workload, err = readString(); err != nil {
+	br := bytes.NewReader(payload)
+	var b Batch
+	if b.Machine, err = readString(br); err != nil {
+		return nil, err
+	}
+	if b.Workload, err = readString(br); err != nil {
 		return nil, err
 	}
 	if b.Epoch, err = binary.ReadUvarint(br); err != nil {
 		return nil, err
+	}
+	if b.Epoch == 0 {
+		return nil, errors.New("tsdb: segment epoch 0")
 	}
 	if b.Wall, err = binary.ReadVarint(br); err != nil {
 		return nil, err
@@ -454,23 +641,26 @@ func DecodeSegment(raw []byte) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	b.Period = math.Float64frombits(bits)
-	if math.IsNaN(b.Period) || math.IsInf(b.Period, 0) || b.Period < 0 {
-		return nil, fmt.Errorf("tsdb: invalid period %v", b.Period)
+	if b.Period, err = readPeriodBits(bits); err != nil {
+		return nil, err
 	}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
-	// Each record is at least 4 bytes (empty image varint, event byte, two
-	// count varints), so a sane count never exceeds the remaining payload.
-	if n > uint64(br.Len())/4+1 {
+	// Each record is at least 5 bytes (two empty-string varints, event
+	// byte, two count varints), so a sane count never exceeds the
+	// remaining payload.
+	if n > uint64(br.Len())/5+1 {
 		return nil, fmt.Errorf("tsdb: record count %d exceeds payload", n)
 	}
 	b.Records = make([]Record, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var r Record
-		if r.Image, err = readString(); err != nil {
+		if r.Image, err = readString(br); err != nil {
+			return nil, err
+		}
+		if r.Proc, err = readString(br); err != nil {
 			return nil, err
 		}
 		evb, err := br.ReadByte()

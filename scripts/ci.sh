@@ -114,6 +114,29 @@ wait "$dcpid_pid"
 trap 'rm -rf "$tmp"' EXIT
 grep -q "shutdown complete" "$tmp/dcpid-fleet.err"
 
+echo "== tsdb compaction smoke (dcpicollect compact)" >&2
+# Compaction must be invisible to queries: the range answer must still
+# match the committed golden, and top/delta must be byte-identical to
+# their pre-compaction output, after the raw segments merge into a block.
+"$tmp/dcpicollect" query top -tsdb "$tmp/fleetdb" -from 1 -to 3 >"$tmp/fleet-top.pre"
+"$tmp/dcpicollect" query delta -tsdb "$tmp/fleetdb" -a 1-2 -b 3-3 >"$tmp/fleet-delta.pre"
+"$tmp/dcpicollect" compact -tsdb "$tmp/fleetdb" >"$tmp/compact.out"
+grep -q "segments into 1 blocks" "$tmp/compact.out"
+ls "$tmp/fleetdb" | grep -q '^blk-'
+if ls "$tmp/fleetdb" | grep -q '^seg-.*tsdb$'; then
+	echo "compaction left raw segments behind" >&2
+	exit 1
+fi
+"$tmp/dcpicollect" query range -tsdb "$tmp/fleetdb" \
+	-image /usr/bin/wave5 -from 1 -to 3 >"$tmp/fleet-range.post"
+diff testdata/golden_fleet_range.txt "$tmp/fleet-range.post"
+"$tmp/dcpicollect" query top -tsdb "$tmp/fleetdb" -from 1 -to 3 >"$tmp/fleet-top.post"
+cmp "$tmp/fleet-top.pre" "$tmp/fleet-top.post"
+"$tmp/dcpicollect" query delta -tsdb "$tmp/fleetdb" -a 1-2 -b 3-3 >"$tmp/fleet-delta.post"
+cmp "$tmp/fleet-delta.pre" "$tmp/fleet-delta.post"
+"$tmp/dcpicollect" query top -tsdb "$tmp/fleetdb" -from 1 -to 3 -json \
+	| grep -q '"rows"'
+
 echo "== closed-loop optimization smoke (dcpiopt)" >&2
 # The §7 loop must converge on the pessimized classifier with a real,
 # measured win (the gate requires at least 1.5x), and must refuse the
@@ -135,6 +158,7 @@ go test ./internal/profiledb/ -run '^$' -fuzz FuzzProfileDecode -fuzztime 5s
 go test ./internal/alpha/ -run '^$' -fuzz FuzzInstDecode -fuzztime 5s
 go test ./internal/daemon/ -run '^$' -fuzz FuzzParseFaultPlan -fuzztime 5s
 go test ./internal/tsdb/ -run '^$' -fuzz FuzzTSDBSegmentDecode -fuzztime 5s
+go test ./internal/tsdb/ -run '^$' -fuzz FuzzTSDBBlockDecode -fuzztime 5s
 go test ./internal/optimize/ -run '^$' -fuzz FuzzReorderProcedure -fuzztime 5s
 
 if [ "${BENCH:-0}" = "1" ]; then
