@@ -19,7 +19,7 @@ func compactMain(args []string) int {
 		dbDir        = fs.String("tsdb", "fleetdb", "time-series store directory")
 		compactAfter = fs.Int("compact-after", 1, "merge a machine's raw segments once it has this many")
 		rawRetention = fs.Uint64("raw-retention", 0, "newest epochs kept at raw fidelity (0 = everything)")
-		downsample   = fs.Uint64("downsample", 0, "bucket width in epochs for blocks behind the horizon (0 = off)")
+		downsample   = fs.Uint64("downsample", 0, "bucket width in epochs for blocks behind the horizon (0 = off, max 64)")
 	)
 	fs.Parse(args)
 	store, err := tsdb.Open(*dbDir, tsdb.Options{})

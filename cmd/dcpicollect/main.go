@@ -88,7 +88,7 @@ func serveMain(args []string) int {
 		rawRetention = fs.Uint64("raw-retention", 0,
 			"newest epochs kept at raw fidelity when downsampling (0 = everything)")
 		downsample = fs.Uint64("downsample", 0,
-			"bucket width in epochs for compacted blocks behind the raw-retention horizon (0 = off)")
+			"bucket width in epochs for compacted blocks behind the raw-retention horizon (0 = off, max 64)")
 	)
 	fs.Parse(args)
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	mathbits "math/bits"
 	"sort"
 
 	"dcpi/internal/atomicio"
@@ -33,10 +34,11 @@ const BlockVersion = 1
 //
 // downsample == 0 means raw fidelity: every (epoch, point) survives and
 // queries decode the identical Points the raw segments held. downsample
-// == N ≥ 2 means each series keeps one aggregate per N-epoch bucket
-// (sums of samples/insts/wall, per-epoch min/max, cycle-weighted mean
-// period) and the per-epoch metadata table is replaced by per-bucket
-// sums.
+// == N (2 ≤ N ≤ maxDownsample) means each series keeps one aggregate per
+// N-epoch bucket (sums of samples/insts/wall, per-epoch min/max,
+// cycle-weighted mean period) and the per-epoch metadata table is
+// replaced by per-bucket sums plus a coverage bitmap recording exactly
+// which of the bucket's epochs were ingested.
 type block struct {
 	machine    string
 	firstSeq   uint64
@@ -58,13 +60,20 @@ type epochMeta struct {
 }
 
 // bucketMeta is one N-epoch bucket's shared metadata in a downsampled
-// block: the bucket's first epoch, how many raw epochs it aggregated,
-// and their wall-cycle sum.
+// block: the bucket's first epoch, exactly which of its epochs were
+// ingested, and their wall-cycle sum. cover is what keeps HasEpoch exact
+// after downsampling — a partial bucket (short series, gaps from
+// quarantine or a scrape outage) must not claim epochs it never held —
+// and is why the downsample factor is capped at 64 (maxDownsample).
 type bucketMeta struct {
-	epoch  uint64
-	epochs uint64
-	wall   int64
+	epoch uint64
+	cover uint64 // bitmap: bit i set iff epoch+i was ingested
+	wall  int64
 }
+
+// maxDownsample bounds the downsampling factor so a bucket's epoch
+// coverage fits one 64-bit bitmap.
+const maxDownsample = 64
 
 // bseries is one decoded series: parallel columns, epochs non-decreasing
 // (duplicates allowed in raw blocks — a re-scrape race can legitimately
@@ -106,8 +115,9 @@ func (bs *bseries) searchEpoch(e uint64) int {
 	return sort.Search(len(bs.epochs), func(i int) bool { return bs.epochs[i] >= e })
 }
 
-// hasEpoch reports whether the block stores (or, when downsampled,
-// covers) the given epoch.
+// hasEpoch reports whether the block ingested the given epoch — exact
+// even for downsampled blocks, whose buckets record per-epoch coverage
+// in a bitmap.
 func (b *block) hasEpoch(e uint64) bool {
 	if e < b.minEpoch || e > b.maxEpoch {
 		return false
@@ -118,11 +128,22 @@ func (b *block) hasEpoch(e uint64) bool {
 	}
 	start := bucketStart(e, b.downsample)
 	i := sort.Search(len(b.buckets), func(i int) bool { return b.buckets[i].epoch >= start })
-	return i < len(b.buckets) && b.buckets[i].epoch == start
+	return i < len(b.buckets) && b.buckets[i].epoch == start &&
+		b.buckets[i].cover&(1<<(e-start)) != 0
 }
 
 // bucketStart maps an epoch (>= 1) to its N-epoch bucket's first epoch.
 func bucketStart(e, n uint64) uint64 { return (e-1)/n*n + 1 }
+
+// bucketBounds returns the exact [min, max] ingested epochs of an
+// ascending, non-empty bucket list: the lowest covered epoch of the
+// first bucket and the highest covered epoch of the last.
+func bucketBounds(bk []bucketMeta) (min, max uint64) {
+	first, last := &bk[0], &bk[len(bk)-1]
+	min = first.epoch + uint64(mathbits.TrailingZeros64(first.cover))
+	max = last.epoch + uint64(63-mathbits.LeadingZeros64(last.cover))
+	return min, max
+}
 
 func seriesLess(a, b *Labels) bool {
 	if a.Workload != b.Workload {
@@ -138,11 +159,13 @@ func seriesLess(a, b *Labels) bool {
 }
 
 // buildBlock merges one machine's raw sources (ascending fileSeq) into an
-// in-memory block. Epoch metadata is canonicalized first-writer-wins:
-// when a re-scrape race stored the same epoch twice, the lowest-sequence
-// segment's wall/period stand for that epoch (in practice re-scrapes of
-// a sealed epoch carry identical metadata). Points with identical labels
-// and epoch all survive, in segment-sequence order.
+// in-memory block. Epoch metadata is stored once per epoch: when a
+// re-scrape race stored the same epoch twice, the duplicates are
+// guaranteed to carry identical wall/period — Append rejects conflicting
+// re-appends and Compact quarantines conflicting files before calling
+// this — so taking the lowest-sequence segment's metadata is lossless.
+// Points with identical labels and epoch all survive, in
+// segment-sequence order.
 func buildBlock(machine string, srcs []*source) *block {
 	b := &block{
 		machine:  machine,
@@ -229,7 +252,7 @@ func downsampleBlock(b *block, n uint64) *block {
 			bucketByStart[start] = bm
 			d.buckets = append(d.buckets, bucketMeta{})
 		}
-		bm.epochs++
+		bm.cover |= 1 << (m.epoch - start)
 		bm.wall += m.wall
 	}
 	starts := make([]uint64, 0, len(bucketByStart))
@@ -240,8 +263,9 @@ func downsampleBlock(b *block, n uint64) *block {
 	for i, s := range starts {
 		d.buckets[i] = *bucketByStart[s]
 	}
-	d.minEpoch = d.buckets[0].epoch
-	d.maxEpoch = d.buckets[len(d.buckets)-1].epoch + n - 1
+	// Epoch bounds stay exact: a partial last bucket must not claim the
+	// uncovered tail (nor a partial first bucket an uncovered head).
+	d.minEpoch, d.maxEpoch = bucketBounds(d.buckets)
 	for si := range b.series {
 		src := &b.series[si]
 		ds := bseries{labels: src.labels}
@@ -332,7 +356,7 @@ func EncodeBlock(w io.Writer, b *block) error {
 		var prevEpoch uint64
 		var prevWall int64
 		for _, bm := range b.buckets {
-			if err := wu(bm.epoch-prevEpoch, bm.epochs); err != nil {
+			if err := wu(bm.epoch-prevEpoch, bm.cover); err != nil {
 				return err
 			}
 			if err := atomicio.WriteVarint(pw, bm.wall-prevWall); err != nil {
@@ -461,8 +485,8 @@ func DecodeBlock(raw []byte) (*block, error) {
 	if b.firstSeq == 0 || b.firstSeq > b.lastSeq {
 		return nil, fmt.Errorf("tsdb: bad block sequence range [%d, %d]", b.firstSeq, b.lastSeq)
 	}
-	if b.downsample == 1 {
-		return nil, errors.New("tsdb: bad downsample factor 1")
+	if b.downsample == 1 || b.downsample > maxDownsample {
+		return nil, fmt.Errorf("tsdb: bad downsample factor %d", b.downsample)
 	}
 	if b.downsample == 0 {
 		if err := b.decodeMetas(br); err != nil {
@@ -554,7 +578,7 @@ func (b *block) decodeBuckets(br *bytes.Reader) error {
 		if d == 0 || prevEpoch > math.MaxUint64-d {
 			return errors.New("tsdb: buckets not strictly ascending")
 		}
-		covered, err := binary.ReadUvarint(br)
+		cover, err := binary.ReadUvarint(br)
 		if err != nil {
 			return err
 		}
@@ -567,13 +591,14 @@ func (b *block) decodeBuckets(br *bytes.Reader) error {
 		if bucketStart(prevEpoch, b.downsample) != prevEpoch {
 			return fmt.Errorf("tsdb: bucket %d not aligned to factor %d", prevEpoch, b.downsample)
 		}
-		if covered == 0 || covered > b.downsample {
-			return fmt.Errorf("tsdb: bucket covers %d of %d epochs", covered, b.downsample)
+		// A shift count of 64 (factor == maxDownsample) is defined in Go
+		// and yields 0, keeping the full-bitmap case valid.
+		if cover == 0 || cover>>b.downsample != 0 {
+			return fmt.Errorf("tsdb: bucket coverage %#x exceeds factor %d", cover, b.downsample)
 		}
-		b.buckets = append(b.buckets, bucketMeta{prevEpoch, covered, prevWall})
+		b.buckets = append(b.buckets, bucketMeta{prevEpoch, cover, prevWall})
 	}
-	last := b.buckets[len(b.buckets)-1]
-	if b.minEpoch != b.buckets[0].epoch || b.maxEpoch != last.epoch+b.downsample-1 {
+	if min, max := bucketBounds(b.buckets); b.minEpoch != min || b.maxEpoch != max {
 		return errors.New("tsdb: block epoch bounds disagree with buckets")
 	}
 	return nil

@@ -26,7 +26,9 @@ type CompactOptions struct {
 	// lossy.
 	RawRetention uint64
 	// Downsample is the bucket width in epochs applied to blocks wholly
-	// behind the raw-retention horizon; 0 or 1 disables.
+	// behind the raw-retention horizon; 0 or 1 disables. Capped at 64 so
+	// each bucket's per-epoch coverage fits one bitmap word (which is what
+	// keeps HasEpoch exact after downsampling).
 	Downsample uint64
 }
 
@@ -50,7 +52,11 @@ type CompactStats struct {
 // On raw-retained ranges queries return byte-identical results before
 // and after: compaction preserves every point, the ingestion order of
 // duplicate (labels, epoch) points, and the source ordering key queries
-// merge by.
+// merge by. The one exception is a raw segment whose wall/period
+// metadata conflicts with an earlier segment for the same epoch (data
+// Append refuses, but older files may carry): it is quarantined aside as
+// NAME.bad rather than merged, because canonicalizing its metadata would
+// silently change its points' query results.
 func (db *DB) Compact(o CompactOptions) (CompactStats, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -60,6 +66,9 @@ func (db *DB) Compact(o CompactOptions) (CompactStats, error) {
 	}
 	if o.Downsample > 1 && o.RawRetention == 0 {
 		return st, errors.New("tsdb: -downsample needs a -raw-retention horizon (refusing to downsample everything)")
+	}
+	if o.Downsample > maxDownsample {
+		return st, fmt.Errorf("tsdb: -downsample %d exceeds the maximum factor %d (bucket coverage is a 64-bit bitmap)", o.Downsample, maxDownsample)
 	}
 	min := o.CompactAfter
 	if min < 1 {
@@ -81,6 +90,7 @@ func (db *DB) Compact(o CompactOptions) (CompactStats, error) {
 			continue
 		}
 		sort.Slice(raws, func(i, j int) bool { return raws[i].fileSeq < raws[j].fileSeq })
+		raws = db.quarantineMetaConflictsLocked(raws)
 		src, err := db.writeBlockLocked(buildBlock(m, raws))
 		if err != nil {
 			db.publish()
@@ -112,6 +122,34 @@ func (db *DB) Compact(o CompactOptions) (CompactStats, error) {
 	st.BytesAfter = db.sizeBytes
 	db.publish()
 	return st, nil
+}
+
+// quarantineMetaConflictsLocked drops raw segments (ascending fileSeq)
+// whose wall/period metadata disagrees with an earlier-sequence segment
+// for the same epoch. Append refuses such batches, but files written by
+// older code can still carry them; merging one into a block would let
+// first-writer-wins canonicalization silently change its points' query
+// results across compaction. Conflicting files are renamed aside as
+// NAME.bad like decode failures and their points leave the index.
+// Returns the surviving segments. Caller holds db.mu.
+func (db *DB) quarantineMetaConflictsLocked(raws []*source) []*source {
+	first := map[uint64]*segment{}
+	live := raws[:0]
+	for _, s := range raws {
+		f := first[s.seg.epoch]
+		switch {
+		case f == nil:
+			first[s.seg.epoch] = s.seg
+		case f.wall != s.seg.wall || f.period != s.seg.period:
+			os.Rename(s.path, s.path+".bad")
+			db.removeSource(s)
+			db.sizeBytes -= s.bytes
+			db.quarantined++
+			continue
+		}
+		live = append(live, s)
+	}
+	return live
 }
 
 // downsampleLocked rewrites every raw-fidelity block that lies wholly

@@ -277,6 +277,123 @@ func TestDownsampling(t *testing.T) {
 	}
 }
 
+// TestAppendRejectsConflictingMetadata pins the Append-time gate behind
+// compaction's metadata canonicalization: re-appending a stored epoch is
+// fine (duplicate points are the re-scrape-race contract) but only with
+// identical wall/period, both against raw segments and against a block.
+func TestAppendRejectsConflictingMetadata(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, db, procBatch("m00", 1))
+	badWall := procBatch("m00", 1)
+	badWall.Wall += 7
+	if err := db.Append(badWall); err == nil {
+		t.Error("conflicting wall accepted against a raw segment")
+	}
+	badPeriod := procBatch("m00", 1)
+	badPeriod.Period = 999
+	if err := db.Append(badPeriod); err == nil {
+		t.Error("conflicting period accepted against a raw segment")
+	}
+	dup := procBatch("m00", 1)
+	dup.Records[0].Samples = 999 // same metadata, different counts: allowed
+	mustAppend(t, db, dup)
+	mustCompact(t, db, CompactOptions{CompactAfter: 1})
+	if err := db.Append(badWall); err == nil {
+		t.Error("conflicting wall accepted against a block")
+	}
+	mustAppend(t, db, procBatch("m00", 1)) // identical metadata still fine
+}
+
+// TestCompactQuarantinesConflictingSegment plants an on-disk duplicate
+// segment whose metadata disagrees with the first copy of its epoch —
+// data Append refuses, but older files may carry. Compaction must
+// quarantine it as .bad instead of silently canonicalizing its points'
+// wall/period into the block.
+func TestCompactQuarantinesConflictingSegment(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, db, procBatch("m00", 1))
+	mustAppend(t, db, procBatch("m00", 2))
+	conflict := procBatch("m00", 2)
+	conflict.Wall += 7
+	var buf bytes.Buffer
+	if err := EncodeSegment(&buf, &conflict); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(3)), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perBatch := len(procBatch("m00", 1).Records)
+	if got := db2.Stats(); got.Points != 3*perBatch {
+		t.Fatalf("planted store holds %d points, want %d", got.Points, 3*perBatch)
+	}
+	want := db2.Select(Matcher{AnyEvent: true, AnyProc: true, ToEpoch: 1})
+	st := mustCompact(t, db2, CompactOptions{CompactAfter: 1})
+	if st.SegmentsCompacted != 2 {
+		t.Errorf("compacted %d segments, want 2", st.SegmentsCompacted)
+	}
+	stats := db2.Stats()
+	if stats.Quarantined != 1 || stats.Segments != 0 || stats.Blocks != 1 || stats.Points != 2*perBatch {
+		t.Fatalf("stats after conflict quarantine: %+v", stats)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(3)+".bad")); err != nil {
+		t.Errorf("conflicting segment not quarantined: %v", err)
+	}
+	if got := db2.Select(Matcher{AnyEvent: true, AnyProc: true, ToEpoch: 1}); !reflect.DeepEqual(got, want) {
+		t.Fatal("untouched epoch's answers changed")
+	}
+	if !db2.HasEpoch("m00", 2) {
+		t.Error("the epoch's first copy was lost")
+	}
+}
+
+// TestHasEpochPartialBucket pins exact presence on downsampled blocks:
+// epochs in the uncovered tail of a partial bucket, or in a gap inside
+// one, must read as absent so the scraper's exactly-once check never
+// skips real data.
+func TestHasEpochPartialBucket(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 5 was never ingested (a scrape outage); epoch 7 ends its
+	// bucket mid-range.
+	stored := []uint64{1, 2, 3, 4, 6, 7}
+	for _, e := range stored {
+		mustAppend(t, db, procBatch("m00", e))
+	}
+	mustCompact(t, db, CompactOptions{CompactAfter: 1})
+	mustAppend(t, db, procBatch("m00", 20))
+	// Horizon = 20 - 5 = 15: the epochs 1-7 block is wholly behind it and
+	// downsamples into buckets {1: 1-3, 4: 4 and 6, 7: 7}.
+	st := mustCompact(t, db, CompactOptions{CompactAfter: 2, RawRetention: 5, Downsample: 3})
+	if st.BlocksDownsampled != 1 {
+		t.Fatalf("downsampled %d blocks, want 1", st.BlocksDownsampled)
+	}
+	has := map[uint64]bool{20: true}
+	for _, e := range stored {
+		has[e] = true
+	}
+	for e := uint64(1); e <= 21; e++ {
+		if got := db.HasEpoch("m00", e); got != has[e] {
+			t.Errorf("HasEpoch(m00, %d) = %v, want %v", e, got, has[e])
+		}
+	}
+	if got := db.MaxEpoch("m00"); got != 20 {
+		t.Errorf("MaxEpoch(m00) = %d, want 20", got)
+	}
+}
+
 func TestCompactGuards(t *testing.T) {
 	dir := t.TempDir()
 	db, err := Open(dir, Options{})
@@ -286,6 +403,9 @@ func TestCompactGuards(t *testing.T) {
 	mustAppend(t, db, procBatch("m00", 1))
 	if _, err := db.Compact(CompactOptions{CompactAfter: 1, Downsample: 4}); err == nil {
 		t.Error("downsampling without a raw-retention horizon succeeded")
+	}
+	if _, err := db.Compact(CompactOptions{CompactAfter: 1, RawRetention: 1, Downsample: maxDownsample + 1}); err == nil {
+		t.Error("downsample factor beyond the coverage bitmap width succeeded")
 	}
 	ro, err := Open(dir, Options{ReadOnly: true})
 	if err != nil {

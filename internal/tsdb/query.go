@@ -187,7 +187,15 @@ func (db *DB) scanWindows(m Matcher, fn func(win int, p Point, ord uint64, sub i
 		nwin = 1 // keep winOf's multiply below from overflowing
 	}
 	winOf := func(e uint64) int { return int((e - lo) * uint64(nwin) / span) }
-	winStart := func(w int) uint64 { return lo + span*uint64(w)/uint64(nwin) }
+	// winStart is the exact inverse partition of winOf: the smallest epoch
+	// with winOf(e) == w sits ceil(span*w/nwin) above lo, so
+	// winStart(winOf(e)) <= e < winStart(winOf(e)+1) holds for every e in
+	// [lo, hi] even when span is not a multiple of nwin. A floor here
+	// would disagree with winOf on ragged spans and drop block epochs that
+	// fall between the two partitions.
+	winStart := func(w int) uint64 {
+		return lo + (span*uint64(w)+uint64(nwin)-1)/uint64(nwin)
+	}
 	winChunks := make([][]chunk, nwin)
 	for _, c := range chunks {
 		if c.bs == nil {

@@ -341,7 +341,12 @@ func batchPoints(b *Batch) []Point {
 func (db *DB) Dir() string { return db.dir }
 
 // Append durably writes one batch as a new raw segment and indexes its
-// points.
+// points. Re-appending an epoch the store already holds is allowed (a
+// re-scrape race stores duplicate points; see Select's ordering
+// contract), but only when the batch's wall/period metadata matches what
+// is stored: compaction canonicalizes per-epoch metadata, so a
+// conflicting duplicate could silently change query results across
+// compaction and is rejected here instead.
 func (db *DB) Append(b Batch) error {
 	if db.opts.ReadOnly {
 		return errors.New("tsdb: store opened read-only")
@@ -358,6 +363,11 @@ func (db *DB) Append(b Batch) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if wall, period, ok := db.epochMetaLocked(b.Machine, b.Epoch); ok &&
+		(wall != b.Wall || period != b.Period) {
+		return fmt.Errorf("tsdb: conflicting re-scrape of (%s, epoch %d): stored wall=%d period=%v, batch wall=%d period=%v",
+			b.Machine, b.Epoch, wall, period, b.Wall, b.Period)
+	}
 	seq := db.nextSeq
 	db.nextSeq++
 	path := filepath.Join(db.dir, segName(seq))
@@ -372,6 +382,30 @@ func (db *DB) Append(b Batch) error {
 	db.retain()
 	db.publish()
 	return nil
+}
+
+// epochMetaLocked returns the stored wall/period metadata for (machine,
+// epoch) when the store holds that epoch at raw fidelity. Downsampled
+// blocks aggregate per-epoch metadata away and report ok == false.
+// Caller holds db.mu.
+func (db *DB) epochMetaLocked(machine string, epoch uint64) (wall int64, period float64, ok bool) {
+	for _, s := range db.byMachine[machine] {
+		if epoch < s.minEpoch || epoch > s.maxEpoch {
+			continue
+		}
+		if s.seg != nil {
+			return s.seg.wall, s.seg.period, true
+		}
+		if s.blk.downsample != 0 {
+			continue
+		}
+		ms := s.blk.metas
+		i := sort.Search(len(ms), func(i int) bool { return ms[i].epoch >= epoch })
+		if i < len(ms) && ms[i].epoch == epoch {
+			return ms[i].wall, ms[i].period, true
+		}
+	}
+	return 0, 0, false
 }
 
 // retain enforces the size cap by deleting the oldest sources: lowest max
@@ -468,10 +502,11 @@ func (db *DB) Stats() Stats {
 	return st
 }
 
-// HasEpoch reports whether (machine, epoch) is present — the scraper's
-// exactly-once check. For downsampled blocks the per-epoch presence list
-// is gone, so any epoch inside a stored bucket counts as present (the
-// horizon guarantees the collector never re-scrapes that far back).
+// HasEpoch reports whether (machine, epoch) was ingested — the scraper's
+// exactly-once check. Exact at every tier: downsampled blocks keep a
+// per-bucket coverage bitmap, so an epoch in the uncovered tail of a
+// partial bucket is correctly reported absent and re-scraping behind the
+// raw-retention horizon never drops data.
 func (db *DB) HasEpoch(machine string, epoch uint64) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
