@@ -1,0 +1,145 @@
+// Command dcpiwhatif runs hardware sensitivity sweeps and scores the §6
+// culprit analysis against causal ground truth (internal/whatif, see
+// docs/WHATIF.md).
+//
+// Usage:
+//
+//	dcpiwhatif                                # default grid, compress + li
+//	dcpiwhatif -workloads gcc -scale 0.25     # one workload, bigger run
+//	dcpiwhatif -grid dcache2x,memlat2x        # a subset of the grid
+//	dcpiwhatif -list                          # show the available grid points
+//	dcpiwhatif -json report.json              # machine-readable reports
+//	dcpiwhatif -cache-dir ~/.cache/dcpi       # reruns decode instead of simulating
+//
+// Every grid point is a full machine simulation; -j bounds how many run
+// concurrently and -cache-dir persists results across invocations (the
+// same cache dcpieval uses — a sweep re-run after an unrelated evaluation
+// is free). A final "dcpiwhatif-cache-stats {...}" line on stderr reports
+// how runs were resolved.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dcpi/internal/dcpi"
+	"dcpi/internal/runcache"
+	"dcpi/internal/runner"
+	"dcpi/internal/whatif"
+)
+
+func main() {
+	var (
+		workloads = flag.String("workloads", "compress,li", "comma-separated workloads to sweep")
+		scale     = flag.Float64("scale", 0.1, "workload scale (1.0 = full size)")
+		seed      = flag.Uint64("seed", 1, "baseline seed (page placement and sampling)")
+		grid      = flag.String("grid", "", "comma-separated grid points (default: all; see -list)")
+		list      = flag.Bool("list", false, "list the grid points and exit")
+		procs     = flag.Int("procs", 0, "hottest procedures analyzed per workload (default 3)")
+		minMove   = flag.Float64("min-move", 0, "noise floor in cycles for counting movement (default: a few sampling periods)")
+		jobs      = flag.Int("j", 0, "concurrent simulation workers (default GOMAXPROCS)")
+		simcpus   = flag.String("simcpus", "0", "per-run simulation parallelism: 0/1 sequential, N goroutines, or \"auto\"")
+		jsonOut   = flag.String("json", "", "write the reports as a JSON array to this file")
+		cacheDir  = flag.String("cache-dir", os.Getenv("DCPI_CACHE_DIR"),
+			"persistent run-cache directory (default $DCPI_CACHE_DIR), shared with dcpieval")
+		cacheMax = flag.Int("cache-max-mb", 2048, "run-cache size cap in MiB before LRU eviction (with -cache-dir)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range whatif.DefaultGrid() {
+			tgt := "wall-clock only"
+			if len(p.Targets) > 0 {
+				var names []string
+				for _, c := range p.Targets {
+					names = append(names, c.String())
+				}
+				tgt = "tests " + strings.Join(names, ", ")
+			}
+			fmt.Printf("%-10s %-22s %s (%s)\n", p.Name, p.Spec, p.Desc, tgt)
+		}
+		return
+	}
+
+	points := whatif.DefaultGrid()
+	if *grid != "" {
+		var err error
+		points, err = whatif.GridByNames(strings.Split(*grid, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpiwhatif: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	sched := runner.New(*jobs)
+	if n, err := dcpi.ParseSimCPUs(*simcpus); err != nil {
+		fmt.Fprintf(os.Stderr, "dcpiwhatif: %v\n", err)
+		os.Exit(2)
+	} else {
+		sched.SimCPUs = n
+	}
+	if *cacheDir != "" {
+		disk, err := runcache.Open(*cacheDir, runcache.Options{
+			MaxBytes: int64(*cacheMax) << 20,
+			Stamp:    dcpi.CacheStamp(),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpiwhatif: opening run cache: %v\n", err)
+			os.Exit(1)
+		}
+		sched.Disk = disk
+	}
+
+	var reports []*whatif.Report
+	for i, w := range strings.Split(*workloads, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		rep, err := whatif.Sweep(whatif.Options{
+			Base:          dcpi.Config{Workload: w, Scale: *scale, Seed: *seed},
+			Grid:          points,
+			Runner:        sched,
+			TopProcs:      *procs,
+			MinMoveCycles: *minMove,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpiwhatif: %v\n", err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		whatif.FormatReport(os.Stdout, rep)
+		reports = append(reports, rep)
+	}
+	if len(reports) == 0 {
+		fmt.Fprintln(os.Stderr, "dcpiwhatif: no workloads given")
+		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(reports, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcpiwhatif: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+	}
+
+	// Machine-readable resolution summary, mirroring dcpieval-cache-stats:
+	// the ci smoke asserts a warm rerun reports "simulated":0.
+	st := sched.Stats()
+	line, _ := json.Marshal(map[string]any{
+		"simulated": st.Simulated,
+		"mem_hits":  st.MemHits,
+		"disk_hits": st.DiskHits,
+		"workers":   sched.Workers(),
+	})
+	fmt.Fprintf(os.Stderr, "dcpiwhatif-cache-stats %s\n", line)
+}

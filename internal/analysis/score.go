@@ -1,0 +1,171 @@
+package analysis
+
+// Causal scoring of the culprit analysis (the what-if engine's test oracle).
+//
+// The §6 analysis blames dynamic stalls on causes by elimination — "guilty
+// until proven innocent" — because DCPI on real hardware could never re-run
+// the workload on a different machine. The simulator can: perturb one
+// hardware parameter, re-run, and the per-instruction cycles that move are
+// *causal* ground truth for the cause that parameter targets. This file
+// turns a ProcAnalysis into scoreable claims and scores a claim set against
+// a movement set, yielding the precision/recall the what-if engine reports
+// (cmd/dcpiwhatif, docs/WHATIF.md).
+
+import "sort"
+
+// Claim is one culprit blame extracted from the analysis: "the instruction
+// at Offset stalls, and Cause may be responsible". Cycles estimates the
+// total dynamic-stall cycles behind the blame over the profiled interval
+// (per-execution stall x estimated frequency), which lets scoring weight
+// big blames over noise.
+type Claim struct {
+	Offset uint64 // image byte offset of the stalled instruction
+	Cause  Cause
+	Cycles float64
+}
+
+// CulpritClaims flattens pa's per-instruction culprit lists into claims.
+// Instructions whose total dynamic-stall cycles fall below minCycles are
+// skipped — they are within sampling noise and scoring them would punish
+// the analysis for refusing to over-interpret noise. One claim is emitted
+// per (instruction, cause) pair; an instruction with several surviving
+// culprits claims each of them (the analysis reports possible causes, and
+// scoring's precision term is what penalizes over-claiming).
+func CulpritClaims(pa *ProcAnalysis, minCycles float64) []Claim {
+	var out []Claim
+	for i := range pa.Insts {
+		ia := &pa.Insts[i]
+		if ia.DynStall <= 0 || ia.Freq <= 0 {
+			continue
+		}
+		cyc := ia.DynStall * ia.Freq
+		if cyc < minCycles {
+			continue
+		}
+		for _, c := range ia.Culprits {
+			out = append(out, Claim{Offset: ia.Offset, Cause: c.Cause, Cycles: cyc})
+		}
+	}
+	return out
+}
+
+// Movement is causal ground truth for one instruction: perturbing the
+// hardware parameter that targets Cause moved Cycles of this instruction's
+// time (in the direction the perturbation predicts).
+type Movement struct {
+	Offset uint64
+	Cause  Cause
+	Cycles float64
+}
+
+// Score counts how a claim set fared against causal ground truth for one
+// cause (or in aggregate).
+type Score struct {
+	TP int // claimed and the cycles really moved there
+	FP int // claimed, but perturbing the cause moved nothing there
+	FN int // cycles moved there, but the analysis never blamed the cause
+
+	ClaimedCycles float64 // stall cycles behind all claims
+	MovedCycles   float64 // ground-truth cycles that moved
+	CaughtCycles  float64 // moved cycles at claimed instructions
+}
+
+// Precision is TP/(TP+FP): of the (instruction, cause) blames made, the
+// fraction causally confirmed.
+func (s Score) Precision() float64 {
+	if s.TP+s.FP == 0 {
+		return 0
+	}
+	return float64(s.TP) / float64(s.TP+s.FP)
+}
+
+// Recall is TP/(TP+FN): of the (instruction, cause) pairs whose cycles
+// really moved, the fraction the analysis blamed.
+func (s Score) Recall() float64 {
+	if s.TP+s.FN == 0 {
+		return 0
+	}
+	return float64(s.TP) / float64(s.TP+s.FN)
+}
+
+// CycleRecall weighs recall by cycles instead of claim count: the fraction
+// of moved cycles that occurred at instructions the analysis blamed.
+func (s Score) CycleRecall() float64 {
+	if s.MovedCycles == 0 {
+		return 0
+	}
+	return s.CaughtCycles / s.MovedCycles
+}
+
+// Add folds another score into s.
+func (s *Score) Add(o Score) {
+	s.TP += o.TP
+	s.FP += o.FP
+	s.FN += o.FN
+	s.ClaimedCycles += o.ClaimedCycles
+	s.MovedCycles += o.MovedCycles
+	s.CaughtCycles += o.CaughtCycles
+}
+
+type claimKey struct {
+	off   uint64
+	cause Cause
+}
+
+// ScoreClaims scores a claim set against causal ground truth, matching on
+// (instruction offset, cause). It returns per-cause scores (only for causes
+// present in either set) and their aggregate. Offsets must come from the
+// same image namespace on both sides; callers scoring several images score
+// each separately and Add the totals.
+func ScoreClaims(claims []Claim, truth []Movement) (map[Cause]Score, Score) {
+	claimed := make(map[claimKey]float64, len(claims))
+	for _, c := range claims {
+		if c.Cycles > claimed[claimKey{c.Offset, c.Cause}] {
+			claimed[claimKey{c.Offset, c.Cause}] = c.Cycles
+		}
+	}
+	moved := make(map[claimKey]float64, len(truth))
+	for _, m := range truth {
+		if m.Cycles > moved[claimKey{m.Offset, m.Cause}] {
+			moved[claimKey{m.Offset, m.Cause}] = m.Cycles
+		}
+	}
+
+	per := make(map[Cause]Score)
+	for k, cyc := range claimed {
+		s := per[k.cause]
+		s.ClaimedCycles += cyc
+		if mv, ok := moved[k]; ok {
+			s.TP++
+			s.CaughtCycles += mv
+		} else {
+			s.FP++
+		}
+		per[k.cause] = s
+	}
+	for k, cyc := range moved {
+		s := per[k.cause]
+		s.MovedCycles += cyc
+		if _, ok := claimed[k]; !ok {
+			s.FN++
+		}
+		per[k.cause] = s
+	}
+
+	var total Score
+	for _, s := range per {
+		total.Add(s)
+	}
+	return per, total
+}
+
+// CausesOf returns the causes present in a per-cause score map in enum
+// order, for stable report rendering.
+func CausesOf(per map[Cause]Score) []Cause {
+	out := make([]Cause, 0, len(per))
+	for c := range per {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

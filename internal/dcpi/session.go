@@ -12,6 +12,7 @@ import (
 
 	"dcpi/internal/daemon"
 	"dcpi/internal/driver"
+	"dcpi/internal/hw"
 	"dcpi/internal/image"
 	"dcpi/internal/loader"
 	"dcpi/internal/obs"
@@ -111,6 +112,12 @@ type Config struct {
 	// Obs.Registry and its pipeline events into Obs.Tracer. The zero value
 	// leaves the run byte-identical to an uninstrumented one.
 	Obs obs.Hooks
+	// HW perturbs the simulated hardware (cache geometries, TLB and
+	// write-buffer shapes, issue width, timing model). The zero value is
+	// the default 21164 machine and — like Fault — keeps the run's content
+	// key byte-identical to a pre-HW-config run, so existing cache entries
+	// survive. Non-default machines join runner.Key via hw.Config.String.
+	HW hw.Config
 }
 
 // Result is a completed run.
@@ -196,6 +203,9 @@ func Run(cfg Config) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("dcpi: unknown workload %q (have %v)", cfg.Workload, workload.Names())
 	}
+	if err := cfg.HW.Validate(); err != nil {
+		return nil, fmt.Errorf("dcpi: %w", err)
+	}
 	ncpu := spec.NumCPUs
 	if cfg.NumCPUs > 0 {
 		ncpu = cfg.NumCPUs
@@ -278,6 +288,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	m := sim.NewMachine(sim.Options{
+		HW:      cfg.HW,
 		NumCPUs: ncpu,
 		ABI:     abi,
 		Loader:  l,

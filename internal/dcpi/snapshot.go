@@ -39,8 +39,10 @@ import (
 )
 
 // SnapshotVersion identifies the blob layout written by EncodeSnapshot.
-// v2 added the machine's ground-truth hardware statistics (MachineStats).
-const SnapshotVersion = 2
+// v2 added the machine's ground-truth hardware statistics (MachineStats);
+// v3 embeds the canonical hardware description (hw.Config.String) so a blob
+// can never be rehydrated under a different machine than it was measured on.
+const SnapshotVersion = 3
 
 // SimVersion names the simulator generation whose results are on disk.
 // Bump it whenever a change alters simulation output for an unchanged
@@ -63,6 +65,7 @@ func EncodeSnapshot(r *Result) ([]byte, error) {
 	w := &snapWriter{w: bw}
 
 	w.uvarint(SnapshotVersion)
+	w.str(r.Config.HW.String())
 	w.varint(r.Wall)
 	w.uvarint(uint64(r.NumCPUs))
 
@@ -182,6 +185,10 @@ func DecodeSnapshot(blob []byte, cfg Config) (*Result, error) {
 
 	if v := r.uvarint(); r.err == nil && v != SnapshotVersion {
 		return nil, fmt.Errorf("dcpi: snapshot version %d, want %d", v, SnapshotVersion)
+	}
+	if hwSpec := r.str(); r.err == nil && hwSpec != cfg.HW.String() {
+		return nil, fmt.Errorf("dcpi: snapshot measured on machine %q, config wants %q",
+			hwSpec, cfg.HW.String())
 	}
 	res := &Result{Config: cfg}
 	res.Wall = r.varint()
@@ -327,7 +334,10 @@ func rebuildImages(cfg Config, ncpu int) (*loader.Loader, *sim.Machine, error) {
 			return nil
 		}
 	}
-	m := sim.NewMachine(sim.Options{NumCPUs: ncpu, ABI: abi, Loader: l})
+	// The shell carries the run's hardware description so rehydrated
+	// consumers (Result.Model, the analysis) see the machine that was
+	// actually measured.
+	m := sim.NewMachine(sim.Options{HW: cfg.HW, NumCPUs: ncpu, ABI: abi, Loader: l})
 	scale := cfg.Scale
 	if scale == 0 {
 		scale = 1
@@ -376,6 +386,13 @@ func (s *snapWriter) varint(v int64) {
 	}
 }
 
+func (s *snapWriter) str(v string) {
+	s.uvarint(uint64(len(v)))
+	if s.err == nil {
+		_, s.err = s.w.WriteString(v)
+	}
+}
+
 type snapReader struct {
 	r   *bufio.Reader
 	err error
@@ -397,4 +414,21 @@ func (s *snapReader) varint() int64 {
 	v, err := atomicio.ReadVarint(s.r)
 	s.err = err
 	return v
+}
+
+func (s *snapReader) str() string {
+	n := s.uvarint()
+	if s.err != nil {
+		return ""
+	}
+	if n > 1<<16 {
+		s.err = fmt.Errorf("unreasonable string length %d", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(s.r, b); err != nil {
+		s.err = err
+		return ""
+	}
+	return string(b)
 }

@@ -1,0 +1,48 @@
+package hw
+
+import "testing"
+
+// FuzzParseHWConfig checks the parser's involution property: any spec that
+// parses must canonicalize (String) to a form that re-parses to the same
+// value and is itself a fixed point of String. Invalid geometry must be
+// rejected, never panic — the spec reaches Parse from the dcpiwhatif command
+// line and from snapshot headers.
+func FuzzParseHWConfig(f *testing.F) {
+	f.Add("")
+	f.Add("icache=16K/32/2")
+	f.Add("icache=16K/32/2,dcache=16K/32/2,board=4M/64/1")
+	f.Add("itb=24,dtb=32,wb=6/0,pred=2048,issue=4")
+	f.Add("memlat=160,l2lat=6,tlbmiss=0,mispredict=10,takenbubble=2")
+	f.Add("intlat=2,cmovlat=3,loadlat=4,mullat=9,fplat=5,divlat=20,mulbusy=2,divbusy=2")
+	f.Add("icache=8192/32/1") // default spelled in bytes
+	f.Add("wb=6/120,issue=2") // default spelled explicitly
+	f.Add("icache=12K/32/1")  // invalid: non-power-of-two size
+	f.Add("dcache=2K/32/64")  // invalid: assoc > sets
+	f.Add("loadlat=0")        // invalid: zero latency
+	f.Add("issue=9")
+	f.Add("wb=6")
+	f.Add(" icache = 8K/32/1 ")
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := Parse(spec)
+		if err != nil {
+			return // invalid specs must only error, never panic
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid config: %v", spec, verr)
+		}
+		s := c.String()
+		c2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", s, spec, err)
+		}
+		if c2 != c {
+			t.Fatalf("Parse(%q) -> %q -> %+v, want %+v", spec, s, c2, c)
+		}
+		if s2 := c2.String(); s2 != s {
+			t.Fatalf("String not a fixed point for %q: %q then %q", spec, s, s2)
+		}
+		if (c == Config{}) != (s == "") {
+			t.Fatalf("zero-value/empty-string correspondence broken for %q: c=%+v s=%q", spec, c, s)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestZeroValueIsDefault(t *testing.T) {
+	var c Config
+	if !c.IsDefault() {
+		t.Fatal("zero Config should describe the default machine")
+	}
+	if got := c.String(); got != "" {
+		t.Fatalf("default String() = %q, want \"\"", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero Config should validate: %v", err)
+	}
+	if c.Resolved() != Default() {
+		t.Fatal("Resolved() of zero Config != Default()")
+	}
+}
+
+// TestDefaultMatchesHistoricalMachine pins the default values to the numbers
+// that were hardcoded in internal/sim/cpu.go before this package existed.
+// Changing any of them silently changes every default simulation.
+func TestDefaultMatchesHistoricalMachine(t *testing.T) {
+	d := Default()
+	if d.ICache != (Geometry{Size: 8 << 10, LineSize: 32, Assoc: 1}) {
+		t.Errorf("icache = %+v", d.ICache)
+	}
+	if d.DCache != (Geometry{Size: 8 << 10, LineSize: 32, Assoc: 1}) {
+		t.Errorf("dcache = %+v", d.DCache)
+	}
+	if d.Board != (Geometry{Size: 2 << 20, LineSize: 64, Assoc: 1}) {
+		t.Errorf("board = %+v", d.Board)
+	}
+	if d.ITBEntries != 48 || d.DTBEntries != 64 {
+		t.Errorf("tlb entries = %d/%d, want 48/64", d.ITBEntries, d.DTBEntries)
+	}
+	if d.WBEntries != 6 || d.WBDrainCycles != 120 {
+		t.Errorf("wb = %d/%d, want 6/120", d.WBEntries, d.WBDrainCycles)
+	}
+	if d.PredEntries != 512 || d.IssueWidth != 2 {
+		t.Errorf("pred/issue = %d/%d, want 512/2", d.PredEntries, d.IssueWidth)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"",
+		"icache=16K/32/1",
+		"icache=16K/32/2,dcache=16K/32/2",
+		"board=4M/64/2",
+		"itb=24,dtb=32",
+		"wb=6/0",
+		"wb=12/120",
+		"pred=2048",
+		"issue=1",
+		"issue=4",
+		"memlat=160",
+		"l2lat=6,memlat=40",
+		"icache=8K/64/1,loadlat=3,tlbmiss=0",
+	}
+	for _, spec := range specs {
+		c, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		s := c.String()
+		c2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", s, err)
+		}
+		if c != c2 {
+			t.Errorf("Parse(%q) -> %q does not round-trip: %+v vs %+v", spec, s, c, c2)
+		}
+		if s2 := c2.String(); s2 != s {
+			t.Errorf("String not canonical for %q: %q then %q", spec, s, s2)
+		}
+	}
+}
+
+// TestParseCanonicalizesDefaultSpellings checks that explicitly spelling out
+// default values parses to the zero Config, so equal machines are equal Go
+// values regardless of how they were written.
+func TestParseCanonicalizesDefaultSpellings(t *testing.T) {
+	for _, spec := range []string{
+		"icache=8K/32/1",
+		"icache=8192/32/1",
+		"itb=48,dtb=64,wb=6/120,pred=512,issue=2",
+		"memlat=80,l2lat=12",
+	} {
+		c, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if c != (Config{}) {
+			t.Errorf("Parse(%q) = %+v, want zero Config", spec, c)
+		}
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	for _, spec := range []string{
+		"icache=12K/32/1",          // non-power-of-two size
+		"icache=8K/24/1",           // non-power-of-two line
+		"icache=8K/32/3",           // non-power-of-two assoc
+		"icache=1K/32/64",          // assoc (64) > sets (0.5 -> size < one set)
+		"dcache=2K/32/64",          // assoc 64 > sets 1
+		"board=512M/64/1",          // over the size cap
+		"icache=8K/4/1",            // line below minimum
+		"itb=0",                    // zero TLB
+		"dtb=-1",                   // negative
+		"wb=0/120",                 // zero entries
+		"wb=6",                     // missing drain
+		"wb=6/-5",                  // negative drain
+		"pred=100",                 // not a power of two
+		"issue=0",                  // below minimum
+		"issue=5",                  // above MaxIssueWidth
+		"loadlat=0",                // zero result latency
+		"memlat=0",                 // zero fill latency
+		"mulbusy=0",                // zero occupancy
+		"intlat=9999999999",        // over the cycle cap
+		"bogus=1",                  // unknown key
+		"icache",                   // not key=value
+		"icache=8K/32",             // malformed geometry
+		"icache=8K/32/1/1",         // malformed geometry
+		"tlbmiss=notanumber",       // not a number
+		"icache=99999999999M/32/1", // size overflow
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseLastKeyWins(t *testing.T) {
+	c, err := Parse("itb=24,itb=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ITBEntries != 12 {
+		t.Fatalf("itb = %d, want 12 (last key wins)", c.ITBEntries)
+	}
+}
+
+func TestStringOrderIsStable(t *testing.T) {
+	// Fields must render in canonical order regardless of spec order.
+	a, err := Parse("memlat=160,icache=16K/32/1,issue=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("issue=4,memlat=160,icache=16K/32/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("order-dependent String: %q vs %q", a.String(), b.String())
+	}
+	if want := "icache=16K/32/1,issue=4,memlat=160"; a.String() != want {
+		t.Fatalf("String = %q, want %q", a.String(), want)
+	}
+}
+
+func TestGeometryCacheConfig(t *testing.T) {
+	g := Geometry{Size: 16 << 10, LineSize: 64, Assoc: 2}
+	cc := g.CacheConfig("dcache")
+	if cc.Name != "dcache" || cc.Size != 16<<10 || cc.LineSize != 64 || cc.Assoc != 2 {
+		t.Fatalf("CacheConfig = %+v", cc)
+	}
+	if g.Sets() != 128 {
+		t.Fatalf("Sets = %d, want 128", g.Sets())
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want string
+	}{
+		{8 << 10, "8K"}, {2 << 20, "2M"}, {32, "32"}, {1536, "1536"}, {3 << 10, "3K"},
+	} {
+		if got := formatSize(tc.n); got != tc.want {
+			t.Errorf("formatSize(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+	if !strings.Contains((Geometry{Size: 2 << 20, LineSize: 64, Assoc: 1}).format(), "2M") {
+		t.Error("geometry format should use binary suffixes")
+	}
+}

@@ -47,7 +47,7 @@ type Cache struct {
 }
 
 // NewCache builds a cache; it panics on an invalid configuration (cache
-// geometries in this codebase are compile-time constants).
+// geometries arrive from hw.Config, which validates before construction).
 func NewCache(cfg CacheConfig) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)

@@ -83,6 +83,9 @@ func (t *TLB) FlushASN(asn uint32) {
 // Len returns the number of resident translations.
 func (t *TLB) Len() int { return len(t.entries) }
 
+// Capacity returns the TLB's entry count.
+func (t *TLB) Capacity() int { return t.capacity }
+
 // MissRate returns misses/lookups, or 0 if none.
 func (t *TLB) MissRate() float64 {
 	total := t.Hits + t.Misses

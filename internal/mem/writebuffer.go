@@ -23,10 +23,12 @@ type WriteBuffer struct {
 }
 
 // NewWriteBuffer builds a write buffer with capacity entries, each taking
-// drainLatency time units to retire to memory.
+// drainLatency time units to retire to memory. A zero drainLatency models an
+// ideal write path — entries retire the moment they arrive, so the buffer
+// never fills and stores never stall (the what-if engine's "wb-zero" point).
 func NewWriteBuffer(capacity int, drainLatency int64) *WriteBuffer {
-	if capacity <= 0 || drainLatency <= 0 {
-		panic("mem: write buffer needs positive capacity and drain latency")
+	if capacity <= 0 || drainLatency < 0 {
+		panic("mem: write buffer needs positive capacity and non-negative drain latency")
 	}
 	return &WriteBuffer{capacity: capacity, drainLatency: drainLatency}
 }

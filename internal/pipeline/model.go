@@ -167,6 +167,23 @@ func CanPairMeta(a, b alpha.Inst, am, bm *alpha.InstMeta) bool {
 	return ClassPairable(a, b) && !dependsOnMeta(am, bm)
 }
 
+// CanJoinGroupMeta reports whether cand can issue in the same cycle as an
+// already-formed group (group[0] is the head slot), i.e. it pairs cleanly
+// with every member: the slotting rules hold pairwise and cand neither reads
+// nor rewrites any member's same-cycle result. With a one-element group this
+// is exactly CanPairMeta, which keeps the simulator's dual-issue behaviour
+// bit-identical; wider groups (hw.Config.IssueWidth > 2) only add stricter
+// conjuncts, so the one-store-per-cycle and branch-ends-the-group rules fall
+// out of the pairwise checks.
+func CanJoinGroupMeta(group []alpha.Inst, metas []*alpha.InstMeta, cand alpha.Inst, candMeta *alpha.InstMeta) bool {
+	for i, a := range group {
+		if !CanPairMeta(a, cand, metas[i], candMeta) {
+			return false
+		}
+	}
+	return true
+}
+
 // ClassPairable applies only the slotting (class) rules, ignoring register
 // dependencies. When this alone fails, the second instruction carries a
 // "slotting hazard" in dcpicalc output.

@@ -11,6 +11,7 @@ import (
 	"dcpi/internal/alpha"
 	"dcpi/internal/daemon"
 	"dcpi/internal/dcpi"
+	"dcpi/internal/hw"
 	"dcpi/internal/image"
 	"dcpi/internal/sim"
 )
@@ -40,7 +41,17 @@ func goldenKeyConfigs() []dcpi.Config {
 				{Name: "evalpos", Code: []alpha.Inst{{Op: alpha.OpRET, Rb: alpha.RegRA}}},
 			}},
 		}},
+		{Workload: "compress", Scale: 0.25, Mode: sim.ModeCycles, Seed: 1,
+			HW: mustParseHW("icache=16K/32/2,wb=6/0,issue=4,memlat=160")},
 	}
+}
+
+func mustParseHW(spec string) hw.Config {
+	c, err := hw.Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // TestKeyGolden pins the exact content-key strings for a fixed set of
@@ -72,5 +83,33 @@ func TestKeyGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("Key format changed — existing caches and shard archives silently invalidate.\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestKeyDefaultHWIsByteStable proves the hw.Config refactor left every
+// pre-existing cache key untouched: a config with the zero (default) HW —
+// and one with the default machine spelled out explicitly — renders no
+// "hw=" segment at all, so keys persisted before internal/hw existed still
+// address the same entries.
+func TestKeyDefaultHWIsByteStable(t *testing.T) {
+	for _, cfg := range goldenKeyConfigs() {
+		if !cfg.HW.IsDefault() {
+			continue
+		}
+		base := Key(cfg)
+		if strings.Contains(base, "hw=") {
+			t.Errorf("default-HW key contains hw segment: %s", base)
+		}
+		// The default machine spelled out field-by-field must produce the
+		// same key as the zero value.
+		explicit := cfg
+		explicit.HW = hw.Default()
+		if k := Key(explicit); k != base {
+			t.Errorf("explicit-default HW changed the key:\n %s\n %s", base, k)
+		}
+	}
+	nd := dcpi.Config{Workload: "compress", HW: mustParseHW("itb=24")}
+	if k := Key(nd); !strings.Contains(k, "|hw=itb=24") {
+		t.Errorf("non-default HW missing from key: %s", k)
 	}
 }

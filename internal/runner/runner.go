@@ -158,6 +158,12 @@ func Key(cfg dcpi.Config) string {
 	if len(cfg.Rewrites) > 0 {
 		k += "|rw=" + image.LayoutsDigest(cfg.Rewrites)
 	}
+	// Likewise the hardware suffix: the default machine renders as "" and
+	// contributes nothing, so default-config keys are byte-identical to
+	// pre-hw.Config keys and existing cache entries still hit.
+	if s := cfg.HW.String(); s != "" {
+		k += "|hw=" + s
+	}
 	return k
 }
 

@@ -4,33 +4,22 @@ import (
 	"sync/atomic"
 
 	"dcpi/internal/alpha"
+	"dcpi/internal/hw"
 	"dcpi/internal/image"
 	"dcpi/internal/loader"
 	"dcpi/internal/mem"
 	"dcpi/internal/pipeline"
 )
 
-// Cache geometry of the simulated machine (see DESIGN.md §3).
-var (
-	icacheCfg = mem.CacheConfig{Name: "icache", Size: 8 << 10, LineSize: 32, Assoc: 1}
-	dcacheCfg = mem.CacheConfig{Name: "dcache", Size: 8 << 10, LineSize: 32, Assoc: 1}
-	boardCfg  = mem.CacheConfig{Name: "board", Size: 2 << 20, LineSize: 64, Assoc: 1}
-)
-
-const (
-	itbEntries = 48
-	dtbEntries = 64
-	wbEntries  = 6
-	// wbDrainCycles is the write buffer's per-line retire time. It models
-	// the *contended* memory write path: when a loop streams (reads
-	// competing with writebacks for the memory bus), stores cannot retire
-	// faster than this, which is what makes the six-entry buffer fill and
-	// the paper's Figure 2 stq stalls appear. 120 cycles per 32-byte line
-	// puts the streaming copy loop at ~10 CPI, the paper's Figure 2 regime.
-	wbDrainCycles = 120
-	predEntries   = 512
-	deliverySkew  = 6 // cycles between counter overflow and interrupt delivery
-)
+// The machine's structural description — cache geometries, TLB capacities,
+// write-buffer shape, predictor size, issue width — lives in hw.Config
+// (hw.Default is the 21164 of DESIGN.md §3); each CPU is built from the
+// machine's resolved copy. The default write-buffer drain of 120 cycles per
+// 32-byte line models the *contended* memory write path: when a loop streams
+// (reads competing with writebacks for the memory bus), stores cannot retire
+// faster than this, which is what makes the six-entry buffer fill and the
+// paper's Figure 2 stq stalls appear (~10 CPI in the streaming copy loop).
+const deliverySkew = 6 // cycles between counter overflow and interrupt delivery
 
 // CPU is one simulated processor: private caches, TLBs, write buffer,
 // branch predictor, performance counters, and a run queue of processes.
@@ -47,6 +36,13 @@ type CPU struct {
 	itb, dtb              *mem.TLB
 	wb                    *mem.WriteBuffer
 	pred                  *mem.Predictor
+
+	// Issue-group state: width is hw.Config.IssueWidth; the fixed-size
+	// buffers hold the group formed so far, so widening the group past two
+	// never allocates on the step path.
+	width      int
+	groupInsts [hw.MaxIssueWidth]alpha.Inst
+	groupMetas [hw.MaxIssueWidth]*alpha.InstMeta
 
 	clock    int64
 	regReady [64]int64 // 0..31 integer, 32..63 floating point
@@ -129,18 +125,20 @@ type CPU struct {
 }
 
 func newCPU(id int, m *Machine) *CPU {
+	hwc := m.HW
 	c := &CPU{
 		id:     id,
 		m:      m,
 		model:  m.Model,
 		tab:    m.tables,
-		icache: mem.NewCache(icacheCfg),
-		dcache: mem.NewCache(dcacheCfg),
-		board:  mem.NewCache(boardCfg),
-		itb:    mem.NewTLB(itbEntries),
-		dtb:    mem.NewTLB(dtbEntries),
-		wb:     mem.NewWriteBuffer(wbEntries, wbDrainCycles),
-		pred:   mem.NewPredictor(predEntries),
+		width:  hwc.IssueWidth,
+		icache: mem.NewCache(hwc.ICache.CacheConfig("icache")),
+		dcache: mem.NewCache(hwc.DCache.CacheConfig("dcache")),
+		board:  mem.NewCache(hwc.Board.CacheConfig("board")),
+		itb:    mem.NewTLB(hwc.ITBEntries),
+		dtb:    mem.NewTLB(hwc.DTBEntries),
+		wb:     mem.NewWriteBuffer(hwc.WBEntries, hwc.WBDrainCycles),
+		pred:   mem.NewPredictor(hwc.PredEntries),
 		rng:    newCarta(m.cfg.Seed + uint32(id)*7919 + 1),
 		// Steady-state scratch, sized once so the sample path never grows
 		// it: skewed holds at most a few miss events per issue group.
@@ -482,8 +480,9 @@ func (c *CPU) dataAccess(p *loader.Process, pc uint64, out alpha.Outcome, at int
 	return issueDelay, loadExtra
 }
 
-// step executes one issue group (head instruction plus an optional
-// dual-issued partner). It returns false when the CPU has no work left.
+// step executes one issue group: the head instruction plus up to
+// IssueWidth-1 co-issued partners. It returns false when the CPU has no
+// work left.
 func (c *CPU) step() bool {
 	if !c.ensureProcess() {
 		return false
@@ -633,25 +632,42 @@ func (c *CPU) step() bool {
 	return true
 }
 
-// tryPair attempts to dual-issue the instruction at p.PC alongside the
-// just-issued head instruction, applying the slotting rules plus dynamic
-// feasibility: the partner's fetch must already be resident, its operands
-// and functional unit ready, and its memory access must not need a TLB fill
-// or a full write buffer.
+// tryPair attempts to fill the issue group's remaining slots (up to the
+// machine's issue width) with the instructions following the just-issued
+// head. Each candidate must pair cleanly with every instruction already in
+// the group; a taken branch, fault, or process-state change closes the
+// group. At the default width of 2 this is exactly the historical dual-issue
+// probe.
 func (c *CPU) tryPair(p *loader.Process, head alpha.Inst, headMeta *alpha.InstMeta, issue int64) {
+	c.groupInsts[0], c.groupMetas[0] = head, headMeta
+	for n := 1; n < c.width; n++ {
+		taken, ok := c.trySlot(p, c.groupInsts[:n], c.groupMetas[:n], issue, n)
+		if !ok || taken || p.State != loader.ProcRunnable {
+			return
+		}
+	}
+}
+
+// trySlot attempts to issue the instruction at p.PC into slot n alongside
+// the already-formed group, applying the slotting rules plus dynamic
+// feasibility: the candidate's fetch must already be resident, its operands
+// and functional unit ready, and its memory access must not need a TLB fill
+// or a full write buffer. On success it executes and commits the candidate
+// and reports whether it was a taken branch (which closes the group).
+func (c *CPU) trySlot(p *loader.Process, group []alpha.Inst, metas []*alpha.InstMeta, issue int64, n int) (taken, issued bool) {
 	pc2 := p.PC
 	im2, off2, ok := p.Lookup(pc2)
 	if !ok {
-		return
+		return false, false
 	}
 	idx2 := off2 / alpha.InstBytes
 	inst2 := im2.Code[idx2]
 	if inst2.Op == alpha.OpInvalid {
-		return
+		return false, false
 	}
 	meta2 := &im2.MetaTable()[idx2]
-	if !pipeline.CanPairMeta(head, inst2, headMeta, meta2) {
-		return
+	if !pipeline.CanJoinGroupMeta(group, metas, inst2, meta2) {
+		return false, false
 	}
 
 	// Fetch residency (probe only; a miss will be taken when it is head).
@@ -659,21 +675,21 @@ func (c *CPU) tryPair(p *loader.Process, head alpha.Inst, headMeta *alpha.InstMe
 	asn2 := fetchASN(p.PID, pc2)
 	if !(c.haveITBPage && vpage2 == c.lastITBPage && asn2 == c.lastITBASN) &&
 		!c.itb.Probe(asn2, vpage2) {
-		return
+		return false, false
 	}
 	phys2 := c.textPhys(im2.ID, off2)
 	if c.icache.LineOf(phys2) != c.lastFetchLine && !c.icache.Probe(phys2) {
-		return
+		return false, false
 	}
 
 	// Operand and FU readiness at the shared issue cycle.
 	for _, s := range meta2.Sources() {
 		if c.regReady[ridx(s)] > issue {
-			return
+			return false, false
 		}
 	}
 	if fu := c.tab.FU[inst2.Op]; fu != pipeline.FUNone && c.fuFree[fu] > issue {
-		return
+		return false, false
 	}
 
 	// Memory feasibility, computed without architectural effects.
@@ -681,21 +697,21 @@ func (c *CPU) tryPair(p *loader.Process, head alpha.Inst, headMeta *alpha.InstMe
 		addr := p.Regs.ReadI(inst2.Rb) + uint64(int64(inst2.Disp))
 		asn := dataASN(p.PID, addr)
 		if !c.dtb.Probe(asn, mem.PageOf(addr)) {
-			return
+			return false, false
 		}
 		if meta2.Store {
 			phys := c.pmap.Translate(asn, addr)
 			if c.wb.Full(c.dcache.LineOf(phys), issue) {
-				return
+				return false, false
 			}
 		}
 	}
 
-	// Commit the pair (xmem.p was retargeted by step for this process).
+	// Commit the slot (xmem.p was retargeted by step for this process).
 	out2 := alpha.Execute(inst2, pc2, &p.Regs, c.xmemI)
 	if out2.Fault != nil {
 		c.fault(p)
-		return
+		return false, false
 	}
 	if out2.ReadCounter {
 		p.Regs.WriteI(inst2.Ra, uint64(c.clock))
@@ -710,6 +726,8 @@ func (c *CPU) tryPair(p *loader.Process, head alpha.Inst, headMeta *alpha.InstMe
 	c.commit(inst2, meta2, issue, loadExtra2)
 	c.controlFlow(p, meta2, pc2, out2, issue)
 	p.PC = out2.NextPC
+	c.groupInsts[n], c.groupMetas[n] = inst2, meta2
+	return out2.Taken, true
 }
 
 // handlePal implements the PALcode services: syscall entry/exit and

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"dcpi/internal/hw"
+	"dcpi/internal/loader"
+)
+
+// TestDefaultHWMatchesZeroValue locks the hw.Config refactor at the machine
+// level: a machine built with the zero HW and one built with hw.Default()
+// spelled out must simulate identically, instruction for instruction.
+func TestDefaultHWMatchesZeroValue(t *testing.T) {
+	run := func(opts Options) (int64, Stats) {
+		m, _ := testMachine(t, sumProgram, opts)
+		wall := m.Run(1 << 30)
+		return wall, m.Stats()
+	}
+	w1, s1 := run(Options{Seed: 7})
+	w2, s2 := run(Options{Seed: 7, HW: hw.Default()})
+	if w1 != w2 || s1 != s2 {
+		t.Fatalf("explicit default HW diverged:\n zero:    wall=%d %v\n default: wall=%d %v", w1, s1, w2, s2)
+	}
+}
+
+// TestHWGeometryReachesCPU checks that a perturbed config actually builds
+// the machine it describes.
+func TestHWGeometryReachesCPU(t *testing.T) {
+	cfg := hw.Default()
+	cfg.DCache = hw.Geometry{Size: 16 << 10, LineSize: 64, Assoc: 2}
+	cfg.ITBEntries = 8
+	cfg.WBDrainCycles = 0
+	cfg.IssueWidth = 1
+	m, _ := testMachine(t, sumProgram, Options{HW: cfg})
+	c := m.CPUs[0]
+	if got := c.dcache.Config(); got.Size != 16<<10 || got.LineSize != 64 || got.Assoc != 2 {
+		t.Errorf("dcache config = %+v", got)
+	}
+	if c.itb.Capacity() != 8 {
+		t.Errorf("itb capacity = %d, want 8", c.itb.Capacity())
+	}
+	if c.width != 1 {
+		t.Errorf("issue width = %d, want 1", c.width)
+	}
+	if m.HW != cfg {
+		t.Errorf("machine HW = %+v, want %+v", m.HW, cfg)
+	}
+}
+
+// TestIssueWidthScaling runs the same program at widths 1, 2, and 4. Width 1
+// must disable pairing entirely (every group is one instruction); wider
+// machines must never issue fewer instructions per group, and the
+// architectural result must be identical at every width.
+func TestIssueWidthScaling(t *testing.T) {
+	type res struct {
+		wall   int64
+		stats  Stats
+		sum    uint64
+		exited bool
+	}
+	run := func(width int) res {
+		cfg := hw.Default()
+		cfg.IssueWidth = width
+		m, p := testMachine(t, sumProgram, Options{Seed: 7, HW: cfg})
+		wall := m.Run(1 << 30)
+		return res{wall, m.Stats(), p.Mem.Load(0x10000, 8), p.State == loader.ProcExited}
+	}
+	r1, r2, r4 := run(1), run(2), run(4)
+
+	for w, r := range map[int]res{1: r1, 2: r2, 4: r4} {
+		if !r.exited || r.sum != 5050 {
+			t.Fatalf("width %d: exited=%v sum=%d (timing must not change architecture)", w, r.exited, r.sum)
+		}
+		if r.stats.Instructions != r2.stats.Instructions {
+			t.Errorf("width %d executed %d instructions, width 2 executed %d",
+				w, r.stats.Instructions, r2.stats.Instructions)
+		}
+	}
+	if r1.stats.IssueGroups != r1.stats.Instructions {
+		t.Errorf("width 1 paired: groups=%d insts=%d", r1.stats.IssueGroups, r1.stats.Instructions)
+	}
+	if r2.stats.IssueGroups >= r1.stats.IssueGroups {
+		t.Errorf("width 2 no denser than width 1: %d vs %d groups",
+			r2.stats.IssueGroups, r1.stats.IssueGroups)
+	}
+	if r4.stats.IssueGroups > r2.stats.IssueGroups {
+		t.Errorf("width 4 formed more groups than width 2: %d vs %d",
+			r4.stats.IssueGroups, r2.stats.IssueGroups)
+	}
+	if r1.wall < r2.wall || r2.wall < r4.wall {
+		t.Errorf("walls not monotone with width: w1=%d w2=%d w4=%d", r1.wall, r2.wall, r4.wall)
+	}
+}
+
+// TestWidth2MatchesLegacyDualIssue pins the group-issue refactor: explicit
+// width 2 must be bit-identical to the zero-value (historical dual-issue)
+// machine, which TestDefaultHWMatchesZeroValue ties back to hw.Default().
+func TestWidth2MatchesLegacyDualIssue(t *testing.T) {
+	cfg := hw.Default()
+	cfg.IssueWidth = 2
+	m1, _ := testMachine(t, sumProgram, Options{Seed: 7})
+	m2, _ := testMachine(t, sumProgram, Options{Seed: 7, HW: cfg})
+	w1, w2 := m1.Run(1<<30), m2.Run(1<<30)
+	if w1 != w2 || m1.Stats() != m2.Stats() {
+		t.Fatalf("width-2 group issue diverged from dual issue:\n %d %v\n %d %v",
+			w1, m1.Stats(), w2, m2.Stats())
+	}
+}
+
+func TestInvalidHWPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMachine accepted an invalid hw config")
+		}
+	}()
+	bad := hw.Default()
+	bad.IssueWidth = 9
+	testMachine(t, sumProgram, Options{HW: bad})
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dcpi/internal/hw"
 	"dcpi/internal/image"
 	"dcpi/internal/loader"
 	"dcpi/internal/mem"
@@ -16,8 +17,14 @@ import (
 
 // Options configures a Machine.
 type Options struct {
-	Model   pipeline.Model // zero value -> pipeline.Default()
-	NumCPUs int            // 0 -> 1
+	// HW is the full hardware description (cache geometries, TLB and
+	// write-buffer shapes, predictor size, issue width, timing model). The
+	// zero value is the default 21164 machine (hw.Default).
+	HW hw.Config
+	// Model, when non-zero, overrides HW's timing model. It predates HW and
+	// remains for callers that only perturb latencies.
+	Model   pipeline.Model
+	NumCPUs int // 0 -> 1
 	ABI     KernelABI
 	Loader  *loader.Loader
 	Profile ProfileConfig
@@ -97,6 +104,7 @@ func (c *Counts) merge(other *Counts) {
 // Machine is the simulated multiprocessor.
 type Machine struct {
 	Model     pipeline.Model
+	HW        hw.Config // resolved hardware description (HW.Model == Model)
 	Loader    *loader.Loader
 	KernelMem *mem.Sparse
 	PageMap   *mem.PageMapper
@@ -133,10 +141,14 @@ func NewMachine(opts Options) *Machine {
 	if opts.Loader == nil {
 		panic("sim: Options.Loader is required")
 	}
-	model := opts.Model
-	if model == (pipeline.Model{}) {
-		model = pipeline.Default()
+	hwc := opts.HW.Resolved()
+	if opts.Model != (pipeline.Model{}) {
+		hwc.Model = opts.Model
 	}
+	if err := hwc.Validate(); err != nil {
+		panic("sim: " + err.Error())
+	}
+	model := hwc.Model
 	ncpu := opts.NumCPUs
 	if ncpu == 0 {
 		ncpu = 1
@@ -155,6 +167,7 @@ func NewMachine(opts Options) *Machine {
 	}
 	m := &Machine{
 		Model:         model,
+		HW:            hwc,
 		Loader:        opts.Loader,
 		KernelMem:     mem.NewSparse(),
 		PageMap:       mem.NewPageMapper(physPages, opts.Seed),

@@ -33,10 +33,10 @@ baseline="${BENCH_BASELINE:-BENCH_baseline.json}"
 echo "== go test -race ./internal/runner ./internal/eval" >&2
 go test -race -count=1 ./internal/runner ./internal/eval
 
-echo "== go test -bench=. -benchmem (root, driver, sim, optimize, tsdb)" >&2
+echo "== go test -bench=. -benchmem (root, driver, sim, optimize, tsdb, whatif)" >&2
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
-go test -run '^$' -bench=. -benchmem . ./internal/driver ./internal/sim ./internal/optimize ./internal/tsdb | tee "$tmp" >&2
+go test -run '^$' -bench=. -benchmem . ./internal/driver ./internal/sim ./internal/optimize ./internal/tsdb ./internal/whatif | tee "$tmp" >&2
 
 go run ./scripts/benchjson < "$tmp" > "$out"
 echo "== wrote $out" >&2

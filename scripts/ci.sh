@@ -151,6 +151,23 @@ if "$tmp/dcpiopt" -workload gcc -scale 0.02 2>"$tmp/opt-gcc.err"; then
 fi
 grep -q "outside the procedure" "$tmp/opt-gcc.err"
 
+echo "== what-if sweep smoke (dcpiwhatif)" >&2
+# A tiny grid over one workload: the cold pass simulates, the warm rerun
+# must resolve every run from the shared disk cache and keep the report
+# (including the causal culprit score) byte-identical.
+go build -o "$tmp/dcpiwhatif" ./cmd/dcpiwhatif
+"$tmp/dcpiwhatif" -workloads compress -scale 0.05 -grid dcache2x,memlat2x \
+	-cache-dir "$tmp/runcache" -json "$tmp/whatif.json" \
+	>"$tmp/whatif-cold.out" 2>"$tmp/whatif-cold.err"
+grep -q "aggregate:" "$tmp/whatif-cold.out"
+grep -q "precision" "$tmp/whatif-cold.out"
+"$tmp/dcpiwhatif" -workloads compress -scale 0.05 -grid dcache2x,memlat2x \
+	-cache-dir "$tmp/runcache" -json "$tmp/whatif.json" \
+	>"$tmp/whatif-warm.out" 2>"$tmp/whatif-warm.err"
+cmp "$tmp/whatif-cold.out" "$tmp/whatif-warm.out"
+grep "dcpiwhatif-cache-stats" "$tmp/whatif-warm.err" | grep -q '"simulated":0'
+grep -q '"base_wall_cycles"' "$tmp/whatif.json"
+
 echo "== fuzz smoke (short deadline per target)" >&2
 # Each target replays its committed corpus plus a few seconds of fresh
 # coverage-guided input; crashes fail the gate.
@@ -160,6 +177,7 @@ go test ./internal/daemon/ -run '^$' -fuzz FuzzParseFaultPlan -fuzztime 5s
 go test ./internal/tsdb/ -run '^$' -fuzz FuzzTSDBSegmentDecode -fuzztime 5s
 go test ./internal/tsdb/ -run '^$' -fuzz FuzzTSDBBlockDecode -fuzztime 5s
 go test ./internal/optimize/ -run '^$' -fuzz FuzzReorderProcedure -fuzztime 5s
+go test ./internal/hw/ -run '^$' -fuzz FuzzParseHWConfig -fuzztime 5s
 
 if [ "${BENCH:-0}" = "1" ]; then
 	echo "== benchmark regression gate (BENCH=1)" >&2
